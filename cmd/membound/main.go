@@ -1,0 +1,27 @@
+// membound measures the unreclaimed-memory bound column of the paper's
+// Table 1: each scheme's maximum retired-but-not-freed object count
+// under adversarial protect/retire pressure, printed next to the
+// asymptotic bound the paper states. PTP's t(H+1) bound is enforced, not
+// just reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	threads := flag.Int("threads", 8, "stress threads")
+	duration := flag.Duration("duration", time.Second, "stress time")
+	flag.Parse()
+
+	cfg := bench.Config{Threads: []int{*threads}, Duration: *duration}
+	if err := bench.Figure("table1", cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

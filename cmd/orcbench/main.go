@@ -1,0 +1,61 @@
+// orcbench is the master benchmark driver: it regenerates each of the
+// paper's figures and measured tables.
+//
+//	orcbench -fig all                      # everything, CI scale
+//	orcbench -fig 3 -threads 1,2,4,8,16 -duration 2s -runs 5
+//	orcbench -fig mem -out data/           # §5 footprint + TSV files
+//
+// Figure ids: 1 2 3 4 5 6 7 8 mem table1 (see DESIGN.md §3 for the
+// mapping to the paper's evaluation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id (1..8, mem, table1) or 'all'")
+	threads := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+	duration := flag.Duration("duration", 300*time.Millisecond, "measurement time per point")
+	runs := flag.Int("runs", 1, "runs per point (mean reported; paper used 5)")
+	keysList := flag.Uint64("keys-list", 1000, "key range for the list figures (paper: 1e3)")
+	keysBig := flag.Uint64("keys-big", 100000, "key range for tree/skip figures (paper: 1e6)")
+	out := flag.String("out", "", "directory for TSV data files (optional)")
+	flag.Parse()
+
+	var tc []int
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "orcbench: bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		tc = append(tc, n)
+	}
+	cfg := bench.Config{
+		Threads:  tc,
+		Duration: *duration,
+		Runs:     *runs,
+		KeysList: *keysList,
+		KeysBig:  *keysBig,
+		DataDir:  *out,
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = bench.FigureIDs()
+	}
+	for _, id := range ids {
+		if err := bench.Figure(id, cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "orcbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

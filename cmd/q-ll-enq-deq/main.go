@@ -1,0 +1,38 @@
+// q-ll-enq-deq mirrors the artifact binary of the same name: the queue
+// enqueue/dequeue-pair benchmark behind Figures 1 and 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	threads := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+	duration := flag.Duration("duration", 500*time.Millisecond, "measurement time per point")
+	runs := flag.Int("runs", 1, "runs per point")
+	out := flag.String("out", "", "TSV output directory")
+	flag.Parse()
+
+	cfg := bench.Config{Duration: *duration, Runs: *runs, DataDir: *out}
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		cfg.Threads = append(cfg.Threads, n)
+	}
+	for _, id := range []string{"1", "2"} {
+		if err := bench.Figure(id, cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

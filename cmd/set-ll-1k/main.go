@@ -1,0 +1,39 @@
+// set-ll-1k mirrors the artifact binary of the same name: the linked-
+// list benchmarks with 10^3 keys behind Figures 3, 4, 5 and 6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	threads := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+	duration := flag.Duration("duration", 500*time.Millisecond, "measurement time per point")
+	runs := flag.Int("runs", 1, "runs per point")
+	keys := flag.Uint64("keys", 1000, "key range")
+	out := flag.String("out", "", "TSV output directory")
+	flag.Parse()
+
+	cfg := bench.Config{Duration: *duration, Runs: *runs, KeysList: *keys, DataDir: *out}
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		cfg.Threads = append(cfg.Threads, n)
+	}
+	for _, id := range []string{"3", "4", "5", "6"} {
+		if err := bench.Figure(id, cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

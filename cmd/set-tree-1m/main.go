@@ -1,0 +1,41 @@
+// set-tree-1m mirrors the artifact binary of the same name: the
+// Natarajan–Mittal tree part of Figures 7 and 8 (the skip-list part is
+// covered by set-skiplist-1m). Default key range is scaled down; pass
+// -keys 1000000 for the paper's setting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	threads := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+	duration := flag.Duration("duration", 500*time.Millisecond, "measurement time per point")
+	runs := flag.Int("runs", 1, "runs per point")
+	keys := flag.Uint64("keys", 100000, "key range (paper: 1000000)")
+	out := flag.String("out", "", "TSV output directory")
+	flag.Parse()
+
+	cfg := bench.Config{Duration: *duration, Runs: *runs, KeysBig: *keys, DataDir: *out}
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		cfg.Threads = append(cfg.Threads, n)
+	}
+	for _, id := range []string{"7", "8"} {
+		if err := bench.Figure(id, cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

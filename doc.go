@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "OrcGC: Automatic
+// Lock-Free Memory Reclamation" (Correia, Ramalhete, Felber — PPoPP
+// 2021).
+//
+// The library lives under internal/: the pass-the-pointer manual scheme
+// and its competitors in internal/reclaim, the OrcGC automatic scheme in
+// internal/core, the manual-memory substrate that makes reclamation
+// observable under a garbage-collected language in internal/arena, and
+// the paper's eleven data structures under internal/ds. The benchmark
+// harness regenerating every figure and table of the evaluation is
+// internal/bench, driven by cmd/orcbench and the artifact-named
+// binaries. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,155 @@
+// Cross-module integration tests: every subject the benchmark registry
+// can build — each data structure under each reclamation configuration —
+// is driven through a common semantic battery and a concurrent churn
+// with the strict arena acting as the use-after-free detector.
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func allSetSubjects() []string {
+	var names []string
+	names = append(names, bench.ListSchemeNames()...)
+	names = append(names, bench.OrcListNames()...)
+	names = append(names, bench.TreeSkipNames()...)
+	names = append(names, bench.HashMapNames()...)
+	return names
+}
+
+// TestEverySetSubjectSemantics: sequential model check per subject.
+func TestEverySetSubjectSemantics(t *testing.T) {
+	for _, name := range allSetSubjects() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			inst := bench.NewSet(name, 2)
+			model := map[uint64]bool{}
+			rng := rand.New(rand.NewSource(5))
+			for i := 0; i < 8000; i++ {
+				k := uint64(rng.Intn(128)) + 1
+				switch rng.Intn(3) {
+				case 0:
+					if inst.Set.Insert(0, k) != !model[k] {
+						t.Fatalf("%s: insert(%d) diverged at %d", name, k, i)
+					}
+					model[k] = true
+				case 1:
+					if inst.Set.Remove(0, k) != model[k] {
+						t.Fatalf("%s: remove(%d) diverged at %d", name, k, i)
+					}
+					model[k] = false
+				default:
+					if inst.Set.Contains(0, k) != model[k] {
+						t.Fatalf("%s: contains(%d) diverged at %d", name, k, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEverySetSubjectConcurrent: short shared-key churn per subject;
+// panics (UAF, corruption) fail the test.
+func TestEverySetSubjectConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range allSetSubjects() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 4
+			inst := bench.NewSet(name, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					rng := uint64(tid)*7919 + 3
+					for i := 0; i < 4000; i++ {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						k := rng%48 + 1
+						switch rng % 3 {
+						case 0:
+							inst.Set.Insert(tid, k)
+						case 1:
+							inst.Set.Remove(tid, k)
+						default:
+							inst.Set.Contains(tid, k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for k := uint64(1); k <= 48; k++ {
+				inst.Set.Remove(0, k)
+				if inst.Set.Contains(0, k) {
+					t.Fatalf("%s: key %d survived removal", name, k)
+				}
+			}
+		})
+	}
+}
+
+// TestEveryQueueSubjectConservation: multiset in == multiset out for
+// every queue subject.
+func TestEveryQueueSubjectConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range bench.QueueNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 4
+			const per = 1500
+			inst := bench.NewQueue(name, workers)
+			var mu sync.Mutex
+			var sumIn, sumOut uint64
+			var cnt int
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					var in, out uint64
+					var c int
+					for i := 0; i < per; i++ {
+						v := uint64(tid*per+i) & 0xFFFFFF
+						inst.Queue.Enqueue(tid, v)
+						in += v
+						if got, ok := inst.Queue.Dequeue(tid); ok {
+							out += got
+							c++
+						}
+					}
+					mu.Lock()
+					sumIn += in
+					sumOut += out
+					cnt += c
+					mu.Unlock()
+				}(w)
+			}
+			wg.Wait()
+			for {
+				v, ok := inst.Queue.Dequeue(0)
+				if !ok {
+					break
+				}
+				sumOut += v
+				cnt++
+			}
+			if cnt != workers*per {
+				t.Fatalf("%s: %d of %d items", name, cnt, workers*per)
+			}
+			if sumIn != sumOut {
+				t.Fatalf("%s: sum in=%d out=%d", name, sumIn, sumOut)
+			}
+		})
+	}
+}

@@ -1,0 +1,284 @@
+package arena
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// FaultMode selects what a generation-check failure (use-after-free) does.
+type FaultMode int
+
+const (
+	// Strict panics on a stale dereference — the reproduction's
+	// segmentation fault. Tests and examples run Strict.
+	Strict FaultMode = iota
+	// Count records the fault and hands back a zombie object so the
+	// caller can limp on; used by experiments that want to *measure*
+	// how often a broken scheme faults instead of dying on the first.
+	Count
+)
+
+const (
+	maxChunks        = 1 << 14
+	defaultChunkSize = 1 << 12
+
+	stateFree uint32 = 0
+	stateLive uint32 = 1
+
+	idxNone uint32 = ^uint32(0)
+)
+
+// Slot is one allocation cell. HdrA and HdrB are two scheme-owned header
+// words — the "extra words per object" column of the paper's Table 1.
+// OrcGC keeps the _orc word in HdrA; hazard eras keeps birth/retire eras
+// in HdrA/HdrB; plain pointer-based schemes leave them untouched.
+type Slot[T any] struct {
+	gen      atomic.Uint32
+	state    atomic.Uint32
+	freeNext atomic.Uint32 // free-list link, valid only while free
+	_        uint32
+	HdrA     atomic.Uint64
+	HdrB     atomic.Uint64
+	Val      T
+}
+
+type chunkOf[T any] struct {
+	slots []Slot[T]
+}
+
+// Stats is a snapshot of an arena's allocation counters.
+type Stats struct {
+	Allocs  uint64 // total Alloc calls
+	Frees   uint64 // total Free calls
+	Live    int64  // Allocs - Frees
+	MaxLive int64  // high-water mark of Live
+	Faults  uint64 // stale dereferences observed (Count mode)
+	Slots   uint64 // slots ever carved out of chunks
+}
+
+// Arena is a chunked slab allocator for values of type T.
+// All methods are safe for concurrent use; Alloc and Free are lock-free.
+type Arena[T any] struct {
+	mode      FaultMode
+	chunkSize uint32
+
+	next     atomic.Uint64 // next never-used slot index
+	freeHead atomic.Uint64 // packed (aba:32, idx:32) Treiber stack head
+
+	allocs  atomic.Uint64
+	frees   atomic.Uint64
+	live    atomic.Int64
+	maxLive atomic.Int64
+	faults  atomic.Uint64
+
+	zombie Slot[T] // target of stale derefs in Count mode
+
+	chunks [maxChunks]atomic.Pointer[chunkOf[T]]
+}
+
+// Option configures an Arena.
+type Option func(*config)
+
+type config struct {
+	mode      FaultMode
+	chunkSize uint32
+}
+
+// WithFaultMode sets the use-after-free reaction (default Strict).
+func WithFaultMode(m FaultMode) Option { return func(c *config) { c.mode = m } }
+
+// WithChunkSize sets the number of slots per chunk (default 4096).
+func WithChunkSize(n uint32) Option { return func(c *config) { c.chunkSize = n } }
+
+// New creates an empty arena.
+func New[T any](opts ...Option) *Arena[T] {
+	cfg := config{mode: Strict, chunkSize: defaultChunkSize}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	a := &Arena[T]{mode: cfg.mode, chunkSize: cfg.chunkSize}
+	a.next.Store(1) // slot 0 reserved so no valid handle is ever 0
+	a.freeHead.Store(packFree(0, idxNone))
+	return a
+}
+
+func packFree(aba uint32, idx uint32) uint64 { return uint64(aba)<<32 | uint64(idx) }
+func unpackFree(v uint64) (aba uint32, idx uint32) {
+	return uint32(v >> 32), uint32(v)
+}
+
+func (a *Arena[T]) slotAt(idx uint32) *Slot[T] {
+	c := idx / a.chunkSize
+	ch := a.chunks[c].Load()
+	if ch == nil {
+		return nil
+	}
+	return &ch.slots[idx%a.chunkSize]
+}
+
+func (a *Arena[T]) ensureChunk(c uint32) *chunkOf[T] {
+	if c >= maxChunks {
+		panic(fmt.Sprintf("arena: out of chunks (%d slots exhausted)", uint64(maxChunks)*uint64(a.chunkSize)))
+	}
+	if ch := a.chunks[c].Load(); ch != nil {
+		return ch
+	}
+	fresh := &chunkOf[T]{slots: make([]Slot[T], a.chunkSize)}
+	if a.chunks[c].CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return a.chunks[c].Load()
+}
+
+// Alloc carves out a slot and returns its handle plus a pointer for
+// initialization. The payload is zeroed. The slot's header words are
+// zeroed too; schemes that stamp headers (eras, orc) do so right after.
+func (a *Arena[T]) Alloc() (Handle, *T) {
+	idx := a.popFree()
+	if idx == idxNone {
+		idx = uint32(a.next.Add(1) - 1)
+		a.ensureChunk(idx / a.chunkSize)
+	}
+	s := a.slotAt(idx)
+	if !s.state.CompareAndSwap(stateFree, stateLive) {
+		panic(fmt.Sprintf("arena: slot %d allocated while live", idx))
+	}
+	gen := s.gen.Load()
+	if gen == 0 {
+		// first use of a virgin slot
+		s.gen.Store(1)
+		gen = 1
+	}
+	var zero T
+	s.Val = zero
+	s.HdrA.Store(0)
+	s.HdrB.Store(0)
+
+	a.allocs.Add(1)
+	l := a.live.Add(1)
+	for {
+		m := a.maxLive.Load()
+		if l <= m || a.maxLive.CompareAndSwap(m, l) {
+			break
+		}
+	}
+	return Pack(idx, gen), &s.Val
+}
+
+func (a *Arena[T]) popFree() uint32 {
+	for {
+		old := a.freeHead.Load()
+		aba, idx := unpackFree(old)
+		if idx == idxNone {
+			return idxNone
+		}
+		next := a.slotAt(idx).freeNext.Load()
+		if a.freeHead.CompareAndSwap(old, packFree(aba+1, next)) {
+			return idx
+		}
+	}
+}
+
+// Free returns the object named by h to the arena. The slot generation is
+// bumped (invalidating every outstanding handle to the object) and the
+// payload is poisoned (zeroed). Freeing a stale or nil handle panics:
+// reclamation schemes must free each object exactly once.
+func (a *Arena[T]) Free(h Handle) {
+	h = h.Unmarked()
+	if h.IsNil() {
+		panic("arena: free of nil handle")
+	}
+	idx := h.Index()
+	s := a.slotAt(idx)
+	if s == nil || s.gen.Load() != h.Gen() {
+		panic(fmt.Sprintf("arena: double free or stale free of %v", h))
+	}
+	var zero T
+	s.Val = zero // poison: stale readers see a zeroed husk
+	g := h.Gen() + 1
+	if g >= 1<<genBits {
+		g = 1
+	}
+	s.gen.Store(g)
+	if !s.state.CompareAndSwap(stateLive, stateFree) {
+		panic(fmt.Sprintf("arena: double free of %v", h))
+	}
+	for {
+		old := a.freeHead.Load()
+		aba, head := unpackFree(old)
+		s.freeNext.Store(head)
+		if a.freeHead.CompareAndSwap(old, packFree(aba+1, idx)) {
+			break
+		}
+	}
+	a.frees.Add(1)
+	a.live.Add(-1)
+}
+
+// Get dereferences h, applying the generation check. Tag bits are
+// ignored. In Strict mode a stale handle panics; in Count mode it is
+// recorded and a zombie object is returned.
+func (a *Arena[T]) Get(h Handle) *T {
+	p, ok := a.TryGet(h)
+	if !ok {
+		a.faults.Add(1)
+		if a.mode == Strict {
+			panic(fmt.Sprintf("arena: use-after-free dereferencing %v", h.Unmarked()))
+		}
+		return &a.zombie.Val
+	}
+	return p
+}
+
+// TryGet dereferences h, reporting rather than reacting to staleness.
+func (a *Arena[T]) TryGet(h Handle) (*T, bool) {
+	h = h.Unmarked()
+	if h.IsNil() {
+		return nil, false
+	}
+	idx := h.Index()
+	if uint64(idx) >= a.next.Load() {
+		return nil, false
+	}
+	s := a.slotAt(idx)
+	if s == nil || s.gen.Load() != h.Gen() || s.state.Load() != stateLive {
+		return nil, false
+	}
+	return &s.Val, true
+}
+
+// Header returns the scheme header words of the (live or retired, but not
+// yet freed) object named by h. Panics on a stale handle.
+func (a *Arena[T]) Header(h Handle) (*atomic.Uint64, *atomic.Uint64) {
+	h = h.Unmarked()
+	idx := h.Index()
+	s := a.slotAt(idx)
+	if s == nil || s.gen.Load() != h.Gen() {
+		panic(fmt.Sprintf("arena: use-after-free header access %v", h))
+	}
+	return &s.HdrA, &s.HdrB
+}
+
+// HdrA returns the first scheme header word (the _orc word under OrcGC).
+func (a *Arena[T]) HdrA(h Handle) *atomic.Uint64 {
+	p, _ := a.Header(h)
+	return p
+}
+
+// Valid reports whether h currently names a live allocation.
+func (a *Arena[T]) Valid(h Handle) bool {
+	_, ok := a.TryGet(h)
+	return ok
+}
+
+// Stats returns a snapshot of the arena counters.
+func (a *Arena[T]) Stats() Stats {
+	return Stats{
+		Allocs:  a.allocs.Load(),
+		Frees:   a.frees.Load(),
+		Live:    a.live.Load(),
+		MaxLive: a.maxLive.Load(),
+		Faults:  a.faults.Load(),
+		Slots:   a.next.Load() - 1,
+	}
+}

@@ -1,0 +1,117 @@
+package arena
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTryGetNeverPanicsOnGarbage: arbitrary bit patterns must be
+// rejected gracefully, never dereferenced.
+func TestTryGetNeverPanicsOnGarbage(t *testing.T) {
+	a := New[node]()
+	h, _ := a.Alloc()
+	_ = h
+	f := func(bits uint64) bool {
+		_, ok := a.TryGet(Handle(bits))
+		// The only acceptable true is for the handle we allocated.
+		return !ok || Handle(bits).Unmarked() == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidRejectsWrongGeneration across many recycles of one slot.
+func TestValidRejectsWrongGeneration(t *testing.T) {
+	a := New[node]()
+	var old []Handle
+	h, _ := a.Alloc()
+	for i := 0; i < 100; i++ {
+		old = append(old, h)
+		a.Free(h)
+		h, _ = a.Alloc()
+	}
+	for _, o := range old {
+		if a.Valid(o) {
+			t.Fatalf("stale generation accepted: %v (current %v)", o, h)
+		}
+	}
+	if !a.Valid(h) {
+		t.Fatal("current handle rejected")
+	}
+}
+
+// TestGenerationWrap: the 30-bit generation wraps to 1, skipping the
+// virgin marker 0.
+func TestGenerationWrap(t *testing.T) {
+	a := New[node]()
+	h, _ := a.Alloc()
+	idx := h.Index()
+	s := a.slotAt(idx)
+	a.Free(h)
+	// Force the generation to the top of its range and recycle.
+	s.gen.Store((1 << genBits) - 1)
+	h2, _ := a.Alloc()
+	if h2.Gen() != (1<<genBits)-1 {
+		t.Fatalf("gen %d", h2.Gen())
+	}
+	a.Free(h2)
+	if g := s.gen.Load(); g != 1 {
+		t.Fatalf("generation wrapped to %d, want 1", g)
+	}
+}
+
+// TestFreeNilPanics and stale-free detection.
+func TestFreeNilPanics(t *testing.T) {
+	a := New[node]()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic freeing nil")
+		}
+	}()
+	a.Free(Nil)
+}
+
+// TestHeaderOnStaleHandlePanics: scheme words must be generation-guarded
+// too (the _orc word of a freed object is off limits).
+func TestHeaderOnStaleHandlePanics(t *testing.T) {
+	a := New[node]()
+	h, _ := a.Alloc()
+	a.Free(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on stale Header")
+		}
+	}()
+	a.Header(h)
+}
+
+// TestStatsSlotsCountsCarvedOnly: recycling does not inflate Slots.
+func TestStatsSlotsCountsCarvedOnly(t *testing.T) {
+	a := New[node]()
+	for i := 0; i < 50; i++ {
+		h, _ := a.Alloc()
+		a.Free(h)
+	}
+	if st := a.Stats(); st.Slots != 1 {
+		t.Fatalf("Slots=%d want 1 (one slot recycled 50 times)", st.Slots)
+	}
+}
+
+// TestZombieIsolation: Count-mode zombie reads must not alias real data.
+func TestZombieIsolation(t *testing.T) {
+	a := New[node](WithFaultMode(Count))
+	h, p := a.Alloc()
+	p.Key = 111
+	a.Free(h)
+	z := a.Get(h)
+	if z.Key != 0 {
+		t.Fatalf("zombie exposes stale data: %d", z.Key)
+	}
+	h2, p2 := a.Alloc()
+	p2.Key = 222
+	if z == p2 {
+		t.Fatal("zombie aliases a live allocation")
+	}
+	_ = h2
+}

@@ -1,0 +1,259 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type node struct {
+	Key  uint64
+	Next uint64
+}
+
+func TestAllocFreeRoundtrip(t *testing.T) {
+	a := New[node]()
+	h, p := a.Alloc()
+	if h.IsNil() {
+		t.Fatal("alloc returned nil handle")
+	}
+	p.Key = 42
+	if got := a.Get(h); got.Key != 42 {
+		t.Fatalf("Get returned %d, want 42", got.Key)
+	}
+	a.Free(h)
+	if _, ok := a.TryGet(h); ok {
+		t.Fatal("TryGet succeeded on freed handle")
+	}
+}
+
+func TestHandleNeverZero(t *testing.T) {
+	a := New[node](WithChunkSize(8))
+	for i := 0; i < 100; i++ {
+		h, _ := a.Alloc()
+		if uint64(h) == 0 {
+			t.Fatal("valid handle equals Nil")
+		}
+	}
+}
+
+func TestGenerationBumpInvalidatesHandle(t *testing.T) {
+	a := New[node]()
+	h1, p := a.Alloc()
+	p.Key = 1
+	a.Free(h1)
+	h2, _ := a.Alloc() // same slot, recycled
+	if h1.Index() != h2.Index() {
+		t.Fatalf("expected slot reuse, got %v then %v", h1, h2)
+	}
+	if h1.Gen() == h2.Gen() {
+		t.Fatal("generation did not change on reuse")
+	}
+	if a.Valid(h1) {
+		t.Fatal("stale handle still valid after reuse")
+	}
+	if !a.Valid(h2) {
+		t.Fatal("fresh handle invalid")
+	}
+}
+
+func TestStrictModePanicsOnUAF(t *testing.T) {
+	a := New[node]()
+	h, _ := a.Alloc()
+	a.Free(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on use-after-free in Strict mode")
+		}
+	}()
+	a.Get(h)
+}
+
+func TestCountModeRecordsUAF(t *testing.T) {
+	a := New[node](WithFaultMode(Count))
+	h, _ := a.Alloc()
+	a.Free(h)
+	z := a.Get(h)
+	if z == nil {
+		t.Fatal("Count mode returned nil")
+	}
+	if got := a.Stats().Faults; got != 1 {
+		t.Fatalf("Faults = %d, want 1", got)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := New[node]()
+	h, _ := a.Alloc()
+	a.Free(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double free")
+		}
+	}()
+	a.Free(h)
+}
+
+func TestFreeOfMarkedHandle(t *testing.T) {
+	a := New[node]()
+	h, _ := a.Alloc()
+	a.Free(h.WithMark()) // tags must be ignored by Free
+	if a.Valid(h) {
+		t.Fatal("object still valid after Free of marked alias")
+	}
+}
+
+func TestPoisonOnFree(t *testing.T) {
+	a := New[node](WithFaultMode(Count))
+	h, p := a.Alloc()
+	p.Key = 99
+	idx := h.Index()
+	a.Free(h)
+	// Peek at the raw slot: payload must be zeroed.
+	s := a.slotAt(idx)
+	if s.Val.Key != 0 {
+		t.Fatalf("payload not poisoned: key=%d", s.Val.Key)
+	}
+}
+
+func TestStatsTracking(t *testing.T) {
+	a := New[node]()
+	var hs []Handle
+	for i := 0; i < 10; i++ {
+		h, _ := a.Alloc()
+		hs = append(hs, h)
+	}
+	st := a.Stats()
+	if st.Allocs != 10 || st.Live != 10 || st.MaxLive != 10 {
+		t.Fatalf("stats after 10 allocs: %+v", st)
+	}
+	for _, h := range hs[:7] {
+		a.Free(h)
+	}
+	st = a.Stats()
+	if st.Frees != 7 || st.Live != 3 || st.MaxLive != 10 {
+		t.Fatalf("stats after 7 frees: %+v", st)
+	}
+}
+
+func TestChunkGrowth(t *testing.T) {
+	a := New[node](WithChunkSize(4))
+	var hs []Handle
+	for i := 0; i < 64; i++ {
+		h, p := a.Alloc()
+		p.Key = uint64(i)
+		hs = append(hs, h)
+	}
+	for i, h := range hs {
+		if a.Get(h).Key != uint64(i) {
+			t.Fatalf("slot %d corrupted across chunk growth", i)
+		}
+	}
+}
+
+func TestHeaderWordsZeroedOnAlloc(t *testing.T) {
+	a := New[node]()
+	h, _ := a.Alloc()
+	a.HdrA(h).Store(777)
+	a.Free(h)
+	h2, _ := a.Alloc() // recycles the slot
+	if a.HdrA(h2).Load() != 0 {
+		t.Fatal("header word leaked across reuse")
+	}
+}
+
+func TestHandlePackProperty(t *testing.T) {
+	f := func(idx uint32, gen uint32) bool {
+		gen &= (1 << genBits) - 1
+		h := Pack(idx, gen)
+		return h.Index() == idx && h.Gen() == gen && h.Tags() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleTagProperty(t *testing.T) {
+	f := func(idx uint32, gen uint32, mark, flag bool) bool {
+		gen &= (1 << genBits) - 1
+		h := Pack(idx, gen)
+		if mark {
+			h = h.WithMark()
+		}
+		if flag {
+			h = h.WithFlag()
+		}
+		ok := h.Marked() == mark && h.Flagged() == flag
+		ok = ok && h.Unmarked() == Pack(idx, gen)
+		ok = ok && h.SameRef(Pack(idx, gen))
+		ok = ok && h.WithoutMark().Marked() == false
+		ok = ok && h.WithoutFlag().Flagged() == false
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkedNilIsNil(t *testing.T) {
+	if !Nil.WithMark().IsNil() {
+		t.Fatal("marked nil should still be nil as a reference")
+	}
+	if Nil.WithMark() == Nil {
+		t.Fatal("marked nil should differ bitwise from nil (CAS distinguishes them)")
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	a := New[node](WithChunkSize(64))
+	const workers = 8
+	const iters = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			var held []Handle
+			for i := 0; i < iters; i++ {
+				h, p := a.Alloc()
+				p.Key = seed
+				held = append(held, h)
+				if len(held) > 16 {
+					// free a pseudo-random held handle
+					j := int(seed+uint64(i)) % len(held)
+					if a.Get(held[j]).Key != seed {
+						panic("payload corrupted")
+					}
+					a.Free(held[j])
+					held[j] = held[len(held)-1]
+					held = held[:len(held)-1]
+				}
+			}
+			for _, h := range held {
+				a.Free(h)
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Live != 0 {
+		t.Fatalf("leak: %d live after all frees", st.Live)
+	}
+	if st.Allocs != workers*iters {
+		t.Fatalf("allocs = %d, want %d", st.Allocs, workers*iters)
+	}
+}
+
+func TestFreeListRecyclesBeforeGrowth(t *testing.T) {
+	a := New[node]()
+	h1, _ := a.Alloc()
+	a.Free(h1)
+	h2, _ := a.Alloc()
+	if h2.Index() != h1.Index() {
+		t.Fatalf("free list not used: got idx %d, want %d", h2.Index(), h1.Index())
+	}
+	st := a.Stats()
+	if st.Slots != 1 {
+		t.Fatalf("carved %d slots, want 1", st.Slots)
+	}
+}

@@ -1,0 +1,240 @@
+// Package bench is the benchmark harness that regenerates the paper's
+// evaluation: workload generators, subject registry (every queue and set
+// under every applicable reclamation configuration), timed runners with
+// per-thread padded counters, and the per-figure drivers used by
+// cmd/orcbench, the artifact-named binaries, and the root bench_test.go.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rt"
+)
+
+// Set is the membership interface every set-shaped subject implements.
+type Set interface {
+	Insert(tid int, key uint64) bool
+	Remove(tid int, key uint64) bool
+	Contains(tid int, key uint64) bool
+}
+
+// Queue is the FIFO interface every queue-shaped subject implements.
+type Queue interface {
+	Enqueue(tid int, item uint64)
+	Dequeue(tid int) (uint64, bool)
+}
+
+// MemStats is the memory snapshot a subject can report after a run.
+type MemStats struct {
+	Live            int64 // objects allocated and not freed
+	MaxLive         int64 // high-water mark
+	RetiredNotFreed int64 // scheme-side pending count (manual schemes)
+}
+
+// SetInstance bundles a set subject with its accounting hooks.
+type SetInstance struct {
+	Set Set
+	Mem func() MemStats
+}
+
+// QueueInstance bundles a queue subject with its accounting hooks.
+type QueueInstance struct {
+	Queue Queue
+	Mem   func() MemStats
+}
+
+// Mix is an operation mix in percent; the remainder is Contains.
+type Mix struct {
+	InsertPct int
+	RemovePct int
+}
+
+// String renders the mix the way the paper labels its plots.
+func (m Mix) String() string {
+	return fmt.Sprintf("%di-%dr-%dc", m.InsertPct, m.RemovePct, 100-m.InsertPct-m.RemovePct)
+}
+
+// The paper's three workloads (Figures 3–8).
+var (
+	MixWrite = Mix{InsertPct: 50, RemovePct: 50}
+	MixRead  = Mix{InsertPct: 5, RemovePct: 5}
+	MixRO    = Mix{InsertPct: 0, RemovePct: 0}
+)
+
+// Result of one measurement point.
+type Result struct {
+	OpsPerSec float64
+	Runs      []float64
+	Mem       MemStats
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+type pcg struct{ s uint64 }
+
+func (r *pcg) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	x := r.s
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// RunSet measures a set subject: prefill half the key range, then
+// threads hammer the mix for dur; repeated runs times on fresh
+// instances. Returned throughput is total operations per second.
+func RunSet(factory func(threads int) SetInstance, threads int, keys uint64, mix Mix, dur time.Duration, runs int) Result {
+	if runs <= 0 {
+		runs = 1
+	}
+	var res Result
+	// Prefill to 50% occupancy in *shuffled* order — ascending insertion
+	// would degenerate the unbalanced external BST into a linear chain.
+	stride := uint64(0x9E3779B9) | 1
+	for gcd(stride, keys) != 1 {
+		stride += 2
+	}
+	for r := 0; r < runs; r++ {
+		inst := factory(threads)
+		for i := uint64(0); i < keys; i++ {
+			k := (i * stride) % keys
+			if k%2 == 0 {
+				inst.Set.Insert(0, k+1)
+			}
+		}
+		ops := make([]rt.PaddedUint64, threads)
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < threads; w++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				rng := pcg{s: uint64(tid)*0x9E3779B97F4A7C15 + uint64(r) + 1}
+				n := uint64(0)
+				for !stop.Load() {
+					x := rng.next()
+					k := x%keys + 1
+					p := int((x >> 32) % 100)
+					switch {
+					case p < mix.InsertPct:
+						inst.Set.Insert(tid, k)
+					case p < mix.InsertPct+mix.RemovePct:
+						inst.Set.Remove(tid, k)
+					default:
+						inst.Set.Contains(tid, k)
+					}
+					n++
+				}
+				ops[tid].Store(n)
+			}(w)
+		}
+		start := time.Now()
+		time.Sleep(dur)
+		stop.Store(true)
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		total := uint64(0)
+		for i := range ops {
+			total += ops[i].Load()
+		}
+		res.Runs = append(res.Runs, float64(total)/elapsed)
+		if inst.Mem != nil {
+			res.Mem = inst.Mem()
+		}
+	}
+	res.OpsPerSec = mean(res.Runs)
+	return res
+}
+
+// RunQueuePairs measures a queue subject with the paper's queue
+// workload: every thread performs enqueue/dequeue pairs for dur.
+// Throughput counts individual operations (2 per pair).
+func RunQueuePairs(factory func(threads int) QueueInstance, threads int, dur time.Duration, runs int) Result {
+	if runs <= 0 {
+		runs = 1
+	}
+	var res Result
+	for r := 0; r < runs; r++ {
+		inst := factory(threads)
+		// Seed a little so dequeues don't always race an empty queue.
+		for i := uint64(0); i < 64; i++ {
+			inst.Queue.Enqueue(0, i)
+		}
+		ops := make([]rt.PaddedUint64, threads)
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < threads; w++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				n := uint64(0)
+				v := uint64(tid + 1)
+				for !stop.Load() {
+					inst.Queue.Enqueue(tid, v&0xFFFFFF)
+					inst.Queue.Dequeue(tid)
+					v++
+					n += 2
+				}
+				ops[tid].Store(n)
+			}(w)
+		}
+		start := time.Now()
+		time.Sleep(dur)
+		stop.Store(true)
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		total := uint64(0)
+		for i := range ops {
+			total += ops[i].Load()
+		}
+		res.Runs = append(res.Runs, float64(total)/elapsed)
+		if inst.Mem != nil {
+			res.Mem = inst.Mem()
+		}
+	}
+	res.OpsPerSec = mean(res.Runs)
+	return res
+}
+
+// Series is one labelled line of a figure: thread count → value.
+type Series struct {
+	Name   string
+	Points map[int]float64
+}
+
+// SortedThreads returns the union of thread counts across series.
+func SortedThreads(series []Series) []int {
+	seen := map[int]bool{}
+	for _, s := range series {
+		for t := range s.Points {
+			seen[t] = true
+		}
+	}
+	var out []int
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}

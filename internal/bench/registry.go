@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ds/hashmap"
+	"repro/internal/ds/kpqueue"
+	"repro/internal/ds/lcrq"
+	"repro/internal/ds/list"
+	"repro/internal/ds/msqueue"
+	"repro/internal/ds/nmtree"
+	"repro/internal/ds/skiplist"
+	"repro/internal/ds/turnqueue"
+	"repro/internal/reclaim"
+)
+
+func domCfg(threads int) core.DomainConfig {
+	if threads < 1 {
+		threads = 1
+	}
+	return core.DomainConfig{MaxThreads: threads}
+}
+
+func recCfg(threads int) reclaim.Config {
+	if threads < 1 {
+		threads = 1
+	}
+	return reclaim.Config{MaxThreads: threads}
+}
+
+// QueueNames lists the queue subjects of Figures 1–2: each algorithm
+// with OrcGC and with no reclamation (the normalization baseline), plus
+// the MS queue under every manual scheme as an extra comparison.
+func QueueNames() []string {
+	return []string{
+		"ms-orc", "ms-leak", "ms-hp", "ms-ptb", "ms-ptp", "ms-ebr", "ms-he", "ms-ibr",
+		"lcrq-orc", "lcrq-leak",
+		"kp-orc", "kp-leak",
+		"turn-orc", "turn-leak",
+	}
+}
+
+// NewQueue builds a queue subject by name.
+func NewQueue(name string, threads int) QueueInstance {
+	switch name {
+	case "ms-orc":
+		q := msqueue.NewOrc(0, domCfg(threads))
+		return QueueInstance{Queue: q, Mem: func() MemStats {
+			st := q.Domain().Arena().Stats()
+			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
+		}}
+	case "ms-leak":
+		return manualMSQueue("none", threads)
+	case "ms-hp", "ms-ptb", "ms-ptp", "ms-ebr", "ms-he", "ms-ibr":
+		return manualMSQueue(name[3:], threads)
+	case "lcrq-orc":
+		q := lcrq.NewOrc(0, domCfg(threads))
+		return QueueInstance{Queue: q, Mem: func() MemStats {
+			st := q.Domain().Arena().Stats()
+			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
+		}}
+	case "lcrq-leak":
+		q := lcrq.NewLeak()
+		return QueueInstance{Queue: q, Mem: func() MemStats {
+			st := q.Arena().Stats()
+			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
+		}}
+	case "kp-orc":
+		q := kpqueue.NewOrc(0, domCfg(threads))
+		return QueueInstance{Queue: q, Mem: func() MemStats {
+			st := q.Domain().Arena().Stats()
+			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
+		}}
+	case "kp-leak":
+		q := kpqueue.NewLeak(threads)
+		return QueueInstance{Queue: q, Mem: func() MemStats {
+			st := q.Arena().Stats()
+			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
+		}}
+	case "turn-orc":
+		q := turnqueue.NewOrc(0, domCfg(threads))
+		return QueueInstance{Queue: q, Mem: func() MemStats {
+			st := q.Domain().Arena().Stats()
+			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
+		}}
+	case "turn-leak":
+		q := turnqueue.NewLeak(threads)
+		return QueueInstance{Queue: q, Mem: func() MemStats {
+			st := q.Arena().Stats()
+			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
+		}}
+	default:
+		panic(fmt.Sprintf("bench: unknown queue %q", name))
+	}
+}
+
+func manualMSQueue(scheme string, threads int) QueueInstance {
+	q := msqueue.NewManual(scheme, recCfg(threads))
+	return QueueInstance{Queue: q, Mem: func() MemStats {
+		st := q.Arena().Stats()
+		return MemStats{
+			Live: st.Live, MaxLive: st.MaxLive,
+			RetiredNotFreed: q.Scheme().Stats().RetiredNotFreed,
+		}
+	}}
+}
+
+// ListSchemeNames are the Figure 3–4 subjects: the Michael–Harris list
+// under each manual scheme and under OrcGC.
+func ListSchemeNames() []string {
+	return []string{"list-hp", "list-ptb", "list-ptp", "list-ebr", "list-he", "list-ibr", "list-none", "list-orc"}
+}
+
+// OrcListNames are the Figure 5–6 subjects: four lists, OrcGC only.
+func OrcListNames() []string {
+	return []string{"harris-orc", "michael-orc", "hs-orc", "tbkp-orc"}
+}
+
+// HashMapNames are the extension subjects: Michael's hash table (the
+// structure the paper's introduction motivates) under OrcGC and under
+// every manual scheme.
+func HashMapNames() []string {
+	return []string{"hmap-orc", "hmap-hp", "hmap-ptb", "hmap-ptp", "hmap-ebr", "hmap-he", "hmap-ibr", "hmap-none"}
+}
+
+// TreeSkipNames are the Figure 7–8 subjects.
+func TreeSkipNames() []string {
+	return []string{
+		"tree-orc", "tree-ebr", "tree-none",
+		"hsskip-orc", "hsskip-ebr", "hsskip-none",
+		"crfskip-orc",
+	}
+}
+
+// NewSet builds a set subject by name.
+func NewSet(name string, threads int) SetInstance {
+	orcMem := func(stats func() (live, maxLive int64)) func() MemStats {
+		return func() MemStats {
+			l, m := stats()
+			return MemStats{Live: l, MaxLive: m}
+		}
+	}
+	switch name {
+	case "list-orc", "michael-orc":
+		l := list.NewMichaelOrc(0, domCfg(threads))
+		return SetInstance{Set: l, Mem: orcMem(func() (int64, int64) {
+			st := l.Domain().Arena().Stats()
+			return st.Live, st.MaxLive
+		})}
+	case "harris-orc":
+		l := list.NewHarrisOrc(0, domCfg(threads))
+		return SetInstance{Set: l, Mem: orcMem(func() (int64, int64) {
+			st := l.Domain().Arena().Stats()
+			return st.Live, st.MaxLive
+		})}
+	case "hs-orc":
+		l := list.NewHSOrc(0, domCfg(threads))
+		return SetInstance{Set: l, Mem: orcMem(func() (int64, int64) {
+			st := l.Domain().Arena().Stats()
+			return st.Live, st.MaxLive
+		})}
+	case "tbkp-orc":
+		l := list.NewTBKPOrc(0, domCfg(threads))
+		return SetInstance{Set: l, Mem: orcMem(func() (int64, int64) {
+			st := l.Domain().Arena().Stats()
+			return st.Live, st.MaxLive
+		})}
+	case "list-hp", "list-ptb", "list-ptp", "list-ebr", "list-he", "list-ibr", "list-none":
+		scheme := name[5:]
+		l := list.NewManual(scheme, recCfg(threads))
+		return SetInstance{Set: l, Mem: func() MemStats {
+			st := l.Arena().Stats()
+			return MemStats{
+				Live: st.Live, MaxLive: st.MaxLive,
+				RetiredNotFreed: l.Scheme().Stats().RetiredNotFreed,
+			}
+		}}
+	case "tree-orc":
+		t := nmtree.NewOrc(0, domCfg(threads))
+		return SetInstance{Set: t, Mem: orcMem(func() (int64, int64) {
+			st := t.Domain().Arena().Stats()
+			return st.Live, st.MaxLive
+		})}
+	case "tree-ebr", "tree-none":
+		t := nmtree.NewManual(name[5:], recCfg(threads))
+		return SetInstance{Set: t, Mem: func() MemStats {
+			st := t.Arena().Stats()
+			return MemStats{
+				Live: st.Live, MaxLive: st.MaxLive,
+				RetiredNotFreed: t.Scheme().Stats().RetiredNotFreed,
+			}
+		}}
+	case "hsskip-orc":
+		s := skiplist.NewHSOrc(0, domCfg(threads))
+		return SetInstance{Set: s, Mem: orcMem(func() (int64, int64) {
+			st := s.Domain().Arena().Stats()
+			return st.Live, st.MaxLive
+		})}
+	case "hsskip-ebr", "hsskip-none":
+		s := skiplist.NewHSManual(name[7:], recCfg(threads))
+		return SetInstance{Set: s, Mem: func() MemStats {
+			st := s.Arena().Stats()
+			return MemStats{
+				Live: st.Live, MaxLive: st.MaxLive,
+				RetiredNotFreed: s.Scheme().Stats().RetiredNotFreed,
+			}
+		}}
+	case "hmap-orc":
+		m := hashmap.NewOrc(0, 256, domCfg(threads))
+		return SetInstance{Set: m, Mem: orcMem(func() (int64, int64) {
+			st := m.Domain().Arena().Stats()
+			return st.Live, st.MaxLive
+		})}
+	case "hmap-hp", "hmap-ptb", "hmap-ptp", "hmap-ebr", "hmap-he", "hmap-ibr", "hmap-none":
+		m := hashmap.NewManual(name[5:], 256, recCfg(threads))
+		return SetInstance{Set: m, Mem: func() MemStats {
+			st := m.Arena().Stats()
+			return MemStats{
+				Live: st.Live, MaxLive: st.MaxLive,
+				RetiredNotFreed: m.Scheme().Stats().RetiredNotFreed,
+			}
+		}}
+	case "crfskip-orc":
+		s := skiplist.NewCRFOrc(0, domCfg(threads))
+		return SetInstance{Set: s, Mem: orcMem(func() (int64, int64) {
+			st := s.Domain().Arena().Stats()
+			return st.Live, st.MaxLive
+		})}
+	default:
+		panic(fmt.Sprintf("bench: unknown set %q", name))
+	}
+}

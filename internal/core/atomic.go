@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+)
+
+// Atomic is the Go rendering of the paper's orc_atomic<T*> (Algorithm 4):
+// a shared hard link between tracked objects. Every mutation goes through
+// Domain methods so the referents' _orc counters are maintained; the zero
+// value is a nil link. Nodes embed one Atomic per shared pointer field.
+type Atomic struct {
+	v atomic.Uint64
+}
+
+// Raw returns the current handle without protecting it. Safe only for
+// tag-bit inspection or comparison against already-protected handles,
+// never for dereferencing.
+func (a *Atomic) Raw() arena.Handle { return arena.Handle(a.v.Load()) }
+
+// incrementOrc is Algorithm 4 lines 38–43. Precondition (Proposition 1):
+// the caller already holds h published in some hazardous pointer (it came
+// from a live Ptr or from Make).
+func (d *Domain[T]) incrementOrc(tid int, h arena.Handle) {
+	if h.IsNil() {
+		return
+	}
+	h = h.Unmarked()
+	orc := d.arena.HdrA(h)
+	lorc := orc.Add(seqUnit + 1)
+	if ocnt(lorc) != orcZero {
+		return
+	}
+	// The increment landed the counter exactly back at zero (a racing
+	// unlink got ahead of us): this thread saw it last, so it retires.
+	if orc.CompareAndSwap(lorc, lorc+bretired) {
+		d.retire(tid, h)
+	}
+}
+
+// decrementOrc is Algorithm 4 lines 45–51. The object may not be
+// protected by the caller (e.g. the displaced value of a store), so per
+// Proposition 1 it is published in the scratch hazardous pointer hp[0]
+// before the counter moves.
+func (d *Domain[T]) decrementOrc(tid int, h arena.Handle) {
+	if h.IsNil() {
+		return
+	}
+	h = h.Unmarked()
+	d.tl[tid].hp[0].Store(uint64(h))
+	orc := d.arena.HdrA(h)
+	lorc := orc.Add(seqUnit - 1)
+	if ocnt(lorc) != orcZero {
+		return
+	}
+	if orc.CompareAndSwap(lorc, lorc+bretired) {
+		d.retire(tid, h)
+	}
+}
+
+// Store is orc_atomic::store (Algorithm 4 lines 63–67): increment the new
+// referent, exchange, decrement the displaced one. h must be nil or
+// protected by a live Ptr of the calling thread.
+func (d *Domain[T]) Store(tid int, a *Atomic, h arena.Handle) {
+	d.incrementOrc(tid, h)
+	old := arena.Handle(a.v.Swap(uint64(h)))
+	d.decrementOrc(tid, old)
+}
+
+// CAS is orc_atomic::compare_exchange_strong (Algorithm 4 lines 69–74).
+// The counter updates happen only after the CAS succeeds — the paper
+// orders the increment after the instruction to avoid contention on _orc
+// for failing CASes, which is why the counter can transiently go
+// negative. new must be nil or protected by the calling thread; old and
+// new may carry tag bits, which participate in the comparison bitwise.
+func (d *Domain[T]) CAS(tid int, a *Atomic, old, new arena.Handle) bool {
+	if !a.v.CompareAndSwap(uint64(old), uint64(new)) {
+		return false
+	}
+	d.incrementOrc(tid, new)
+	d.decrementOrc(tid, old)
+	return true
+}
+
+// Exchange atomically replaces the link and returns the previous handle,
+// maintaining both counters. The returned handle is protected in the
+// scratch slot (decrementOrc published it); callers wanting to keep it
+// must move it into a Ptr immediately via AdoptScratch.
+func (d *Domain[T]) Exchange(tid int, a *Atomic, h arena.Handle) arena.Handle {
+	d.incrementOrc(tid, h)
+	old := arena.Handle(a.v.Swap(uint64(h)))
+	d.decrementOrc(tid, old)
+	return old
+}
+
+// Load is orc_atomic::load (Algorithm 4 lines 76–79) fused with the
+// orc_ptr assignment the C++ caller performs on the returned temporary:
+// the value is protected in the scratch slot hp[0] and then transferred
+// into p following the Algorithm 7 assignment rules. The returned handle
+// keeps its tag bits.
+func (d *Domain[T]) Load(tid int, a *Atomic, p *Ptr) arena.Handle {
+	h := d.getProtected(tid, 0, a)
+	d.assign(tid, p, h, 0)
+	return h
+}
+
+// LoadScratch protects the link's current value in the scratch slot and
+// returns it without binding it to a Ptr — the equivalent of using the
+// temporary orc_ptr returned by load() only for a comparison (e.g.
+// `node != tail.load()` in Algorithm 1). The protection lasts until the
+// scratch slot is next reused.
+func (d *Domain[T]) LoadScratch(tid int, a *Atomic) arena.Handle {
+	return d.getProtected(tid, 0, a)
+}
+
+// PublishWithSwap selects how hazardous pointers are published: false
+// uses an atomic store, true an atomic exchange. The paper attributes
+// its Intel-vs-AMD gap to exactly this instruction choice (§5: replacing
+// the exchange with an mfence-backed store made AMD behave like Intel),
+// so the cross-machine figures become an ablation over this knob here.
+// Flip only while the domain is quiescent.
+var PublishWithSwap atomic.Bool
+
+// getProtected is the PTP/HP publication loop over an orc link,
+// publishing the unmarked handle at hp[tid][idx].
+func (d *Domain[T]) getProtected(tid int, idx int32, a *Atomic) arena.Handle {
+	t := d.tl[tid]
+	swap := PublishWithSwap.Load()
+	published := ^uint64(0)
+	for {
+		v := arena.Handle(a.v.Load())
+		u := uint64(v.Unmarked())
+		if u == published {
+			return v
+		}
+		if swap {
+			t.hp[idx].Swap(u)
+		} else {
+			t.hp[idx].Store(u)
+		}
+		published = u
+	}
+}

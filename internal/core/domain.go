@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/arena"
+)
+
+// ForEachLink enumerates the Atomic (orc_atomic) fields of a node. It is
+// the Go stand-in for the destructor calls the C++ runtime makes on
+// orc_atomic members when an object is deleted: Domain.deleteObj visits
+// every link to decrement the referents' counters.
+type ForEachLink[T any] func(obj *T, visit func(*Atomic))
+
+// tlInfo is the per-thread block of Algorithm 3 (struct TLInfo): the
+// hazardous-pointer row, the paired handover row, the usedHaz index
+// refcounts, and the recursive-retire state.
+type tlInfo struct {
+	hp            []atomic.Uint64
+	handovers     []atomic.Uint64
+	usedHaz       []int32
+	retireStarted bool
+	recursive     []arena.Handle
+}
+
+// Domain ties OrcGC to one arena of tracked objects: it owns the
+// PassThePointerOrcGC state (Algorithm 3/5/6) for that object type. All
+// objects of the domain are created with Make and reclaimed automatically
+// once they have no hard links, no protected local references, and no
+// global references.
+type Domain[T any] struct {
+	arena      *arena.Arena[T]
+	links      ForEachLink[T]
+	maxThreads int
+	capHPs     int32
+	maxHPs     atomic.Int64 // watermark over claimed hp indices (≥1: slot 0 is scratch)
+	tl         []*tlInfo
+
+	frees   atomic.Uint64
+	retires atomic.Uint64
+}
+
+// DomainConfig sizes a Domain.
+type DomainConfig struct {
+	MaxThreads int // capacity of the tid space (default 64)
+	MaxHPs     int // hazardous-pointer slots per thread incl. scratch (default 72)
+}
+
+// NewDomain creates an OrcGC domain over a, with links enumerating each
+// node's Atomic fields (may be nil for leaf objects with no links).
+func NewDomain[T any](a *arena.Arena[T], links ForEachLink[T], cfg DomainConfig) *Domain[T] {
+	if cfg.MaxThreads <= 0 {
+		cfg.MaxThreads = 64
+	}
+	if cfg.MaxHPs <= 0 {
+		cfg.MaxHPs = 72
+	}
+	d := &Domain[T]{
+		arena:      a,
+		links:      links,
+		maxThreads: cfg.MaxThreads,
+		capHPs:     int32(cfg.MaxHPs),
+		tl:         make([]*tlInfo, cfg.MaxThreads),
+	}
+	d.maxHPs.Store(1) // scratch slot 0 always scanned
+	for i := range d.tl {
+		d.tl[i] = &tlInfo{
+			hp:        make([]atomic.Uint64, cfg.MaxHPs),
+			handovers: make([]atomic.Uint64, cfg.MaxHPs),
+			usedHaz:   make([]int32, cfg.MaxHPs),
+		}
+	}
+	return d
+}
+
+// Arena exposes the domain's arena (stats, direct reads in tests).
+func (d *Domain[T]) Arena() *arena.Arena[T] { return d.arena }
+
+// Get dereferences a protected handle.
+func (d *Domain[T]) Get(h arena.Handle) *T { return d.arena.Get(h) }
+
+// Make is make_orc<T> (Algorithm 3 lines 31–36): allocate, initialize the
+// _orc word to ORC_ZERO, run the constructor, protect the object in the
+// scratch slot and bind it to p. The object has no hard links yet; it
+// stays alive through p's protection and is reclaimed automatically if
+// dropped without ever being linked.
+func (d *Domain[T]) Make(tid int, init func(*T), p *Ptr) arena.Handle {
+	h, obj := d.arena.Alloc()
+	d.arena.HdrA(h).Store(orcZero)
+	if init != nil {
+		init(obj)
+	}
+	d.tl[tid].hp[0].Store(uint64(h))
+	d.assign(tid, p, h, 0)
+	return h
+}
+
+// InitLink sets an Atomic field of an object under construction (the
+// orc_atomic(T ptr) constructor, Algorithm 4 lines 53–56). target must be
+// nil or protected by the calling thread.
+func (d *Domain[T]) InitLink(tid int, a *Atomic, target arena.Handle) {
+	d.incrementOrc(tid, target)
+	a.v.Store(uint64(target))
+}
+
+// getNewIdx is Algorithm 6 lines 119–127: claim the lowest free hp index
+// at or above start and push the global scan watermark.
+func (d *Domain[T]) getNewIdx(tid int, start int32) int32 {
+	t := d.tl[tid]
+	if start < 1 {
+		start = 1
+	}
+	for idx := start; idx < d.capHPs; idx++ {
+		if t.usedHaz[idx] != 0 {
+			continue
+		}
+		t.usedHaz[idx]++
+		for {
+			cur := d.maxHPs.Load()
+			if cur > int64(idx) || d.maxHPs.CompareAndSwap(cur, int64(idx)+1) {
+				break
+			}
+		}
+		return idx
+	}
+	panic(fmt.Sprintf("core: thread %d exhausted %d hazard-pointer indices", tid, d.capHPs))
+}
+
+// usingIdx is Algorithm 6 lines 129–132: add a sharer to an index.
+func (d *Domain[T]) usingIdx(tid int, idx int32) {
+	if idx == 0 {
+		return
+	}
+	d.tl[tid].usedHaz[idx]++
+}
+
+// clear is Algorithm 5 lines 80–90: drop one use of an index and, when
+// the object loses its last local reference, check whether it became
+// unreachable (counter at ORC_ZERO) and retire it. Note the hazardous
+// pointer itself is deliberately *not* nulled — Proposition 1 needs the
+// object published while the BRETIRED CAS runs, and the stale publication
+// is overwritten on the index's next use (the paper accepts the
+// temporarily parked objects this can cause).
+func (d *Domain[T]) clear(tid int, h arena.Handle, idx int32, reuse bool) {
+	t := d.tl[tid]
+	if !reuse && idx != 0 {
+		t.usedHaz[idx]--
+		if t.usedHaz[idx] != 0 {
+			return
+		}
+	}
+	if h.IsNil() {
+		return
+	}
+	h = h.Unmarked()
+	orc := d.arena.HdrA(h)
+	lorc := orc.Load()
+	if ocnt(lorc) == orcZero {
+		if orc.CompareAndSwap(lorc, lorc+bretired) {
+			d.retire(tid, h)
+		}
+	}
+}
+
+// Stats reports the domain's reclamation counters; arena stats carry the
+// live/high-water memory numbers.
+func (d *Domain[T]) Stats() (retires, frees uint64) {
+	return d.retires.Load(), d.frees.Load()
+}
+
+// FlushAll drains every thread's hazardous pointers and handover slots.
+// Quiescent use only (benchmark teardown, leak accounting in tests):
+// concurrent domain operations would race with it.
+//
+// Draining loops to a fixed point: deleting a parked object decrements
+// its children, and decrementOrc's Proposition-1 publication in hp[0]
+// re-parks each dying child in the scratch handover slot — a long chain
+// therefore surfaces one node per drain round (the paper's acknowledged
+// "parked until the slot is reused" behaviour, compressed here into a
+// loop instead of waiting for future operations).
+func (d *Domain[T]) FlushAll() {
+	clearRows := func() {
+		for tid := 0; tid < d.maxThreads; tid++ {
+			t := d.tl[tid]
+			for i := int32(0); i < d.capHPs; i++ {
+				t.hp[i].Store(0)
+				t.usedHaz[i] = 0
+			}
+		}
+	}
+	clearRows()
+	for {
+		drained := false
+		for tid := 0; tid < d.maxThreads; tid++ {
+			t := d.tl[tid]
+			for i := int32(0); i < d.capHPs; i++ {
+				h := arena.Handle(t.handovers[i].Swap(0))
+				if h.IsNil() {
+					continue
+				}
+				drained = true
+				// Retires during this drain republish only this
+				// thread's scratch slot (decrementOrc's Proposition-1
+				// store); drop it so the scan cannot re-park on it.
+				t.hp[0].Store(0)
+				d.retire(tid, h)
+				// Chain collapse: each delete re-parks its dying child
+				// in this thread's scratch handover slot; drain it in
+				// place so a chain costs one round, not one per node.
+				for {
+					h0 := arena.Handle(t.handovers[0].Swap(0))
+					if h0.IsNil() {
+						break
+					}
+					t.hp[0].Store(0)
+					d.retire(tid, h0)
+				}
+			}
+		}
+		if !drained {
+			return
+		}
+	}
+}

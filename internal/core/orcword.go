@@ -1,0 +1,50 @@
+// Package core implements OrcGC, the paper's automatic lock-free memory
+// reclamation scheme (§4, Algorithms 3–7): per-object reference counting
+// of hard links combined with a pass-the-pointer hazardous-pointer layer
+// protecting local references.
+//
+// The C++ artifact expresses OrcGC through type annotation — nodes extend
+// orc_base, shared links are orc_atomic<T*>, locals are orc_ptr<T*> —
+// and lets constructors/destructors insert the bookkeeping. Go has no
+// destructors, so the same calls appear explicitly: a node embeds a
+// core.Atomic per shared link, local references are core.Ptr values
+// released with Domain.Release, and each Domain is built with a
+// ForEachLink callback that enumerates a node's Atomic fields (the work
+// the C++ compiler performs when it destroys orc_atomic members). Every
+// algorithmic step — the _orc word transitions, the hazardous-pointer
+// publication points, the handover protocol, the retire validation of
+// Lemma 1 — follows the paper line by line.
+package core
+
+// The _orc word (Algorithm 3 lines 1–4) lives in the object's first
+// arena header word. Layout:
+//
+//	bits  0..21  hard-link counter, biased at ORC_ZERO so it can swing
+//	             negative (a CAS increments only after publication, so
+//	             a racing unlink may decrement first)
+//	bit      22  the ORC_ZERO bias bit
+//	bit      23  BRETIRED: set by the thread that takes responsibility
+//	             for retiring the object
+//	bits 24..63  sequence, bumped on every counter update; lets retire
+//	             detect any counter activity during its hazardous-
+//	             pointer scan (Lemma 1)
+const (
+	seqUnit  uint64 = 1 << 24 // SEQ
+	bretired uint64 = 1 << 23 // BRETIRED
+	orcZero  uint64 = 1 << 22 // ORC_ZERO
+	ocntMask uint64 = seqUnit - 1
+)
+
+// ocnt extracts the counter+flags field (Algorithm 3 line 4).
+func ocnt(x uint64) uint64 { return x & ocntMask }
+
+// orcSeq extracts the sequence field (diagnostics only).
+func orcSeq(x uint64) uint64 { return x >> 24 }
+
+// orcCount decodes the signed hard-link count (diagnostics only).
+func orcCount(x uint64) int64 {
+	return int64(x&(bretired-1)) - int64(orcZero)
+}
+
+// orcRetired reports whether BRETIRED is set (diagnostics only).
+func orcRetired(x uint64) bool { return x&bretired != 0 }

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arena"
+)
+
+// These tests pin down the Algorithm 7 assignment semantics: index
+// claiming, sharing via usedHaz, the reuse fast path, and the
+// copy-toward-higher-indices direction rule.
+
+func TestAssignClaimsLowestFreeIndex(t *testing.T) {
+	d := newTestDomain(1)
+	var p1, p2, p3 Ptr
+	d.Make(0, nil, &p1)
+	d.Make(0, nil, &p2)
+	d.Make(0, nil, &p3)
+	if p1.idx != 1 || p2.idx != 2 || p3.idx != 3 {
+		t.Fatalf("indices %d %d %d, want 1 2 3", p1.idx, p2.idx, p3.idx)
+	}
+	d.Release(0, &p2)
+	var p4 Ptr
+	d.Make(0, nil, &p4)
+	if p4.idx != 2 {
+		t.Fatalf("freed index not reclaimed: got %d want 2", p4.idx)
+	}
+	d.Release(0, &p1)
+	d.Release(0, &p3)
+	d.Release(0, &p4)
+	d.FlushAll()
+}
+
+func TestCopyShareCountsUses(t *testing.T) {
+	d := newTestDomain(1)
+	var src Ptr
+	d.Make(0, nil, &src)
+	idx := src.idx
+
+	// Copy from lower (src) into fresh dst: dst claims an index ABOVE
+	// src's per the direction rule... here dst is unattached, so it
+	// shares? No: unattached + srcIdx>0 shares the index.
+	var dst Ptr
+	d.CopyPtr(0, &dst, &src)
+	if dst.idx != idx {
+		t.Fatalf("fresh copy should share the index: %d vs %d", dst.idx, idx)
+	}
+	if d.tl[0].usedHaz[idx] != 2 {
+		t.Fatalf("usedHaz=%d want 2", d.tl[0].usedHaz[idx])
+	}
+	d.Release(0, &src)
+	if d.tl[0].usedHaz[idx] != 1 {
+		t.Fatalf("usedHaz=%d want 1 after one release", d.tl[0].usedHaz[idx])
+	}
+	if !d.arena.Valid(dst.H()) {
+		t.Fatal("object died while dst still holds it")
+	}
+	d.Release(0, &dst)
+	d.FlushAll()
+	if live := d.arena.Stats().Live; live != 0 {
+		t.Fatalf("leak: %d", live)
+	}
+}
+
+func TestAssignDirectionRule(t *testing.T) {
+	d := newTestDomain(1)
+	var root Atomic
+	var a, b Ptr
+	h := d.Make(0, nil, &a) // a at idx 1
+	d.Store(0, &root, h)
+	d.Load(0, &root, &b) // b claims idx 2
+
+	// Assign b into a: b.idx (2) > a.idx (1) → a must move UP to share
+	// b's index, never pull the protection down below the scanner.
+	d.CopyPtr(0, &a, &b)
+	if a.idx < b.idx {
+		t.Fatalf("direction rule violated: a.idx=%d < b.idx=%d", a.idx, b.idx)
+	}
+	d.Release(0, &a)
+	d.Release(0, &b)
+	d.Store(0, &root, arena.Nil)
+	d.FlushAll()
+}
+
+func TestAssignReusePath(t *testing.T) {
+	d := newTestDomain(1)
+	var root1, root2 Atomic
+	var p Ptr
+	h1 := d.Make(0, nil, &p)
+	d.Store(0, &root1, h1)
+	d.Release(0, &p)
+	var p2 Ptr
+	h2 := d.Make(0, nil, &p2)
+	d.Store(0, &root2, h2)
+	d.Release(0, &p2)
+
+	// Repeated loads into one sole-user Ptr must reuse its index (the
+	// reuseIdx fast path), not walk the index space.
+	var lp Ptr
+	d.Load(0, &root1, &lp)
+	first := lp.idx
+	for i := 0; i < 50; i++ {
+		d.Load(0, &root2, &lp)
+		d.Load(0, &root1, &lp)
+	}
+	if lp.idx != first {
+		t.Fatalf("index drifted from %d to %d despite sole use", first, lp.idx)
+	}
+	d.Release(0, &lp)
+	d.Store(0, &root1, arena.Nil)
+	d.Store(0, &root2, arena.Nil)
+	d.FlushAll()
+	if live := d.arena.Stats().Live; live != 0 {
+		t.Fatalf("leak: %d", live)
+	}
+}
+
+func TestSharedIdxNotReusedOnAssign(t *testing.T) {
+	d := newTestDomain(1)
+	var root Atomic
+	var a, b Ptr
+	h := d.Make(0, nil, &a)
+	d.Store(0, &root, h)
+	d.CopyPtr(0, &b, &a) // b shares a's index (usedHaz = 2)
+	sharedIdx := a.idx
+
+	// Loading into a (source at scratch 0 < a.idx, but a is NOT the
+	// sole user) must claim a fresh index, leaving b's protection
+	// untouched at the shared one.
+	d.Load(0, &root, &a)
+	if a.idx == sharedIdx {
+		t.Fatal("assignment reused a shared index")
+	}
+	if d.tl[0].usedHaz[sharedIdx] != 1 {
+		t.Fatalf("b lost its claim: usedHaz=%d", d.tl[0].usedHaz[sharedIdx])
+	}
+	d.Release(0, &a)
+	d.Release(0, &b)
+	d.Store(0, &root, arena.Nil)
+	d.FlushAll()
+}
+
+func TestSetNilDropsProtection(t *testing.T) {
+	d := newTestDomain(1)
+	var p Ptr
+	h := d.Make(0, nil, &p)
+	d.SetNil(0, &p)
+	d.FlushAll()
+	if d.arena.Valid(h) {
+		t.Fatal("object survived SetNil of its only reference")
+	}
+	if !p.IsNil() || p.idx != 0 {
+		t.Fatal("Ptr not reset by SetNil")
+	}
+}
+
+func TestReleaseIdempotentOnEmpty(t *testing.T) {
+	d := newTestDomain(1)
+	var p Ptr
+	d.Release(0, &p) // empty release is a no-op
+	d.Release(0, &p)
+	h := d.Make(0, nil, &p)
+	d.Release(0, &p)
+	d.Release(0, &p) // second release after emptying: no-op
+	d.FlushAll()
+	if d.arena.Valid(h) {
+		t.Fatal("object leaked")
+	}
+}
+
+func TestUnmarkKeepsProtection(t *testing.T) {
+	d := newTestDomain(1)
+	var root Atomic
+	var p Ptr
+	h := d.Make(0, nil, &p)
+	d.Store(0, &root, h.WithMark())
+	var lp Ptr
+	got := d.Load(0, &root, &lp)
+	if !got.Marked() {
+		t.Fatal("mark lost through Load")
+	}
+	lp.Unmark()
+	if lp.H() != h {
+		t.Fatalf("Unmark gave %v want %v", lp.H(), h)
+	}
+	_ = d.Get(lp.H()) // must still be protected
+	d.Release(0, &p)
+	d.Release(0, &lp)
+	d.Store(0, &root, arena.Nil)
+	d.FlushAll()
+}
+
+func TestIndexExhaustionPanics(t *testing.T) {
+	a := arena.New[tNode]()
+	d := NewDomain(a, nil, DomainConfig{MaxThreads: 1, MaxHPs: 4})
+	var keep [8]Ptr
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when hp indices run out")
+		}
+	}()
+	for i := range keep {
+		d.Make(0, nil, &keep[i]) // distinct objects, distinct indices
+	}
+}
+
+func TestScratchNotClaimable(t *testing.T) {
+	d := newTestDomain(1)
+	var p Ptr
+	d.Make(0, nil, &p)
+	if p.idx == 0 {
+		t.Fatal("a named Ptr must never sit on the scratch index")
+	}
+	d.Release(0, &p)
+	d.FlushAll()
+}

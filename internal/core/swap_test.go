@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arena"
+)
+
+// TestPublishWithSwapMode: the exchange-publish ablation must be
+// behaviourally identical — protection, reclamation and reinsertion all
+// work the same under either publication instruction.
+func TestPublishWithSwapMode(t *testing.T) {
+	PublishWithSwap.Store(true)
+	defer PublishWithSwap.Store(false)
+
+	d := newTestDomain(2)
+	var root Atomic
+	var p Ptr
+	h := d.Make(0, func(n *tNode) { n.Val = 3 }, &p)
+	d.Store(0, &root, p.H())
+	d.Release(0, &p)
+
+	var lp Ptr
+	if got := d.Load(1, &root, &lp); got != h {
+		t.Fatalf("Load under swap publish: %v want %v", got, h)
+	}
+	d.Store(0, &root, arena.Nil)
+	if !d.arena.Valid(h) {
+		t.Fatal("protected object freed under swap publish")
+	}
+	d.Release(1, &lp)
+	d.FlushAll()
+	if d.arena.Valid(h) {
+		t.Fatal("object not reclaimed under swap publish")
+	}
+}
+
+// TestChurnUnderSwapPublish reruns the concurrency mill with the
+// ablation active.
+func TestChurnUnderSwapPublish(t *testing.T) {
+	PublishWithSwap.Store(true)
+	defer PublishWithSwap.Store(false)
+
+	d := newTestDomain(4)
+	var root Atomic
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var p Ptr
+		for i := 0; i < 3000; i++ {
+			d.Make(1, func(n *tNode) { n.Val = uint64(i) }, &p)
+			d.Store(1, &root, p.H())
+		}
+		d.Release(1, &p)
+	}()
+	var lp Ptr
+	for i := 0; i < 3000; i++ {
+		if h := d.Load(0, &root, &lp); !h.IsNil() {
+			_ = d.Get(h) // strict arena panics on any UAF
+		}
+	}
+	d.Release(0, &lp)
+	<-done
+	d.Store(0, &root, arena.Nil)
+	d.FlushAll()
+	if live := d.arena.Stats().Live; live != 0 {
+		t.Fatalf("leak under swap publish: %d", live)
+	}
+}

@@ -1,0 +1,165 @@
+// Package hashmap implements Michael's lock-free hash table [18]: a
+// fixed array of bucket roots, each heading a sorted lock-free linked
+// list. The paper's §1 motivates OrcGC with exactly this class of
+// structure — the hash map is the standard beneficiary of the Michael
+// list, and deploying OrcGC on it is again annotation-only. Provided in
+// an OrcGC variant and a manual variant parameterized over every scheme
+// in internal/reclaim (buckets are plain Michael lists, so all manual
+// schemes apply).
+//
+// Unlike the sentinel-framed lists in internal/ds/list, buckets here are
+// nil-terminated from a root Atomic — exercising the no-sentinel shape
+// of the algorithms.
+package hashmap
+
+import (
+	"repro/internal/arena"
+	"repro/internal/core"
+)
+
+// Node is a bucket-list node.
+type Node struct {
+	key  uint64
+	next core.Atomic
+}
+
+func nodeLinks(n *Node, visit func(*core.Atomic)) { visit(&n.next) }
+
+func bucketOf(key uint64, nbuckets int) int {
+	x := key
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(nbuckets))
+}
+
+// OrcMap is the hash map under OrcGC.
+type OrcMap struct {
+	d       *core.Domain[Node]
+	buckets []core.Atomic
+}
+
+// NewOrc builds a map with nbuckets buckets (default 64).
+func NewOrc(tid int, nbuckets int, cfg core.DomainConfig) *OrcMap {
+	if nbuckets <= 0 {
+		nbuckets = 64
+	}
+	a := arena.New[Node]()
+	d := core.NewDomain(a, nodeLinks, cfg)
+	_ = tid
+	return &OrcMap{d: d, buckets: make([]core.Atomic, nbuckets)}
+}
+
+// Domain exposes the OrcGC domain.
+func (m *OrcMap) Domain() *core.Domain[Node] { return m.d }
+
+// Destroy drops every bucket root and flushes; quiescent use only.
+func (m *OrcMap) Destroy(tid int) {
+	for i := range m.buckets {
+		m.d.Store(tid, &m.buckets[i], arena.Nil)
+	}
+	m.d.FlushAll()
+}
+
+// find positions (prevA, cur) around key inside the bucket list; cur is
+// nil when the key belongs at the end. Marked nodes on the way are
+// unlinked (no retire — OrcGC).
+func (m *OrcMap) find(tid int, root *core.Atomic, key uint64, prev, cur, next *core.Ptr) (prevA *core.Atomic, found bool) {
+	d := m.d
+retry:
+	for {
+		prevA = root
+		d.Load(tid, prevA, cur)
+		cur.Unmark()
+		for {
+			if cur.IsNil() {
+				return prevA, false
+			}
+			curN := d.Get(cur.H())
+			nextH := d.Load(tid, &curN.next, next)
+			if prevA.Raw() != cur.H() {
+				continue retry
+			}
+			if !nextH.Marked() {
+				if curN.key >= key {
+					return prevA, curN.key == key
+				}
+				prevA = &curN.next
+				d.CopyPtr(tid, prev, cur)
+			} else {
+				if !d.CAS(tid, prevA, cur.H(), nextH.Unmarked()) {
+					continue retry
+				}
+			}
+			d.CopyPtr(tid, cur, next)
+			cur.Unmark()
+		}
+	}
+}
+
+// Insert adds key; false if present.
+func (m *OrcMap) Insert(tid int, key uint64) bool {
+	d := m.d
+	root := &m.buckets[bucketOf(key, len(m.buckets))]
+	var prev, cur, next, nn core.Ptr
+	defer func() {
+		d.Release(tid, &prev)
+		d.Release(tid, &cur)
+		d.Release(tid, &next)
+		d.Release(tid, &nn)
+	}()
+	for {
+		prevA, found := m.find(tid, root, key, &prev, &cur, &next)
+		if found {
+			return false
+		}
+		d.Make(tid, func(n *Node) { n.key = key }, &nn)
+		d.InitLink(tid, &d.Get(nn.H()).next, cur.H())
+		if d.CAS(tid, prevA, cur.H(), nn.H()) {
+			return true
+		}
+		d.Release(tid, &nn)
+	}
+}
+
+// Remove deletes key; false if absent.
+func (m *OrcMap) Remove(tid int, key uint64) bool {
+	d := m.d
+	root := &m.buckets[bucketOf(key, len(m.buckets))]
+	var prev, cur, next core.Ptr
+	defer func() {
+		d.Release(tid, &prev)
+		d.Release(tid, &cur)
+		d.Release(tid, &next)
+	}()
+	for {
+		prevA, found := m.find(tid, root, key, &prev, &cur, &next)
+		if !found {
+			return false
+		}
+		curN := d.Get(cur.H())
+		nextH := d.Load(tid, &curN.next, &next)
+		if nextH.Marked() {
+			continue
+		}
+		if !d.CAS(tid, &curN.next, nextH, nextH.WithMark()) {
+			continue
+		}
+		if !d.CAS(tid, prevA, cur.H(), nextH.Unmarked()) {
+			m.find(tid, root, key, &prev, &cur, &next)
+		}
+		return true
+	}
+}
+
+// Contains reports membership.
+func (m *OrcMap) Contains(tid int, key uint64) bool {
+	d := m.d
+	root := &m.buckets[bucketOf(key, len(m.buckets))]
+	var prev, cur, next core.Ptr
+	_, found := m.find(tid, root, key, &prev, &cur, &next)
+	d.Release(tid, &prev)
+	d.Release(tid, &cur)
+	d.Release(tid, &next)
+	return found
+}

@@ -1,0 +1,137 @@
+package hashmap
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/reclaim"
+)
+
+// MNode is a manually reclaimed bucket-list node.
+type MNode struct {
+	key  uint64
+	next atomic.Uint64
+}
+
+// HPsNeeded is H for the bucket list: next, cur, prev.
+const HPsNeeded = 3
+
+// ManualMap is Michael's hash table under any manual reclamation scheme.
+type ManualMap struct {
+	a       *arena.Arena[MNode]
+	s       reclaim.Scheme
+	buckets []atomic.Uint64
+}
+
+// NewManual builds a map reclaimed by scheme name.
+func NewManual(scheme string, nbuckets int, cfg reclaim.Config) *ManualMap {
+	if nbuckets <= 0 {
+		nbuckets = 64
+	}
+	a := arena.New[MNode]()
+	cfg.MaxHPs = HPsNeeded
+	m := &ManualMap{a: a, buckets: make([]atomic.Uint64, nbuckets)}
+	m.s = reclaim.New(scheme, reclaim.Env{Free: a.Free, Hdr: a.Header}, cfg)
+	return m
+}
+
+// Scheme exposes the reclamation scheme.
+func (m *ManualMap) Scheme() reclaim.Scheme { return m.s }
+
+// Arena exposes the node arena.
+func (m *ManualMap) Arena() *arena.Arena[MNode] { return m.a }
+
+// find positions (prevA, cur) in the bucket with hazardous pointers
+// held (hp1=cur, hp2=prev node, hp0=successor); cur may be Nil.
+func (m *ManualMap) find(tid int, root *atomic.Uint64, key uint64) (prevA *atomic.Uint64, cur arena.Handle, found bool) {
+retry:
+	for {
+		prevA = root
+		m.s.Clear(tid, 2)
+		cur = m.s.GetProtected(tid, 1, prevA).Unmarked()
+		for {
+			if cur.IsNil() {
+				return prevA, cur, false
+			}
+			curN := m.a.Get(cur)
+			next := m.s.GetProtected(tid, 0, &curN.next)
+			if arena.Handle(prevA.Load()) != cur {
+				continue retry
+			}
+			if !next.Marked() {
+				if curN.key >= key {
+					return prevA, cur, curN.key == key
+				}
+				prevA = &curN.next
+				m.s.Protect(tid, 2, cur)
+			} else {
+				if !prevA.CompareAndSwap(uint64(cur), uint64(next.Unmarked())) {
+					continue retry
+				}
+				m.s.Retire(tid, cur)
+			}
+			cur = next.Unmarked()
+			m.s.Protect(tid, 1, cur)
+		}
+	}
+}
+
+// Insert adds key; false if present.
+func (m *ManualMap) Insert(tid int, key uint64) bool {
+	root := &m.buckets[bucketOf(key, len(m.buckets))]
+	m.s.BeginOp(tid)
+	defer m.s.EndOp(tid)
+	defer m.s.ClearAll(tid)
+	for {
+		prevA, cur, found := m.find(tid, root, key)
+		if found {
+			return false
+		}
+		nh, n := m.a.Alloc()
+		n.key = key
+		n.next.Store(uint64(cur))
+		m.s.OnAlloc(nh)
+		if prevA.CompareAndSwap(uint64(cur), uint64(nh)) {
+			return true
+		}
+		m.a.Free(nh)
+	}
+}
+
+// Remove deletes key; false if absent.
+func (m *ManualMap) Remove(tid int, key uint64) bool {
+	root := &m.buckets[bucketOf(key, len(m.buckets))]
+	m.s.BeginOp(tid)
+	defer m.s.EndOp(tid)
+	defer m.s.ClearAll(tid)
+	for {
+		prevA, cur, found := m.find(tid, root, key)
+		if !found {
+			return false
+		}
+		curN := m.a.Get(cur)
+		next := arena.Handle(curN.next.Load())
+		if next.Marked() {
+			continue
+		}
+		if !curN.next.CompareAndSwap(uint64(next), uint64(next.WithMark())) {
+			continue
+		}
+		if prevA.CompareAndSwap(uint64(cur), uint64(next)) {
+			m.s.Retire(tid, cur)
+		} else {
+			m.find(tid, root, key)
+		}
+		return true
+	}
+}
+
+// Contains reports membership.
+func (m *ManualMap) Contains(tid int, key uint64) bool {
+	root := &m.buckets[bucketOf(key, len(m.buckets))]
+	m.s.BeginOp(tid)
+	_, _, found := m.find(tid, root, key)
+	m.s.ClearAll(tid)
+	m.s.EndOp(tid)
+	return found
+}

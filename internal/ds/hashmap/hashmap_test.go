@@ -1,0 +1,225 @@
+package hashmap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/reclaim"
+)
+
+type set interface {
+	Insert(tid int, key uint64) bool
+	Remove(tid int, key uint64) bool
+	Contains(tid int, key uint64) bool
+}
+
+func maps(threads int) map[string]set {
+	out := map[string]set{
+		"orc": NewOrc(0, 16, core.DomainConfig{MaxThreads: threads}),
+	}
+	for _, scheme := range reclaim.Names() {
+		out["manual-"+scheme] = NewManual(scheme, 16, reclaim.Config{MaxThreads: threads})
+	}
+	return out
+}
+
+func TestBucketOfProperty(t *testing.T) {
+	f := func(key uint64, n uint8) bool {
+		nb := int(n%63) + 1
+		b := bucketOf(key, nb)
+		return b >= 0 && b < nb && b == bucketOf(key, nb) // in range, stable
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for name, m := range maps(2) {
+		t.Run(name, func(t *testing.T) {
+			if m.Contains(0, 10) {
+				t.Fatal("empty map contains 10")
+			}
+			if !m.Insert(0, 10) || m.Insert(0, 10) {
+				t.Fatal("insert semantics")
+			}
+			// collide several keys into the same small bucket space
+			for k := uint64(1); k <= 100; k++ {
+				if k != 10 && !m.Insert(0, k) {
+					t.Fatalf("insert %d", k)
+				}
+			}
+			for k := uint64(1); k <= 100; k++ {
+				if !m.Contains(0, k) {
+					t.Fatalf("missing %d", k)
+				}
+			}
+			if !m.Remove(0, 10) || m.Remove(0, 10) {
+				t.Fatal("remove semantics")
+			}
+			if m.Contains(0, 10) {
+				t.Fatal("10 still present")
+			}
+		})
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	for name, m := range maps(2) {
+		t.Run(name, func(t *testing.T) {
+			model := map[uint64]bool{}
+			rng := rand.New(rand.NewSource(17))
+			for i := 0; i < 25_000; i++ {
+				k := uint64(rng.Intn(500)) + 1
+				switch rng.Intn(3) {
+				case 0:
+					if m.Insert(0, k) != !model[k] {
+						t.Fatalf("insert(%d) vs model at %d", k, i)
+					}
+					model[k] = true
+				case 1:
+					if m.Remove(0, k) != model[k] {
+						t.Fatalf("remove(%d) vs model at %d", k, i)
+					}
+					model[k] = false
+				default:
+					if m.Contains(0, k) != model[k] {
+						t.Fatalf("contains(%d) vs model at %d", k, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	for name, m := range maps(9) {
+		name, m := name, m
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 8
+			const span = 120
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					base := uint64(tid*span) + 1
+					for round := 0; round < 20; round++ {
+						for k := base; k < base+span; k++ {
+							if !m.Insert(tid, k) {
+								panic("owned insert failed")
+							}
+						}
+						for k := base; k < base+span; k++ {
+							if !m.Contains(tid, k) {
+								panic("owned key missing")
+							}
+						}
+						for k := base; k < base+span; k++ {
+							if !m.Remove(tid, k) {
+								panic("owned remove failed")
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestConcurrentShared(t *testing.T) {
+	for name, m := range maps(9) {
+		name, m := name, m
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 8
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					rng := uint64(tid)*104729 + 19
+					for i := 0; i < 8000; i++ {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						k := rng%256 + 1
+						switch rng % 3 {
+						case 0:
+							m.Insert(tid, k)
+						case 1:
+							m.Remove(tid, k)
+						default:
+							m.Contains(tid, k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for k := uint64(1); k <= 256; k++ {
+				m.Remove(0, k)
+				if m.Contains(0, k) {
+					t.Fatalf("key %d survived removal", k)
+				}
+			}
+		})
+	}
+}
+
+func TestOrcMapNoLeak(t *testing.T) {
+	m := NewOrc(0, 8, core.DomainConfig{MaxThreads: 2})
+	for k := uint64(1); k <= 500; k++ {
+		m.Insert(0, k)
+	}
+	for k := uint64(1); k <= 500; k++ {
+		if !m.Remove(0, k) {
+			t.Fatalf("remove %d", k)
+		}
+	}
+	m.Destroy(0)
+	if live := m.Domain().Arena().Stats().Live; live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}
+
+func TestManualMapReclaims(t *testing.T) {
+	for _, scheme := range []string{"hp", "ptb", "ptp", "ebr", "he", "ibr"} {
+		t.Run(scheme, func(t *testing.T) {
+			m := NewManual(scheme, 8, reclaim.Config{MaxThreads: 2})
+			for round := 0; round < 10; round++ {
+				for k := uint64(1); k <= 200; k++ {
+					m.Insert(0, k)
+				}
+				for k := uint64(1); k <= 200; k++ {
+					m.Remove(0, k)
+				}
+			}
+			m.Scheme().Flush(0)
+			if m.Scheme().Stats().Freed == 0 {
+				t.Fatalf("%s freed nothing", scheme)
+			}
+		})
+	}
+}
+
+func TestSingleBucketDegenerate(t *testing.T) {
+	// One bucket = a plain Michael list; all collision paths exercised.
+	m := NewOrc(0, 1, core.DomainConfig{MaxThreads: 2})
+	for k := uint64(1); k <= 64; k++ {
+		if !m.Insert(0, k) {
+			t.Fatalf("insert %d", k)
+		}
+	}
+	for k := uint64(64); k >= 1; k-- {
+		if !m.Remove(0, k) {
+			t.Fatalf("remove %d", k)
+		}
+	}
+	m.Destroy(0)
+	if live := m.Domain().Arena().Stats().Live; live != 0 {
+		t.Fatalf("leaked %d", live)
+	}
+}

@@ -1,0 +1,210 @@
+package kpqueue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+)
+
+// LObj mirrors Obj with plain handle links — the no-reclamation baseline
+// (descriptors and nodes all leak, as the original Java relies on GC).
+type LObj struct {
+	value   uint64
+	enqTid  int32
+	deqTid  atomic.Int32
+	next    atomic.Uint64
+	phase   int64
+	pending bool
+	enqueue bool
+	node    atomic.Uint64
+}
+
+// LeakQueue is the KP queue without reclamation.
+type LeakQueue struct {
+	a     *arena.Arena[LObj]
+	nthr  int
+	head  atomic.Uint64
+	tail  atomic.Uint64
+	state []atomic.Uint64
+}
+
+// NewLeak builds the leaking queue for up to threads helpers.
+func NewLeak(threads int) *LeakQueue {
+	if threads <= 0 {
+		threads = 64
+	}
+	a := arena.New[LObj]()
+	q := &LeakQueue{a: a, nthr: threads, state: make([]atomic.Uint64, threads)}
+	sh, sn := a.Alloc()
+	sn.enqTid = -1
+	sn.deqTid.Store(-1)
+	q.head.Store(uint64(sh))
+	q.tail.Store(uint64(sh))
+	for i := range q.state {
+		dh, dn := a.Alloc()
+		dn.phase, dn.pending, dn.enqueue = -1, false, true
+		q.state[i].Store(uint64(dh))
+	}
+	return q
+}
+
+// Arena exposes the arena (leak accounting).
+func (q *LeakQueue) Arena() *arena.Arena[LObj] { return q.a }
+
+func (q *LeakQueue) get(h arena.Handle) *LObj { return q.a.Get(h) }
+
+func (q *LeakQueue) maxPhase() int64 {
+	maxP := int64(-1)
+	for i := range q.state {
+		if ph := q.get(arena.Handle(q.state[i].Load())).phase; ph > maxP {
+			maxP = ph
+		}
+	}
+	return maxP
+}
+
+func (q *LeakQueue) isStillPending(i int, phase int64) bool {
+	d := q.get(arena.Handle(q.state[i].Load()))
+	return d.pending && d.phase <= phase
+}
+
+func (q *LeakQueue) help(phase int64) {
+	for i := 0; i < q.nthr; i++ {
+		d := q.get(arena.Handle(q.state[i].Load()))
+		if d.pending && d.phase <= phase {
+			if d.enqueue {
+				q.helpEnq(i, phase)
+			} else {
+				q.helpDeq(i, phase)
+			}
+		}
+	}
+}
+
+// Enqueue appends item.
+func (q *LeakQueue) Enqueue(tid int, item uint64) {
+	phase := q.maxPhase() + 1
+	nh, n := q.a.Alloc()
+	n.value, n.enqTid = item, int32(tid)
+	n.deqTid.Store(-1)
+	dh, dn := q.a.Alloc()
+	dn.phase, dn.pending, dn.enqueue = phase, true, true
+	dn.node.Store(uint64(nh))
+	q.state[tid].Store(uint64(dh))
+	q.help(phase)
+	q.helpFinishEnq()
+}
+
+func (q *LeakQueue) helpEnq(i int, phase int64) {
+	for q.isStillPending(i, phase) {
+		last := arena.Handle(q.tail.Load())
+		next := arena.Handle(q.get(last).next.Load())
+		if arena.Handle(q.tail.Load()) != last {
+			continue
+		}
+		if next.IsNil() {
+			if q.isStillPending(i, phase) {
+				node := arena.Handle(q.get(arena.Handle(q.state[i].Load())).node.Load())
+				if !node.IsNil() && q.get(last).next.CompareAndSwap(0, uint64(node)) {
+					q.helpFinishEnq()
+					return
+				}
+			}
+		} else {
+			q.helpFinishEnq()
+		}
+	}
+}
+
+func (q *LeakQueue) helpFinishEnq() {
+	last := arena.Handle(q.tail.Load())
+	next := arena.Handle(q.get(last).next.Load())
+	if next.IsNil() {
+		return
+	}
+	en := int(q.get(next).enqTid)
+	if en >= 0 && en < q.nthr {
+		curDesc := arena.Handle(q.state[en].Load())
+		if arena.Handle(q.tail.Load()) == last && arena.Handle(q.get(curDesc).node.Load()) == next {
+			dh, dn := q.a.Alloc()
+			dn.phase, dn.pending, dn.enqueue = q.get(curDesc).phase, false, true
+			dn.node.Store(uint64(next))
+			q.state[en].CompareAndSwap(uint64(curDesc), uint64(dh))
+		}
+	}
+	q.tail.CompareAndSwap(uint64(last), uint64(next))
+}
+
+// Dequeue removes the oldest item; ok=false when empty.
+func (q *LeakQueue) Dequeue(tid int) (uint64, bool) {
+	phase := q.maxPhase() + 1
+	dh, dn := q.a.Alloc()
+	dn.phase, dn.pending, dn.enqueue = phase, true, false
+	q.state[tid].Store(uint64(dh))
+	q.help(phase)
+	q.helpFinishDeq()
+
+	desc := q.get(arena.Handle(q.state[tid].Load()))
+	node := arena.Handle(desc.node.Load())
+	if node.IsNil() {
+		return 0, false
+	}
+	next := arena.Handle(q.get(node).next.Load())
+	return q.get(next).value, true
+}
+
+func (q *LeakQueue) helpDeq(i int, phase int64) {
+	for q.isStillPending(i, phase) {
+		first := arena.Handle(q.head.Load())
+		last := arena.Handle(q.tail.Load())
+		next := arena.Handle(q.get(first).next.Load())
+		if arena.Handle(q.head.Load()) != first {
+			continue
+		}
+		if first == last {
+			if next.IsNil() {
+				curDesc := arena.Handle(q.state[i].Load())
+				if arena.Handle(q.tail.Load()) == last && q.isStillPending(i, phase) {
+					nh, nd := q.a.Alloc()
+					nd.phase, nd.pending, nd.enqueue = q.get(curDesc).phase, false, false
+					q.state[i].CompareAndSwap(uint64(curDesc), uint64(nh))
+				}
+			} else {
+				q.helpFinishEnq()
+			}
+			continue
+		}
+		curDesc := arena.Handle(q.state[i].Load())
+		node := arena.Handle(q.get(curDesc).node.Load())
+		if !q.isStillPending(i, phase) {
+			break
+		}
+		if arena.Handle(q.head.Load()) == first && node != first {
+			nh, nd := q.a.Alloc()
+			nd.phase, nd.pending, nd.enqueue = q.get(curDesc).phase, true, false
+			nd.node.Store(uint64(first))
+			if !q.state[i].CompareAndSwap(uint64(curDesc), uint64(nh)) {
+				continue
+			}
+		}
+		q.get(first).deqTid.CompareAndSwap(-1, int32(i))
+		q.helpFinishDeq()
+	}
+}
+
+func (q *LeakQueue) helpFinishDeq() {
+	first := arena.Handle(q.head.Load())
+	next := arena.Handle(q.get(first).next.Load())
+	dq := int(q.get(first).deqTid.Load())
+	if dq < 0 || dq >= q.nthr {
+		return
+	}
+	curDesc := arena.Handle(q.state[dq].Load())
+	if arena.Handle(q.head.Load()) == first && !next.IsNil() {
+		nh, nd := q.a.Alloc()
+		nd.phase, nd.pending, nd.enqueue = q.get(curDesc).phase, false, false
+		nd.node.Store(q.get(curDesc).node.Load())
+		q.state[dq].CompareAndSwap(uint64(curDesc), uint64(nh))
+		q.head.CompareAndSwap(uint64(first), uint64(next))
+	}
+}

@@ -1,0 +1,349 @@
+// Package kpqueue implements the Kogan–Petrank wait-free MPMC queue
+// [17]: phase-numbered operation descriptors with universal helping.
+// This is the paper's first-obstacle structure — a node's removal can be
+// completed by any helper, so no thread can know when to call retire(),
+// and no manual lock-free scheme in Table 1 applies to the original
+// algorithm. OrcGC reclaims both the nodes and the descriptors purely
+// from hard-link counts; the leak variant is the performance baseline.
+//
+// Node and descriptor share one arena object type (Obj) so that
+// descriptor→node hard links stay inside a single OrcGC domain.
+package kpqueue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+)
+
+// Obj is either a queue node or an operation descriptor.
+type Obj struct {
+	// node fields
+	value  uint64
+	enqTid int32        // creator thread, immutable
+	deqTid atomic.Int32 // claimed by the dequeue that removes this node
+	next   core.Atomic
+	// descriptor fields (immutable once published)
+	phase   int64
+	pending bool
+	enqueue bool
+	node    core.Atomic // descriptor's node reference
+}
+
+func objLinks(o *Obj, visit func(*core.Atomic)) {
+	visit(&o.next)
+	visit(&o.node)
+}
+
+// OrcQueue is the KP queue under OrcGC.
+type OrcQueue struct {
+	d     *core.Domain[Obj]
+	nthr  int
+	head  core.Atomic
+	tail  core.Atomic
+	state []core.Atomic // one descriptor slot per thread
+}
+
+// NewOrc builds the queue with its sentinel node and idle descriptors.
+func NewOrc(tid int, cfg core.DomainConfig) *OrcQueue {
+	a := arena.New[Obj]()
+	d := core.NewDomain(a, objLinks, cfg)
+	q := &OrcQueue{d: d, nthr: cfg.MaxThreads}
+	if q.nthr <= 0 {
+		q.nthr = 64
+	}
+	q.state = make([]core.Atomic, q.nthr)
+
+	var p core.Ptr
+	d.Make(tid, func(o *Obj) {
+		o.enqTid = -1
+		o.deqTid.Store(-1)
+	}, &p) // sentinel
+	d.Store(tid, &q.head, p.H())
+	d.Store(tid, &q.tail, p.H())
+	d.Release(tid, &p)
+	for i := range q.state {
+		d.Make(tid, func(o *Obj) {
+			o.phase = -1
+			o.pending = false
+			o.enqueue = true
+		}, &p)
+		d.Store(tid, &q.state[i], p.H())
+		d.Release(tid, &p)
+	}
+	return q
+}
+
+// Domain exposes the OrcGC domain.
+func (q *OrcQueue) Domain() *core.Domain[Obj] { return q.d }
+
+func (q *OrcQueue) maxPhase(tid int) int64 {
+	d := q.d
+	var p core.Ptr
+	maxP := int64(-1)
+	for i := range q.state {
+		h := d.Load(tid, &q.state[i], &p)
+		if !h.IsNil() {
+			if ph := d.Get(h).phase; ph > maxP {
+				maxP = ph
+			}
+		}
+	}
+	d.Release(tid, &p)
+	return maxP
+}
+
+func (q *OrcQueue) isStillPending(tid, i int, phase int64) bool {
+	d := q.d
+	var p core.Ptr
+	h := d.Load(tid, &q.state[i], &p)
+	ok := false
+	if !h.IsNil() {
+		dd := d.Get(h)
+		ok = dd.pending && dd.phase <= phase
+	}
+	d.Release(tid, &p)
+	return ok
+}
+
+func (q *OrcQueue) help(tid int, phase int64) {
+	d := q.d
+	var p core.Ptr
+	for i := 0; i < q.nthr; i++ {
+		h := d.Load(tid, &q.state[i], &p)
+		if h.IsNil() {
+			continue
+		}
+		dd := d.Get(h)
+		if dd.pending && dd.phase <= phase {
+			if dd.enqueue {
+				q.helpEnq(tid, i, phase)
+			} else {
+				q.helpDeq(tid, i, phase)
+			}
+		}
+	}
+	d.Release(tid, &p)
+}
+
+// Enqueue appends item; wait-free through helping.
+func (q *OrcQueue) Enqueue(tid int, item uint64) {
+	d := q.d
+	phase := q.maxPhase(tid) + 1
+	var node, desc core.Ptr
+	d.Make(tid, func(o *Obj) {
+		o.value = item
+		o.enqTid = int32(tid)
+		o.deqTid.Store(-1)
+	}, &node)
+	d.Make(tid, func(o *Obj) {
+		o.phase = phase
+		o.pending = true
+		o.enqueue = true
+	}, &desc)
+	d.InitLink(tid, &d.Get(desc.H()).node, node.H())
+	d.Store(tid, &q.state[tid], desc.H())
+	d.Release(tid, &node)
+	d.Release(tid, &desc)
+	q.help(tid, phase)
+	q.helpFinishEnq(tid)
+}
+
+func (q *OrcQueue) helpEnq(tid, i int, phase int64) {
+	d := q.d
+	var last, next, dp, np core.Ptr
+	defer func() {
+		d.Release(tid, &last)
+		d.Release(tid, &next)
+		d.Release(tid, &dp)
+		d.Release(tid, &np)
+	}()
+	for q.isStillPending(tid, i, phase) {
+		lastH := d.Load(tid, &q.tail, &last)
+		nextH := d.Load(tid, &d.Get(lastH).next, &next)
+		if q.tail.Raw() != lastH {
+			continue
+		}
+		if nextH.IsNil() {
+			if q.isStillPending(tid, i, phase) {
+				dh := d.Load(tid, &q.state[i], &dp)
+				nh := d.Load(tid, &d.Get(dh).node, &np)
+				if !nh.IsNil() && d.CAS(tid, &d.Get(lastH).next, arena.Nil, nh) {
+					q.helpFinishEnq(tid)
+					return
+				}
+			}
+		} else {
+			q.helpFinishEnq(tid)
+		}
+	}
+}
+
+func (q *OrcQueue) helpFinishEnq(tid int) {
+	d := q.d
+	var last, next, dp, nd core.Ptr
+	defer func() {
+		d.Release(tid, &last)
+		d.Release(tid, &next)
+		d.Release(tid, &dp)
+		d.Release(tid, &nd)
+	}()
+	lastH := d.Load(tid, &q.tail, &last)
+	nextH := d.Load(tid, &d.Get(lastH).next, &next)
+	if nextH.IsNil() {
+		return
+	}
+	en := int(d.Get(nextH).enqTid)
+	if en >= 0 && en < q.nthr {
+		dh := d.Load(tid, &q.state[en], &dp)
+		desc := d.Get(dh)
+		if q.tail.Raw() == lastH && desc.node.Raw().Unmarked() == nextH.Unmarked() {
+			d.Make(tid, func(o *Obj) {
+				o.phase = desc.phase
+				o.pending = false
+				o.enqueue = true
+			}, &nd)
+			d.InitLink(tid, &d.Get(nd.H()).node, nextH)
+			d.CAS(tid, &q.state[en], dh, nd.H())
+		}
+	}
+	d.CAS(tid, &q.tail, lastH, nextH)
+}
+
+// Dequeue removes the oldest item; ok=false when empty.
+func (q *OrcQueue) Dequeue(tid int) (uint64, bool) {
+	d := q.d
+	phase := q.maxPhase(tid) + 1
+	var desc, dp, np, vp core.Ptr
+	defer func() {
+		d.Release(tid, &dp)
+		d.Release(tid, &np)
+		d.Release(tid, &vp)
+	}()
+	d.Make(tid, func(o *Obj) {
+		o.phase = phase
+		o.pending = true
+		o.enqueue = false
+	}, &desc)
+	d.Store(tid, &q.state[tid], desc.H())
+	d.Release(tid, &desc)
+	q.help(tid, phase)
+	q.helpFinishDeq(tid)
+
+	dh := d.Load(tid, &q.state[tid], &dp)
+	nodeH := d.Load(tid, &d.Get(dh).node, &np)
+	if nodeH.IsNil() {
+		return 0, false // recorded as empty
+	}
+	nextH := d.Load(tid, &d.Get(nodeH).next, &vp)
+	return d.Get(nextH).value, true
+}
+
+func (q *OrcQueue) helpDeq(tid, i int, phase int64) {
+	d := q.d
+	var first, last, next, dp, np, nd core.Ptr
+	defer func() {
+		d.Release(tid, &first)
+		d.Release(tid, &last)
+		d.Release(tid, &next)
+		d.Release(tid, &dp)
+		d.Release(tid, &np)
+		d.Release(tid, &nd)
+	}()
+	for q.isStillPending(tid, i, phase) {
+		firstH := d.Load(tid, &q.head, &first)
+		lastH := d.Load(tid, &q.tail, &last)
+		nextH := d.Load(tid, &d.Get(firstH).next, &next)
+		if q.head.Raw() != firstH {
+			continue
+		}
+		if firstH == lastH {
+			if nextH.IsNil() { // empty
+				dh := d.Load(tid, &q.state[i], &dp)
+				desc := d.Get(dh)
+				if q.tail.Raw() == lastH && q.isStillPending(tid, i, phase) {
+					d.Make(tid, func(o *Obj) {
+						o.phase = desc.phase
+						o.pending = false
+						o.enqueue = false
+					}, &nd)
+					d.CAS(tid, &q.state[i], dh, nd.H())
+					d.Release(tid, &nd)
+				}
+			} else {
+				q.helpFinishEnq(tid)
+			}
+			continue
+		}
+		dh := d.Load(tid, &q.state[i], &dp)
+		desc := d.Get(dh)
+		nodeH := d.Load(tid, &desc.node, &np)
+		if !q.isStillPending(tid, i, phase) {
+			break
+		}
+		if q.head.Raw() == firstH && nodeH.Unmarked() != firstH.Unmarked() {
+			// Record the current head as this dequeue's candidate.
+			d.Make(tid, func(o *Obj) {
+				o.phase = desc.phase
+				o.pending = true
+				o.enqueue = false
+			}, &nd)
+			d.InitLink(tid, &d.Get(nd.H()).node, firstH)
+			if !d.CAS(tid, &q.state[i], dh, nd.H()) {
+				d.Release(tid, &nd)
+				continue
+			}
+			d.Release(tid, &nd)
+		}
+		d.Get(firstH).deqTid.CompareAndSwap(-1, int32(i))
+		q.helpFinishDeq(tid)
+	}
+}
+
+func (q *OrcQueue) helpFinishDeq(tid int) {
+	d := q.d
+	var first, next, dp, np, nd core.Ptr
+	defer func() {
+		d.Release(tid, &first)
+		d.Release(tid, &next)
+		d.Release(tid, &dp)
+		d.Release(tid, &np)
+		d.Release(tid, &nd)
+	}()
+	firstH := d.Load(tid, &q.head, &first)
+	nextH := d.Load(tid, &d.Get(firstH).next, &next)
+	dq := int(d.Get(firstH).deqTid.Load())
+	if dq < 0 || dq >= q.nthr {
+		return
+	}
+	dh := d.Load(tid, &q.state[dq], &dp)
+	desc := d.Get(dh)
+	if q.head.Raw() == firstH && !nextH.IsNil() {
+		nodeH := d.Load(tid, &desc.node, &np)
+		d.Make(tid, func(o *Obj) {
+			o.phase = desc.phase
+			o.pending = false
+			o.enqueue = false
+		}, &nd)
+		d.InitLink(tid, &d.Get(nd.H()).node, nodeH)
+		d.CAS(tid, &q.state[dq], dh, nd.H())
+		d.CAS(tid, &q.head, firstH, nextH)
+	}
+}
+
+// Drain empties the queue and drops the roots; quiescent use only.
+func (q *OrcQueue) Drain(tid int) {
+	for {
+		if _, ok := q.Dequeue(tid); !ok {
+			break
+		}
+	}
+	d := q.d
+	for i := range q.state {
+		d.Store(tid, &q.state[i], arena.Nil)
+	}
+	d.Store(tid, &q.tail, arena.Nil)
+	d.Store(tid, &q.head, arena.Nil)
+	d.FlushAll()
+}

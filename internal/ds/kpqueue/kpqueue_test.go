@@ -1,0 +1,164 @@
+package kpqueue
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+type q interface {
+	Enqueue(tid int, item uint64)
+	Dequeue(tid int) (uint64, bool)
+}
+
+func queues(threads int) map[string]q {
+	return map[string]q{
+		"orc":  NewOrc(0, core.DomainConfig{MaxThreads: threads}),
+		"leak": NewLeak(threads),
+	}
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	for name, qu := range queues(4) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := qu.Dequeue(0); ok {
+				t.Fatal("fresh queue not empty")
+			}
+			for i := uint64(1); i <= 200; i++ {
+				qu.Enqueue(0, i)
+			}
+			for i := uint64(1); i <= 200; i++ {
+				v, ok := qu.Dequeue(0)
+				if !ok || v != i {
+					t.Fatalf("dequeue %d: got %d ok=%v", i, v, ok)
+				}
+			}
+			if _, ok := qu.Dequeue(0); ok {
+				t.Fatal("queue should be empty")
+			}
+		})
+	}
+}
+
+func TestAlternatingOps(t *testing.T) {
+	for name, qu := range queues(4) {
+		t.Run(name, func(t *testing.T) {
+			for round := uint64(0); round < 500; round++ {
+				qu.Enqueue(0, round)
+				v, ok := qu.Dequeue(1)
+				if !ok || v != round {
+					t.Fatalf("round %d: got %d ok=%v", round, v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	for name, qu := range queues(7) {
+		name, qu := name, qu
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 6
+			const per = 2000 // helping is O(threads) per op; keep moderate
+			var mu sync.Mutex
+			sumIn, sumOut, cnt := uint64(0), uint64(0), 0
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					var in, out uint64
+					var c int
+					for i := 0; i < per; i++ {
+						v := uint64(tid*per + i + 1)
+						qu.Enqueue(tid, v)
+						in += v
+						if got, ok := qu.Dequeue(tid); ok {
+							out += got
+							c++
+						}
+					}
+					mu.Lock()
+					sumIn += in
+					sumOut += out
+					cnt += c
+					mu.Unlock()
+				}(w)
+			}
+			wg.Wait()
+			for {
+				v, ok := qu.Dequeue(0)
+				if !ok {
+					break
+				}
+				sumOut += v
+				cnt++
+			}
+			if cnt != workers*per {
+				t.Fatalf("count %d want %d", cnt, workers*per)
+			}
+			if sumIn != sumOut {
+				t.Fatalf("sum in=%d out=%d", sumIn, sumOut)
+			}
+		})
+	}
+}
+
+// TestOrcReclaims: after drain + flush nothing remains but the roots we
+// dropped; the leak variant keeps everything (nodes + descriptors).
+func TestOrcReclaims(t *testing.T) {
+	qo := NewOrc(0, core.DomainConfig{MaxThreads: 4})
+	for i := uint64(1); i <= 500; i++ {
+		qo.Enqueue(0, i)
+	}
+	for i := uint64(1); i <= 500; i++ {
+		qo.Dequeue(1)
+	}
+	qo.Drain(0)
+	if live := qo.Domain().Arena().Stats().Live; live != 0 {
+		t.Fatalf("orc KP queue leaked %d objects", live)
+	}
+
+	ql := NewLeak(4)
+	for i := uint64(1); i <= 500; i++ {
+		ql.Enqueue(0, i)
+	}
+	for i := uint64(1); i <= 500; i++ {
+		ql.Dequeue(1)
+	}
+	if live := ql.Arena().Stats().Live; live < 500 {
+		t.Fatalf("leak variant unexpectedly reclaimed (live=%d)", live)
+	}
+}
+
+// TestPerProducerOrder under concurrency.
+func TestPerProducerOrder(t *testing.T) {
+	qu := NewOrc(0, core.DomainConfig{MaxThreads: 5})
+	const producers = 3
+	const per = 1500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				qu.Enqueue(tid, uint64(tid)<<32|uint64(i))
+			}
+		}(p + 1)
+	}
+	wg.Wait()
+	last := map[uint64]int64{}
+	for {
+		v, ok := qu.Dequeue(0)
+		if !ok {
+			break
+		}
+		p, seq := v>>32, int64(v&0xffffffff)
+		if prev, seen := last[p]; seen && seq <= prev {
+			t.Fatalf("producer %d out of order: %d after %d", p, seq, prev)
+		}
+		last[p] = seq
+	}
+}

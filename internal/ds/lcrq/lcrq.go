@@ -1,0 +1,225 @@
+// Package lcrq implements the Morrison–Afek LCRQ [21]: a linked list of
+// circular-ring queue (CRQ) segments, each a power-of-two ring of cells
+// driven by fetch-and-add tickets. The original CRQ cell is a
+// (index, value) pair mutated with CAS2; per DESIGN.md the cell here is
+// one uint64 — safe bit (63), 31-bit turn, 32-bit value — so a plain
+// CAS carries the same state machine and values are limited to 32 bits
+// (the benchmarks', and the paper's, payloads are small integers).
+//
+// Segment reclamation is the part the paper cares about: dequeuers that
+// drain a segment unlink it from the segment list, and under OrcGC the
+// lost hard link reclaims it with no retire call; the leak variant is
+// the usual baseline.
+package lcrq
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+)
+
+// RingSize is the number of cells per CRQ segment.
+const RingSize = 256
+
+const (
+	emptyVal  = uint64(0xFFFFFFFF) // cell holds no value
+	safeBit   = uint64(1) << 63
+	turnShift = 32
+	turnMask  = uint64(0x7FFFFFFF) << turnShift
+	closedBit = uint64(1) << 63 // on the segment's tail ticket counter
+)
+
+func packCell(safe bool, turn uint64, val uint64) uint64 {
+	w := (turn << turnShift & turnMask) | (val & 0xFFFFFFFF)
+	if safe {
+		w |= safeBit
+	}
+	return w
+}
+
+func cellSafe(w uint64) bool   { return w&safeBit != 0 }
+func cellTurn(w uint64) uint64 { return (w & turnMask) >> turnShift }
+func cellVal(w uint64) uint64  { return w & 0xFFFFFFFF }
+
+// Seg is one CRQ segment.
+type Seg struct {
+	head atomic.Uint64 // dequeue ticket
+	tail atomic.Uint64 // enqueue ticket | closedBit
+	next core.Atomic
+	ring [RingSize]atomic.Uint64
+}
+
+func segLinks(s *Seg, visit func(*core.Atomic)) { visit(&s.next) }
+
+func initSeg(s *Seg, firstVal uint64) {
+	for i := range s.ring {
+		s.ring[i].Store(packCell(true, uint64(i), emptyVal))
+	}
+	if firstVal != emptyVal {
+		s.ring[0].Store(packCell(true, 0, firstVal))
+		s.tail.Store(1)
+	}
+}
+
+// enq returns false when the segment is closed.
+func (s *Seg) enq(v uint64) bool {
+	for {
+		t := s.tail.Add(1) - 1
+		if t&closedBit != 0 {
+			return false
+		}
+		cell := &s.ring[t%RingSize]
+		w := cell.Load()
+		if cellVal(w) == emptyVal && cellTurn(w) <= t &&
+			(cellSafe(w) || s.head.Load() <= t) {
+			if cell.CompareAndSwap(w, packCell(true, t, v)) {
+				return true
+			}
+		}
+		if t-s.head.Load() >= RingSize {
+			s.closeSeg()
+			return false
+		}
+	}
+}
+
+func (s *Seg) closeSeg() {
+	for {
+		t := s.tail.Load()
+		if t&closedBit != 0 {
+			return
+		}
+		if s.tail.CompareAndSwap(t, t|closedBit) {
+			return
+		}
+	}
+}
+
+// deq returns (emptyVal, false) when the segment has nothing left.
+func (s *Seg) deq() (uint64, bool) {
+	for {
+		h := s.head.Add(1) - 1
+		cell := &s.ring[h%RingSize]
+		for {
+			w := cell.Load()
+			turn, val := cellTurn(w), cellVal(w)
+			if val != emptyVal {
+				if turn == h {
+					// Consume and recycle the cell for turn h+RingSize.
+					if cell.CompareAndSwap(w, packCell(cellSafe(w), h+RingSize, emptyVal)) {
+						return val, true
+					}
+					continue
+				}
+				// A straggling enqueue from an earlier turn: mark the
+				// cell unsafe so that enqueue never succeeds blindly.
+				if cell.CompareAndSwap(w, packCell(false, turn, val)) {
+					break
+				}
+				continue
+			}
+			// Empty: advance the cell's turn so a slow enqueuer with
+			// ticket h cannot deposit into the past.
+			if cell.CompareAndSwap(w, packCell(cellSafe(w), h+RingSize, emptyVal)) {
+				break
+			}
+		}
+		t := s.tail.Load() &^ closedBit
+		if t <= h+1 {
+			return emptyVal, false // drained
+		}
+	}
+}
+
+// OrcQueue is the LCRQ with OrcGC-managed segments.
+type OrcQueue struct {
+	d    *core.Domain[Seg]
+	head core.Atomic
+	tail core.Atomic
+}
+
+// NewOrc builds an empty queue with one open segment.
+func NewOrc(tid int, cfg core.DomainConfig) *OrcQueue {
+	a := arena.New[Seg](arena.WithChunkSize(64))
+	d := core.NewDomain(a, segLinks, cfg)
+	q := &OrcQueue{d: d}
+	var p core.Ptr
+	d.Make(tid, func(s *Seg) { initSeg(s, emptyVal) }, &p)
+	d.Store(tid, &q.head, p.H())
+	d.Store(tid, &q.tail, p.H())
+	d.Release(tid, &p)
+	return q
+}
+
+// Domain exposes the OrcGC domain.
+func (q *OrcQueue) Domain() *core.Domain[Seg] { return q.d }
+
+// Enqueue appends a 32-bit item.
+func (q *OrcQueue) Enqueue(tid int, item uint64) {
+	d := q.d
+	var crq, next, nseg core.Ptr
+	defer func() {
+		d.Release(tid, &crq)
+		d.Release(tid, &next)
+		d.Release(tid, &nseg)
+	}()
+	for {
+		d.Load(tid, &q.tail, &crq)
+		seg := d.Get(crq.H())
+		if nh := d.Load(tid, &seg.next, &next); !nh.IsNil() {
+			d.CAS(tid, &q.tail, crq.H(), next.H())
+			continue
+		}
+		if seg.enq(item) {
+			return
+		}
+		// Closed: splice in a fresh segment carrying the item.
+		d.Make(tid, func(s *Seg) { initSeg(s, item) }, &nseg)
+		if d.CAS(tid, &seg.next, arena.Nil, nseg.H()) {
+			d.CAS(tid, &q.tail, crq.H(), nseg.H())
+			return
+		}
+		d.Release(tid, &nseg)
+	}
+}
+
+// Dequeue removes the oldest item; ok=false when empty.
+func (q *OrcQueue) Dequeue(tid int) (uint64, bool) {
+	d := q.d
+	var crq, next core.Ptr
+	defer func() {
+		d.Release(tid, &crq)
+		d.Release(tid, &next)
+	}()
+	for {
+		d.Load(tid, &q.head, &crq)
+		seg := d.Get(crq.H())
+		if v, ok := seg.deq(); ok {
+			return v, true
+		}
+		if nh := d.Load(tid, &seg.next, &next); nh.IsNil() {
+			return 0, false
+		}
+		// Re-check after observing a successor (an enqueue may have
+		// landed between the drain and the next-load).
+		if v, ok := seg.deq(); ok {
+			return v, true
+		}
+		// Retire the drained segment by unlinking it: under OrcGC the
+		// hard-link drop is the whole reclamation story.
+		d.CAS(tid, &q.head, crq.H(), next.H())
+	}
+}
+
+// Drain empties the queue and releases the roots; quiescent use only.
+func (q *OrcQueue) Drain(tid int) {
+	for {
+		if _, ok := q.Dequeue(tid); !ok {
+			break
+		}
+	}
+	q.d.Store(tid, &q.tail, arena.Nil)
+	q.d.Store(tid, &q.head, arena.Nil)
+	q.d.FlushAll()
+}

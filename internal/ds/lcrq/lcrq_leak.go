@@ -1,0 +1,146 @@
+package lcrq
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+)
+
+// LSeg is a segment of the leaking LCRQ: identical ring protocol, plain
+// handle links, no reclamation — the normalization baseline of
+// Figures 1 and 2.
+type LSeg struct {
+	head atomic.Uint64
+	tail atomic.Uint64
+	next atomic.Uint64 // arena.Handle
+	ring [RingSize]atomic.Uint64
+}
+
+func initLSeg(s *LSeg, firstVal uint64) {
+	for i := range s.ring {
+		s.ring[i].Store(packCell(true, uint64(i), emptyVal))
+	}
+	if firstVal != emptyVal {
+		s.ring[0].Store(packCell(true, 0, firstVal))
+		s.tail.Store(1)
+	}
+}
+
+func (s *LSeg) enq(v uint64) bool {
+	for {
+		t := s.tail.Add(1) - 1
+		if t&closedBit != 0 {
+			return false
+		}
+		cell := &s.ring[t%RingSize]
+		w := cell.Load()
+		if cellVal(w) == emptyVal && cellTurn(w) <= t &&
+			(cellSafe(w) || s.head.Load() <= t) {
+			if cell.CompareAndSwap(w, packCell(true, t, v)) {
+				return true
+			}
+		}
+		if t-s.head.Load() >= RingSize {
+			for {
+				cur := s.tail.Load()
+				if cur&closedBit != 0 || s.tail.CompareAndSwap(cur, cur|closedBit) {
+					break
+				}
+			}
+			return false
+		}
+	}
+}
+
+func (s *LSeg) deq() (uint64, bool) {
+	for {
+		h := s.head.Add(1) - 1
+		cell := &s.ring[h%RingSize]
+		for {
+			w := cell.Load()
+			turn, val := cellTurn(w), cellVal(w)
+			if val != emptyVal {
+				if turn == h {
+					if cell.CompareAndSwap(w, packCell(cellSafe(w), h+RingSize, emptyVal)) {
+						return val, true
+					}
+					continue
+				}
+				if cell.CompareAndSwap(w, packCell(false, turn, val)) {
+					break
+				}
+				continue
+			}
+			if cell.CompareAndSwap(w, packCell(cellSafe(w), h+RingSize, emptyVal)) {
+				break
+			}
+		}
+		t := s.tail.Load() &^ closedBit
+		if t <= h+1 {
+			return emptyVal, false
+		}
+	}
+}
+
+// LeakQueue is the LCRQ without memory reclamation.
+type LeakQueue struct {
+	a    *arena.Arena[LSeg]
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// NewLeak builds an empty leaking LCRQ.
+func NewLeak() *LeakQueue {
+	a := arena.New[LSeg](arena.WithChunkSize(64))
+	q := &LeakQueue{a: a}
+	h, s := a.Alloc()
+	initLSeg(s, emptyVal)
+	q.head.Store(uint64(h))
+	q.tail.Store(uint64(h))
+	return q
+}
+
+// Arena exposes the segment arena (leak accounting).
+func (q *LeakQueue) Arena() *arena.Arena[LSeg] { return q.a }
+
+// Enqueue appends a 32-bit item.
+func (q *LeakQueue) Enqueue(_ int, item uint64) {
+	for {
+		crq := arena.Handle(q.tail.Load())
+		seg := q.a.Get(crq)
+		if next := arena.Handle(seg.next.Load()); !next.IsNil() {
+			q.tail.CompareAndSwap(uint64(crq), uint64(next))
+			continue
+		}
+		if seg.enq(item) {
+			return
+		}
+		nh, ns := q.a.Alloc()
+		initLSeg(ns, item)
+		if seg.next.CompareAndSwap(0, uint64(nh)) {
+			q.tail.CompareAndSwap(uint64(crq), uint64(nh))
+			return
+		}
+		q.a.Free(nh) // never published
+	}
+}
+
+// Dequeue removes the oldest item; ok=false when empty.
+func (q *LeakQueue) Dequeue(_ int) (uint64, bool) {
+	for {
+		crq := arena.Handle(q.head.Load())
+		seg := q.a.Get(crq)
+		if v, ok := seg.deq(); ok {
+			return v, true
+		}
+		next := arena.Handle(seg.next.Load())
+		if next.IsNil() {
+			return 0, false
+		}
+		if v, ok := seg.deq(); ok {
+			return v, true
+		}
+		q.head.CompareAndSwap(uint64(crq), uint64(next))
+		// The drained segment is never freed: this is the leak.
+	}
+}

@@ -1,0 +1,199 @@
+package lcrq
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestCellPackingProperty(t *testing.T) {
+	f := func(safe bool, turn uint32, val uint32) bool {
+		tr := uint64(turn) & 0x7FFFFFFF
+		w := packCell(safe, tr, uint64(val))
+		return cellSafe(w) == safe && cellTurn(w) == tr && cellVal(w) == uint64(val)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type q interface {
+	Enqueue(tid int, item uint64)
+	Dequeue(tid int) (uint64, bool)
+}
+
+func queues(threads int) map[string]q {
+	return map[string]q{
+		"orc":  NewOrc(0, core.DomainConfig{MaxThreads: threads}),
+		"leak": NewLeak(),
+	}
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	for name, qu := range queues(2) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := qu.Dequeue(0); ok {
+				t.Fatal("fresh queue not empty")
+			}
+			for i := uint64(1); i <= 1000; i++ {
+				qu.Enqueue(0, i)
+			}
+			for i := uint64(1); i <= 1000; i++ {
+				v, ok := qu.Dequeue(0)
+				if !ok || v != i {
+					t.Fatalf("dequeue %d: got %d ok=%v", i, v, ok)
+				}
+			}
+			if _, ok := qu.Dequeue(0); ok {
+				t.Fatal("queue should be empty")
+			}
+		})
+	}
+}
+
+func TestSegmentRollover(t *testing.T) {
+	for name, qu := range queues(2) {
+		t.Run(name, func(t *testing.T) {
+			// Push several rings' worth to force segment splicing.
+			n := uint64(RingSize*5 + 17)
+			for i := uint64(1); i <= n; i++ {
+				qu.Enqueue(0, i)
+			}
+			for i := uint64(1); i <= n; i++ {
+				v, ok := qu.Dequeue(0)
+				if !ok || v != i {
+					t.Fatalf("at %d: got %d ok=%v", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestInterleavedEnqDeq(t *testing.T) {
+	for name, qu := range queues(2) {
+		t.Run(name, func(t *testing.T) {
+			next := uint64(1)
+			expect := uint64(1)
+			for round := 0; round < 2000; round++ {
+				qu.Enqueue(0, next)
+				next++
+				qu.Enqueue(0, next)
+				next++
+				v, ok := qu.Dequeue(0)
+				if !ok || v != expect {
+					t.Fatalf("round %d: got %d want %d", round, v, expect)
+				}
+				expect++
+			}
+		})
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	for name, qu := range queues(9) {
+		name, qu := name, qu
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 8
+			const per = 20_000
+			var sumIn, sumOut, outCount uint64
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					var in, out, cnt uint64
+					for i := 0; i < per; i++ {
+						v := uint64(tid*per+i) & 0xFFFFFFF
+						qu.Enqueue(tid, v)
+						in += v
+						if got, ok := qu.Dequeue(tid); ok {
+							out += got
+							cnt++
+						}
+					}
+					mu.Lock()
+					sumIn += in
+					sumOut += out
+					outCount += cnt
+					mu.Unlock()
+				}(w)
+			}
+			wg.Wait()
+			for {
+				v, ok := qu.Dequeue(0)
+				if !ok {
+					break
+				}
+				sumOut += v
+				outCount++
+			}
+			if outCount != workers*per {
+				t.Fatalf("count: %d out of %d", outCount, workers*per)
+			}
+			if sumIn != sumOut {
+				t.Fatalf("sum mismatch: in=%d out=%d", sumIn, sumOut)
+			}
+		})
+	}
+}
+
+// TestOrcReclaimsSegments: drained segments must be reclaimed under
+// OrcGC while the leak variant keeps them all.
+func TestOrcReclaimsSegments(t *testing.T) {
+	qo := NewOrc(0, core.DomainConfig{MaxThreads: 2})
+	n := uint64(RingSize * 20)
+	for i := uint64(1); i <= n; i++ {
+		qo.Enqueue(0, i)
+	}
+	for i := uint64(1); i <= n; i++ {
+		qo.Dequeue(0)
+	}
+	qo.Drain(0)
+	if live := qo.Domain().Arena().Stats().Live; live != 0 {
+		t.Fatalf("orc LCRQ leaked %d segments", live)
+	}
+
+	ql := NewLeak()
+	for i := uint64(1); i <= n; i++ {
+		ql.Enqueue(0, i)
+	}
+	for i := uint64(1); i <= n; i++ {
+		ql.Dequeue(0)
+	}
+	if live := ql.Arena().Stats().Live; live < 10 {
+		t.Fatalf("leak LCRQ unexpectedly reclaimed (live=%d)", live)
+	}
+}
+
+func TestPerProducerOrder(t *testing.T) {
+	qu := NewOrc(0, core.DomainConfig{MaxThreads: 5})
+	const producers = 3
+	const per = 10_000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				qu.Enqueue(tid, uint64(tid)<<24|uint64(i))
+			}
+		}(p + 1)
+	}
+	wg.Wait()
+	last := map[uint64]int64{1: -1, 2: -1, 3: -1}
+	for {
+		v, ok := qu.Dequeue(0)
+		if !ok {
+			break
+		}
+		p, seq := v>>24, int64(v&0xFFFFFF)
+		if seq <= last[p] {
+			t.Fatalf("producer %d out of order: %d after %d", p, seq, last[p])
+		}
+		last[p] = seq
+	}
+}

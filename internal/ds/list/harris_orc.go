@@ -1,0 +1,139 @@
+package list
+
+import (
+	"repro/internal/core"
+)
+
+// HarrisOrc is Harris's original lock-free linked list [12] under OrcGC.
+// Its search unlinks an entire chain of marked nodes with one CAS —
+// behaviour most manual schemes cannot reclaim safely (the paper's
+// second obstacle), because the chain stays internally linked after the
+// unlink. Under OrcGC the single CAS drops the only external hard link
+// to the chain head; the cascading destructor decrements then collapse
+// the chain node by node.
+type HarrisOrc struct {
+	orcListBase
+}
+
+// NewHarrisOrc builds an empty OrcGC Harris list.
+func NewHarrisOrc(tid int, cfg core.DomainConfig) *HarrisOrc {
+	l := &HarrisOrc{}
+	initOrcListBase(&l.orcListBase, tid, cfg)
+	return l
+}
+
+// search is Harris's search(key): on return left and right are adjacent
+// unmarked nodes with left.key < key <= right.key. Marked runs found in
+// between are unlinked in bulk.
+func (l *HarrisOrc) search(tid int, key uint64, left, leftNext, right *core.Ptr) {
+	d := l.d
+	var t, tnext core.Ptr
+	defer func() {
+		d.Release(tid, &t)
+		d.Release(tid, &tnext)
+	}()
+searchAgain:
+	for {
+		d.Load(tid, &l.head, &t)
+		d.Load(tid, &d.Get(t.H()).next, &tnext)
+		// 1: find left (last unmarked) and right (next unmarked ≥ key).
+		for {
+			if !tnext.H().Marked() {
+				d.CopyPtr(tid, left, &t)
+				d.CopyPtr(tid, leftNext, &tnext)
+			}
+			d.CopyPtr(tid, &t, &tnext)
+			t.Unmark()
+			if t.H() == l.tailH {
+				break
+			}
+			d.Load(tid, &d.Get(t.H()).next, &tnext)
+			if !tnext.H().Marked() && d.Get(t.H()).key >= key {
+				break
+			}
+		}
+		d.CopyPtr(tid, right, &t)
+		// 2: adjacent?
+		if leftNext.H() == right.H() {
+			if right.H() != l.tailH && d.Get(right.H()).next.Raw().Marked() {
+				continue searchAgain
+			}
+			return
+		}
+		// 3: unlink the whole marked chain with one CAS. No retire:
+		// the chain's hard links unwind recursively under OrcGC.
+		if d.CAS(tid, &d.Get(left.H()).next, leftNext.H(), right.H()) {
+			if right.H() != l.tailH && d.Get(right.H()).next.Raw().Marked() {
+				continue searchAgain
+			}
+			return
+		}
+	}
+}
+
+// Insert adds key; false if already present.
+func (l *HarrisOrc) Insert(tid int, key uint64) bool {
+	d := l.d
+	var left, leftNext, right, nn core.Ptr
+	defer func() {
+		d.Release(tid, &left)
+		d.Release(tid, &leftNext)
+		d.Release(tid, &right)
+		d.Release(tid, &nn)
+	}()
+	for {
+		l.search(tid, key, &left, &leftNext, &right)
+		if right.H() != l.tailH && d.Get(right.H()).key == key {
+			return false
+		}
+		d.Make(tid, func(n *ONode) { n.key = key }, &nn)
+		d.InitLink(tid, &d.Get(nn.H()).next, right.H())
+		if d.CAS(tid, &d.Get(left.H()).next, right.H(), nn.H()) {
+			return true
+		}
+		d.Release(tid, &nn)
+	}
+}
+
+// Remove deletes key; false if absent.
+func (l *HarrisOrc) Remove(tid int, key uint64) bool {
+	d := l.d
+	var left, leftNext, right, rightNext core.Ptr
+	defer func() {
+		d.Release(tid, &left)
+		d.Release(tid, &leftNext)
+		d.Release(tid, &right)
+		d.Release(tid, &rightNext)
+	}()
+	for {
+		l.search(tid, key, &left, &leftNext, &right)
+		if right.H() == l.tailH || d.Get(right.H()).key != key {
+			return false
+		}
+		rn := d.Load(tid, &d.Get(right.H()).next, &rightNext)
+		if rn.Marked() {
+			continue
+		}
+		if !d.CAS(tid, &d.Get(right.H()).next, rn, rn.WithMark()) {
+			continue
+		}
+		// Physical unlink; on failure the next search cleans up.
+		if !d.CAS(tid, &d.Get(left.H()).next, right.H(), rn.Unmarked()) {
+			l.search(tid, key, &left, &leftNext, &right)
+		}
+		return true
+	}
+}
+
+// Contains reports membership using the original search (which may
+// unlink chains on the way — Harris's formulation).
+func (l *HarrisOrc) Contains(tid int, key uint64) bool {
+	d := l.d
+	var left, leftNext, right core.Ptr
+	l.search(tid, key, &left, &leftNext, &right)
+	found := right.H() != l.tailH && d.Get(right.H()).key == key
+	d.Release(tid, &left)
+	d.Release(tid, &leftNext)
+	d.Release(tid, &right)
+	return found
+}

@@ -1,0 +1,43 @@
+package list
+
+import (
+	"repro/internal/core"
+)
+
+// HSOrc is the Herlihy–Shavit list [15]: Harris-style insert/remove, but
+// Contains never restarts — it walks straight through marked nodes and
+// reports the key's presence from the node's own mark. The wait-free
+// lookup requires removed nodes to keep valid successor links while any
+// reader can still see them, which rules out most manual reclamation
+// schemes (the paper's second obstacle); OrcGC keeps every node alive
+// exactly as long as it is locally referenced.
+type HSOrc struct {
+	MichaelOrc
+}
+
+// NewHSOrc builds an empty OrcGC Herlihy–Shavit list.
+func NewHSOrc(tid int, cfg core.DomainConfig) *HSOrc {
+	l := &HSOrc{}
+	initOrcListBase(&l.orcListBase, tid, cfg)
+	return l
+}
+
+// Contains walks the list without ever helping or restarting: wait-free.
+func (l *HSOrc) Contains(tid int, key uint64) bool {
+	d := l.d
+	var cur, next core.Ptr
+	defer func() {
+		d.Release(tid, &cur)
+		d.Release(tid, &next)
+	}()
+	d.Load(tid, &l.head, &cur)
+	for {
+		curN := d.Get(cur.H())
+		if curN.key >= key {
+			return curN.key == key && !curN.next.Raw().Marked()
+		}
+		d.Load(tid, &curN.next, &next)
+		d.CopyPtr(tid, &cur, &next)
+		cur.Unmark()
+	}
+}

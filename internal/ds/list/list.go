@@ -1,0 +1,30 @@
+// Package list implements the sorted lock-free linked lists of the
+// paper's evaluation:
+//
+//   - ManualList — Michael's list [18] (the Harris list amended for
+//     hazard-pointer compatibility), parameterized over any manual
+//     reclamation scheme. The subject of Figures 3 and 4.
+//   - MichaelOrc — the same algorithm with OrcGC type annotation only.
+//   - HarrisOrc — Harris's *original* list [12], whose bulk chain
+//     unlinking is incompatible with HP-style manual schemes (the
+//     paper's second obstacle); OrcGC reclaims the chains through
+//     cascading hard-link decrements.
+//   - HSOrc — the Herlihy–Shavit variant with wait-free lookups [15]:
+//     contains never restarts and traverses marked nodes, which
+//     requires removed nodes to keep their successor links intact.
+//
+// All lists store ascending uint64 keys between head/tail sentinels with
+// keys 0 and 2^64-1; callers use keys strictly between.
+package list
+
+// Set is the common membership interface the benchmarks drive.
+type Set interface {
+	Insert(tid int, key uint64) bool
+	Remove(tid int, key uint64) bool
+	Contains(tid int, key uint64) bool
+}
+
+const (
+	headKey = uint64(0)
+	tailKey = ^uint64(0)
+)

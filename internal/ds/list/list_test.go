@@ -1,0 +1,321 @@
+package list
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/reclaim"
+)
+
+// makeSets builds one of every list variant for table-driven tests.
+func makeSets(tb testing.TB, threads int) map[string]Set {
+	tb.Helper()
+	sets := map[string]Set{
+		"michael-orc": NewMichaelOrc(0, core.DomainConfig{MaxThreads: threads}),
+		"harris-orc":  NewHarrisOrc(0, core.DomainConfig{MaxThreads: threads}),
+		"hs-orc":      NewHSOrc(0, core.DomainConfig{MaxThreads: threads}),
+	}
+	for _, scheme := range []string{"none", "hp", "ptb", "ptp", "ebr", "he", "ibr"} {
+		sets["manual-"+scheme] = NewManual(scheme, reclaim.Config{MaxThreads: threads})
+	}
+	return sets
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for name, s := range makeSets(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			if s.Contains(0, 5) {
+				t.Fatal("empty list contains 5")
+			}
+			if !s.Insert(0, 5) {
+				t.Fatal("insert 5 failed")
+			}
+			if s.Insert(0, 5) {
+				t.Fatal("duplicate insert succeeded")
+			}
+			if !s.Contains(0, 5) {
+				t.Fatal("5 missing after insert")
+			}
+			if !s.Insert(0, 3) || !s.Insert(0, 8) {
+				t.Fatal("inserts failed")
+			}
+			if !s.Remove(0, 5) {
+				t.Fatal("remove 5 failed")
+			}
+			if s.Remove(0, 5) {
+				t.Fatal("double remove succeeded")
+			}
+			if s.Contains(0, 5) {
+				t.Fatal("5 present after remove")
+			}
+			if !s.Contains(0, 3) || !s.Contains(0, 8) {
+				t.Fatal("neighbours lost")
+			}
+		})
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	for name, s := range makeSets(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			model := map[uint64]bool{}
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < 20_000; i++ {
+				k := uint64(rng.Intn(200)) + 1
+				switch rng.Intn(3) {
+				case 0:
+					if s.Insert(0, k) != !model[k] {
+						t.Fatalf("insert(%d) disagreed with model at step %d", k, i)
+					}
+					model[k] = true
+				case 1:
+					if s.Remove(0, k) != model[k] {
+						t.Fatalf("remove(%d) disagreed with model at step %d", k, i)
+					}
+					model[k] = false
+				case 2:
+					if s.Contains(0, k) != model[k] {
+						t.Fatalf("contains(%d) disagreed with model at step %d", k, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSortedOrderMaintained(t *testing.T) {
+	l := NewManual("hp", reclaim.Config{MaxThreads: 2})
+	for _, k := range []uint64{50, 10, 30, 20, 40} {
+		l.Insert(0, k)
+	}
+	if n := l.Size(); n != 5 {
+		t.Fatalf("size %d want 5", n)
+	}
+	l.Remove(0, 30)
+	if n := l.Size(); n != 4 {
+		t.Fatalf("size %d want 4", n)
+	}
+}
+
+// TestConcurrentDisjointKeys: threads own disjoint key ranges; all their
+// operations must behave as in isolation.
+func TestConcurrentDisjointKeys(t *testing.T) {
+	for name, s := range makeSets(t, 9) {
+		name, s := name, s
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 8
+			const span = 100
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					base := uint64(tid*span) + 1
+					for round := 0; round < 30; round++ {
+						for k := base; k < base+span; k++ {
+							if !s.Insert(tid, k) {
+								panic("insert of owned key failed")
+							}
+						}
+						for k := base; k < base+span; k++ {
+							if !s.Contains(tid, k) {
+								panic("owned key missing")
+							}
+						}
+						for k := base; k < base+span; k++ {
+							if !s.Remove(tid, k) {
+								panic("remove of owned key failed")
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestConcurrentSharedKeys hammers a small shared keyspace: checks for
+// UAF (strict arena) and that the final state is a valid set.
+func TestConcurrentSharedKeys(t *testing.T) {
+	for name, s := range makeSets(t, 9) {
+		name, s := name, s
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 8
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					rng := uint64(tid)*2654435761 + 7
+					for i := 0; i < 10_000; i++ {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						k := rng%64 + 1
+						switch rng % 3 {
+						case 0:
+							s.Insert(tid, k)
+						case 1:
+							s.Remove(tid, k)
+						default:
+							s.Contains(tid, k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Settle to a consistent final state: remove everything.
+			for k := uint64(1); k <= 64; k++ {
+				s.Remove(0, k)
+				if s.Contains(0, k) {
+					t.Fatalf("key %d present after removal", k)
+				}
+			}
+		})
+	}
+}
+
+// TestOrcListNoLeak: inserting and removing everything must reclaim all
+// nodes once the roots are dropped.
+func TestOrcListNoLeak(t *testing.T) {
+	variants := map[string]interface {
+		Set
+		Domain() *core.Domain[ONode]
+		Destroy(int)
+	}{
+		"michael-orc": NewMichaelOrc(0, core.DomainConfig{MaxThreads: 2}),
+		"harris-orc":  NewHarrisOrc(0, core.DomainConfig{MaxThreads: 2}),
+		"hs-orc":      NewHSOrc(0, core.DomainConfig{MaxThreads: 2}),
+	}
+	for name, l := range variants {
+		t.Run(name, func(t *testing.T) {
+			for k := uint64(1); k <= 500; k++ {
+				l.Insert(0, k)
+			}
+			for k := uint64(1); k <= 500; k++ {
+				l.Remove(0, k)
+			}
+			l.Destroy(0)
+			if live := l.Domain().Arena().Stats().Live; live != 0 {
+				t.Fatalf("%s leaked %d nodes", name, live)
+			}
+		})
+	}
+}
+
+// TestManualListReclaims: every real scheme must free nodes under churn.
+func TestManualListReclaims(t *testing.T) {
+	for _, scheme := range []string{"hp", "ptb", "ptp", "ebr", "he", "ibr"} {
+		t.Run(scheme, func(t *testing.T) {
+			l := NewManual(scheme, reclaim.Config{MaxThreads: 2})
+			for round := 0; round < 10; round++ {
+				for k := uint64(1); k <= 300; k++ {
+					l.Insert(0, k)
+				}
+				for k := uint64(1); k <= 300; k++ {
+					l.Remove(0, k)
+				}
+			}
+			l.Scheme().Flush(0)
+			st := l.Scheme().Stats()
+			if st.Freed == 0 {
+				t.Fatalf("%s freed nothing", scheme)
+			}
+		})
+	}
+}
+
+// TestHarrisChainCollapse: remove a long run of adjacent keys while a
+// reader idles on the first of them — exercises the bulk-unlink path
+// that defeats manual schemes.
+func TestHarrisChainCollapse(t *testing.T) {
+	l := NewHarrisOrc(0, core.DomainConfig{MaxThreads: 4})
+	const n = 2000
+	for k := uint64(1); k <= n; k++ {
+		l.Insert(0, k)
+	}
+	// Mark every node logically deleted without physical unlink by
+	// removing from the back: each Remove's unlink CAS succeeds, so
+	// instead remove front-to-back which leaves singleton unlinks...
+	// The bulk path triggers naturally under concurrency; here we force
+	// chains by removing even keys then odd keys and re-searching.
+	for k := uint64(2); k <= n; k += 2 {
+		l.Remove(0, k)
+	}
+	for k := uint64(1); k <= n; k += 2 {
+		l.Remove(0, k)
+	}
+	for k := uint64(1); k <= n; k++ {
+		if l.Contains(0, k) {
+			t.Fatalf("key %d survived removal", k)
+		}
+	}
+	l.Destroy(0)
+	if live := l.Domain().Arena().Stats().Live; live != 0 {
+		t.Fatalf("chain collapse leaked %d nodes", live)
+	}
+}
+
+// TestHSWaitFreeContainsSeesThroughMarks: a key whose node is marked but
+// not yet unlinked must read as absent, and unmarked neighbours as
+// present, via the non-restarting traversal.
+func TestHSWaitFreeContains(t *testing.T) {
+	l := NewHSOrc(0, core.DomainConfig{MaxThreads: 2})
+	for k := uint64(1); k <= 10; k++ {
+		l.Insert(0, k)
+	}
+	l.Remove(0, 5)
+	if l.Contains(0, 5) {
+		t.Fatal("removed key still visible")
+	}
+	for k := uint64(1); k <= 10; k++ {
+		if k == 5 {
+			continue
+		}
+		if !l.Contains(0, k) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+}
+
+// TestInsertRemoveInterleaved: same key repeatedly cycled by two
+// goroutines; invariant: alternating success/failure is internally
+// consistent (no double-success on the same transition).
+func TestInsertRemoveInterleaved(t *testing.T) {
+	for name, s := range makeSets(t, 3) {
+		name, s := name, s
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var inserts, removes int64
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < 5000; i++ {
+						if s.Insert(tid, 1) {
+							mu.Lock()
+							inserts++
+							mu.Unlock()
+						}
+						if s.Remove(tid, 1) {
+							mu.Lock()
+							removes++
+							mu.Unlock()
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			present := s.Contains(0, 1)
+			diff := inserts - removes
+			if present && diff != 1 || !present && diff != 0 {
+				t.Fatalf("inserts=%d removes=%d present=%v", inserts, removes, present)
+			}
+		})
+	}
+}

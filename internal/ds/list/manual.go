@@ -1,0 +1,171 @@
+package list
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/reclaim"
+)
+
+// MNode is a node of the manually reclaimed Michael list. The successor
+// handle carries the Harris mark bit in its tag.
+type MNode struct {
+	key  uint64
+	next atomic.Uint64
+}
+
+// HPsNeeded is H for the Michael list: next, cur, prev.
+const HPsNeeded = 3
+
+// ManualList is Michael's lock-free linked list [18] over an arbitrary
+// manual reclamation scheme — the data structure of Figures 3 and 4.
+// Traversal protects (next, cur, prev) in hazardous pointers 0/1/2 and
+// restarts whenever validation fails; unlinked nodes are retired
+// explicitly, the call OrcGC makes unnecessary.
+type ManualList struct {
+	a     *arena.Arena[MNode]
+	s     reclaim.Scheme
+	headH arena.Handle // head sentinel, never retired
+}
+
+// NewManual builds an empty list reclaimed by scheme name.
+func NewManual(scheme string, cfg reclaim.Config) *ManualList {
+	a := arena.New[MNode]()
+	cfg.MaxHPs = HPsNeeded
+	l := &ManualList{a: a}
+	l.s = reclaim.New(scheme, reclaim.Env{Free: a.Free, Hdr: a.Header}, cfg)
+
+	th, tn := a.Alloc()
+	tn.key = tailKey
+	l.s.OnAlloc(th)
+	hh, hn := a.Alloc()
+	hn.key = headKey
+	hn.next.Store(uint64(th))
+	l.s.OnAlloc(hh)
+	l.headH = hh
+	return l
+}
+
+// Scheme exposes the reclamation scheme.
+func (l *ManualList) Scheme() reclaim.Scheme { return l.s }
+
+// Arena exposes the node arena.
+func (l *ManualList) Arena() *arena.Arena[MNode] { return l.a }
+
+// find positions (prevA, cur) around key with hazardous pointers held:
+// hp1 = cur, hp2 = the node containing prevA, hp0 = cur's successor.
+// It unlinks (and retires) marked nodes it steps over.
+func (l *ManualList) find(tid int, key uint64) (prevA *atomic.Uint64, cur arena.Handle, found bool) {
+retry:
+	for {
+		prevA = &l.a.Get(l.headH).next
+		l.s.Protect(tid, 2, l.headH)
+		cur = l.s.GetProtected(tid, 1, prevA).Unmarked()
+		for {
+			curN := l.a.Get(cur)
+			next := l.s.GetProtected(tid, 0, &curN.next)
+			if arena.Handle(prevA.Load()) != cur {
+				continue retry
+			}
+			if !next.Marked() {
+				if curN.key >= key {
+					return prevA, cur, curN.key == key
+				}
+				prevA = &curN.next
+				l.s.Protect(tid, 2, cur)
+			} else {
+				// cur is logically deleted: unlink it and reclaim.
+				if !l.compareAndSwap(prevA, cur, next.Unmarked()) {
+					continue retry
+				}
+				l.s.Retire(tid, cur)
+			}
+			cur = next.Unmarked()
+			l.s.Protect(tid, 1, cur)
+		}
+	}
+}
+
+func (l *ManualList) compareAndSwap(addr *atomic.Uint64, old, new arena.Handle) bool {
+	return addr.CompareAndSwap(uint64(old), uint64(new))
+}
+
+// Insert adds key; false if already present.
+func (l *ManualList) Insert(tid int, key uint64) bool {
+	s := l.s
+	s.BeginOp(tid)
+	defer s.EndOp(tid)
+	defer s.ClearAll(tid)
+	for {
+		prevA, cur, found := l.find(tid, key)
+		if found {
+			return false
+		}
+		nh, n := l.a.Alloc()
+		n.key = key
+		n.next.Store(uint64(cur))
+		s.OnAlloc(nh)
+		if l.compareAndSwap(prevA, cur, nh) {
+			return true
+		}
+		// Never published: return straight to the allocator.
+		l.a.Free(nh)
+	}
+}
+
+// Remove deletes key; false if absent.
+func (l *ManualList) Remove(tid int, key uint64) bool {
+	s := l.s
+	s.BeginOp(tid)
+	defer s.EndOp(tid)
+	defer s.ClearAll(tid)
+	for {
+		prevA, cur, found := l.find(tid, key)
+		if !found {
+			return false
+		}
+		curN := l.a.Get(cur)
+		next := arena.Handle(curN.next.Load())
+		if next.Marked() {
+			continue // another remover got here first; re-find
+		}
+		if !curN.next.CompareAndSwap(uint64(next), uint64(next.WithMark())) {
+			continue
+		}
+		// Logically deleted; try the physical unlink ourselves, else
+		// let the next find do it.
+		if l.compareAndSwap(prevA, cur, next) {
+			s.Retire(tid, cur)
+		} else {
+			l.find(tid, key)
+		}
+		return true
+	}
+}
+
+// Contains reports membership (traversal may help unlink, as in
+// Michael's original formulation).
+func (l *ManualList) Contains(tid int, key uint64) bool {
+	s := l.s
+	s.BeginOp(tid)
+	_, _, found := l.find(tid, key)
+	s.ClearAll(tid)
+	s.EndOp(tid)
+	return found
+}
+
+// Size counts live keys; quiescent use only.
+func (l *ManualList) Size() int {
+	n := 0
+	cur := arena.Handle(l.a.Get(l.headH).next.Load()).Unmarked()
+	for {
+		node := l.a.Get(cur)
+		if node.key == tailKey {
+			return n
+		}
+		if !arena.Handle(node.next.Load()).Marked() {
+			n++
+		}
+		cur = arena.Handle(node.next.Load()).Unmarked()
+	}
+}

@@ -1,0 +1,255 @@
+package list
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+)
+
+// WObj is either a list node or an operation descriptor of the TBKP-
+// style wait-free list. Keeping both in one arena type lets descriptor→
+// node and node→descriptor hard links live inside a single OrcGC domain.
+type WObj struct {
+	key   uint64
+	next  core.Atomic // node: successor (Harris mark bit in the handle)
+	claim core.Atomic // node: the remove descriptor that claimed it
+	// descriptor fields (immutable after publication, except outcome)
+	phase   int64
+	op      int32 // 0 idle, 1 remove
+	outcome atomic.Int32
+	node    core.Atomic // unused by removals; kept for symmetry/extensions
+}
+
+const (
+	wfPending int32 = 0
+	wfSuccess int32 = 1
+	wfFailure int32 = 2
+)
+
+func wobjLinks(o *WObj, visit func(*core.Atomic)) {
+	visit(&o.next)
+	visit(&o.claim)
+	visit(&o.node)
+}
+
+// TBKPOrc reproduces the Timnat–Braginsky–Kogan–Petrank wait-free list
+// [27] as deployed in the paper's Figure 5/6 comparison. The reproduced
+// architecture is the one OrcGC is being exercised on: a per-thread
+// descriptor array with phase-numbered helping, and removal arbitration
+// through a claim link CAS'd into the victim node (so any helper can
+// finish any removal, and no thread could ever place a retire() call —
+// descriptors and nodes are reclaimed purely by hard-link counting).
+// Per DESIGN.md this is a substitution: insertions take the underlying
+// Harris–Michael fast path, so the strict wait-freedom of the original
+// insert is relaxed to lock-freedom.
+type TBKPOrc struct {
+	d     *core.Domain[WObj]
+	nthr  int
+	headH arena.Handle
+	head  core.Atomic
+	tail  core.Atomic
+	state []core.Atomic
+}
+
+// NewTBKPOrc builds an empty list for up to cfg.MaxThreads helpers.
+func NewTBKPOrc(tid int, cfg core.DomainConfig) *TBKPOrc {
+	a := arena.New[WObj]()
+	d := core.NewDomain(a, wobjLinks, cfg)
+	l := &TBKPOrc{d: d, nthr: cfg.MaxThreads}
+	if l.nthr <= 0 {
+		l.nthr = 64
+	}
+	l.state = make([]core.Atomic, l.nthr)
+
+	var pt, ph core.Ptr
+	tailH := d.Make(tid, func(n *WObj) { n.key = tailKey }, &pt)
+	l.headH = d.Make(tid, func(n *WObj) { n.key = headKey }, &ph)
+	d.InitLink(tid, &d.Get(l.headH).next, tailH)
+	d.Store(tid, &l.head, ph.H())
+	d.Store(tid, &l.tail, pt.H())
+	d.Release(tid, &pt)
+	d.Release(tid, &ph)
+	return l
+}
+
+// Domain exposes the OrcGC domain.
+func (l *TBKPOrc) Domain() *core.Domain[WObj] { return l.d }
+
+// Destroy drops all roots and flushes; quiescent use only.
+func (l *TBKPOrc) Destroy(tid int) {
+	for i := range l.state {
+		l.d.Store(tid, &l.state[i], arena.Nil)
+	}
+	l.d.Store(tid, &l.head, arena.Nil)
+	l.d.Store(tid, &l.tail, arena.Nil)
+	l.d.FlushAll()
+}
+
+// find is the Harris–Michael window search over WObj nodes.
+func (l *TBKPOrc) find(tid int, key uint64, prev, cur, next *core.Ptr) (prevA *core.Atomic, found bool) {
+	d := l.d
+retry:
+	for {
+		prevA = &d.Get(l.headH).next
+		d.Load(tid, prevA, cur)
+		cur.Unmark()
+		for {
+			curN := d.Get(cur.H())
+			nextH := d.Load(tid, &curN.next, next)
+			if prevA.Raw() != cur.H() {
+				continue retry
+			}
+			if !nextH.Marked() {
+				if curN.key >= key {
+					return prevA, curN.key == key
+				}
+				prevA = &curN.next
+				d.CopyPtr(tid, prev, cur)
+			} else {
+				if !d.CAS(tid, prevA, cur.H(), nextH.Unmarked()) {
+					continue retry
+				}
+			}
+			d.CopyPtr(tid, cur, next)
+			cur.Unmark()
+		}
+	}
+}
+
+// Insert adds key (fast path); false if present.
+func (l *TBKPOrc) Insert(tid int, key uint64) bool {
+	d := l.d
+	var prev, cur, next, nn core.Ptr
+	defer func() {
+		d.Release(tid, &prev)
+		d.Release(tid, &cur)
+		d.Release(tid, &next)
+		d.Release(tid, &nn)
+	}()
+	for {
+		prevA, found := l.find(tid, key, &prev, &cur, &next)
+		if found {
+			return false
+		}
+		d.Make(tid, func(n *WObj) { n.key = key }, &nn)
+		d.InitLink(tid, &d.Get(nn.H()).next, cur.H())
+		if d.CAS(tid, prevA, cur.H(), nn.H()) {
+			return true
+		}
+		d.Release(tid, &nn)
+	}
+}
+
+func (l *TBKPOrc) maxPhase(tid int) int64 {
+	d := l.d
+	var p core.Ptr
+	maxP := int64(-1)
+	for i := range l.state {
+		h := d.Load(tid, &l.state[i], &p)
+		if !h.IsNil() {
+			if ph := d.Get(h).phase; ph > maxP {
+				maxP = ph
+			}
+		}
+	}
+	d.Release(tid, &p)
+	return maxP
+}
+
+// Remove deletes key via the helped slow path; false if absent.
+func (l *TBKPOrc) Remove(tid int, key uint64) bool {
+	d := l.d
+	phase := l.maxPhase(tid) + 1
+	var desc core.Ptr
+	d.Make(tid, func(o *WObj) {
+		o.key = key
+		o.phase = phase
+		o.op = 1
+	}, &desc)
+	descH := desc.H()
+	d.Store(tid, &l.state[tid], descH)
+	l.help(tid, phase)
+	out := d.Get(descH).outcome.Load()
+	d.Store(tid, &l.state[tid], arena.Nil) // retract the descriptor
+	d.Release(tid, &desc)
+	return out == wfSuccess
+}
+
+// help completes every pending removal with phase ≤ phase, own included.
+func (l *TBKPOrc) help(tid int, phase int64) {
+	d := l.d
+	var p core.Ptr
+	for i := 0; i < l.nthr; i++ {
+		h := d.Load(tid, &l.state[i], &p)
+		if h.IsNil() {
+			continue
+		}
+		dd := d.Get(h)
+		if dd.op == 1 && dd.phase <= phase && dd.outcome.Load() == wfPending {
+			l.helpRemove(tid, h, &p)
+		}
+	}
+	d.Release(tid, &p)
+}
+
+// helpRemove drives one removal descriptor to an outcome. Arbitration:
+// the descriptor that CASes itself into the victim's claim link owns the
+// removal; every helper then marks and unlinks, and reports success only
+// to the owner. Competing removals of the same key find the node claimed
+// (or already gone) and fail.
+func (l *TBKPOrc) helpRemove(tid int, descH arena.Handle, descP *core.Ptr) {
+	d := l.d
+	desc := d.Get(descH)
+	key := desc.key
+	var prev, cur, next, cl core.Ptr
+	defer func() {
+		d.Release(tid, &prev)
+		d.Release(tid, &cur)
+		d.Release(tid, &next)
+		d.Release(tid, &cl)
+	}()
+	for desc.outcome.Load() == wfPending {
+		_, found := l.find(tid, key, &prev, &cur, &next)
+		if !found {
+			desc.outcome.CompareAndSwap(wfPending, wfFailure)
+			return
+		}
+		node := d.Get(cur.H())
+		if node.claim.Raw().IsNil() {
+			d.CAS(tid, &node.claim, arena.Nil, descH)
+		}
+		claimH := d.Load(tid, &node.claim, &cl)
+		if claimH.IsNil() {
+			continue
+		}
+		// Mark the claimed node (whoever owns it) so it can be snipped.
+		nextH := d.Load(tid, &node.next, &next)
+		for !nextH.Marked() {
+			d.CAS(tid, &node.next, nextH, nextH.WithMark())
+			nextH = d.Load(tid, &node.next, &next)
+		}
+		if claimH.Unmarked() == descH.Unmarked() {
+			// Our descriptor owns this node: the removal succeeded.
+			desc.outcome.CompareAndSwap(wfPending, wfSuccess)
+			l.find(tid, key, &prev, &cur, &next) // physical unlink
+			return
+		}
+		// Claimed by a competing removal: report its success, then
+		// loop — once the node is unlinked our key search fails.
+		owner := d.Get(claimH)
+		owner.outcome.CompareAndSwap(wfPending, wfSuccess)
+		l.find(tid, key, &prev, &cur, &next)
+	}
+}
+
+// Contains reports membership.
+func (l *TBKPOrc) Contains(tid int, key uint64) bool {
+	d := l.d
+	var prev, cur, next core.Ptr
+	_, found := l.find(tid, key, &prev, &cur, &next)
+	d.Release(tid, &prev)
+	d.Release(tid, &cur)
+	d.Release(tid, &next)
+	return found
+}

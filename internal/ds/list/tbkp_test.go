@@ -1,0 +1,143 @@
+package list
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTBKPSequential(t *testing.T) {
+	l := NewTBKPOrc(0, core.DomainConfig{MaxThreads: 4})
+	if l.Contains(0, 5) {
+		t.Fatal("empty list contains 5")
+	}
+	if !l.Insert(0, 5) || l.Insert(0, 5) {
+		t.Fatal("insert semantics")
+	}
+	if !l.Insert(0, 2) || !l.Insert(0, 9) {
+		t.Fatal("inserts failed")
+	}
+	if !l.Remove(0, 5) {
+		t.Fatal("remove failed")
+	}
+	if l.Remove(0, 5) {
+		t.Fatal("double remove succeeded")
+	}
+	if l.Contains(0, 5) || !l.Contains(0, 2) || !l.Contains(0, 9) {
+		t.Fatal("membership wrong after remove")
+	}
+}
+
+func TestTBKPAgainstModel(t *testing.T) {
+	l := NewTBKPOrc(0, core.DomainConfig{MaxThreads: 2})
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 20_000; i++ {
+		k := uint64(rng.Intn(150)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			if l.Insert(0, k) != !model[k] {
+				t.Fatalf("insert(%d) vs model at %d", k, i)
+			}
+			model[k] = true
+		case 1:
+			if l.Remove(0, k) != model[k] {
+				t.Fatalf("remove(%d) vs model at %d", k, i)
+			}
+			model[k] = false
+		default:
+			if l.Contains(0, k) != model[k] {
+				t.Fatalf("contains(%d) vs model at %d", k, i)
+			}
+		}
+	}
+}
+
+// TestTBKPConcurrentRemovalRace: many threads remove the same keys; each
+// key's removal must succeed exactly once (the claim arbitration).
+func TestTBKPConcurrentRemovalRace(t *testing.T) {
+	const workers = 8
+	const keys = 500
+	l := NewTBKPOrc(0, core.DomainConfig{MaxThreads: workers + 1})
+	for k := uint64(1); k <= keys; k++ {
+		l.Insert(0, k)
+	}
+	var successes [keys + 1]int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for k := uint64(1); k <= keys; k++ {
+				if l.Remove(tid, k) {
+					mu.Lock()
+					successes[k]++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k := 1; k <= keys; k++ {
+		if successes[k] != 1 {
+			t.Fatalf("key %d removed %d times", k, successes[k])
+		}
+		if l.Contains(0, uint64(k)) {
+			t.Fatalf("key %d still present", k)
+		}
+	}
+}
+
+func TestTBKPConcurrentMixed(t *testing.T) {
+	const workers = 8
+	l := NewTBKPOrc(0, core.DomainConfig{MaxThreads: workers + 1})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := uint64(tid)*31337 + 5
+			for i := 0; i < 5000; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				k := rng%64 + 1
+				switch rng % 3 {
+				case 0:
+					l.Insert(tid, k)
+				case 1:
+					l.Remove(tid, k)
+				default:
+					l.Contains(tid, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k := uint64(1); k <= 64; k++ {
+		l.Remove(0, k)
+		if l.Contains(0, k) {
+			t.Fatalf("key %d survived removal", k)
+		}
+	}
+}
+
+// TestTBKPNoLeak: descriptors and nodes all reclaimed at teardown.
+func TestTBKPNoLeak(t *testing.T) {
+	l := NewTBKPOrc(0, core.DomainConfig{MaxThreads: 2})
+	for round := 0; round < 5; round++ {
+		for k := uint64(1); k <= 200; k++ {
+			l.Insert(0, k)
+		}
+		for k := uint64(1); k <= 200; k++ {
+			if !l.Remove(0, k) {
+				t.Fatalf("remove %d failed", k)
+			}
+		}
+	}
+	l.Destroy(0)
+	if live := l.Domain().Arena().Stats().Live; live != 0 {
+		t.Fatalf("TBKP leaked %d objects", live)
+	}
+}

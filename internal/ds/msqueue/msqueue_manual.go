@@ -1,0 +1,118 @@
+package msqueue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/reclaim"
+)
+
+// MNode is the node of the manually reclaimed queue. The two header
+// words needed by era schemes live in the arena slot, not here.
+type MNode struct {
+	item uint64
+	next atomic.Uint64 // arena.Handle
+}
+
+// ManualQueue is the Michael–Scott queue under a manual reclamation
+// scheme: hazardous pointer 0 pins the head/tail node, pointer 1 the
+// successor, and retire is called on dequeued sentinels — the protocol
+// the paper contrasts OrcGC's annotation-only deployment against.
+type ManualQueue struct {
+	a    *arena.Arena[MNode]
+	s    reclaim.Scheme
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// HPsNeeded is H for this structure.
+const HPsNeeded = 2
+
+// NewManual builds a queue whose nodes are reclaimed by scheme name
+// (see reclaim.Names).
+func NewManual(scheme string, cfg reclaim.Config) *ManualQueue {
+	a := arena.New[MNode]()
+	cfg.MaxHPs = HPsNeeded
+	q := &ManualQueue{a: a}
+	q.s = reclaim.New(scheme, reclaim.Env{Free: a.Free, Hdr: a.Header}, cfg)
+	h, _ := a.Alloc() // sentinel
+	q.s.OnAlloc(h)
+	q.head.Store(uint64(h))
+	q.tail.Store(uint64(h))
+	return q
+}
+
+// Scheme exposes the reclamation scheme (stats, flushing).
+func (q *ManualQueue) Scheme() reclaim.Scheme { return q.s }
+
+// Arena exposes the node arena.
+func (q *ManualQueue) Arena() *arena.Arena[MNode] { return q.a }
+
+// Enqueue appends item.
+func (q *ManualQueue) Enqueue(tid int, item uint64) {
+	s := q.s
+	s.BeginOp(tid)
+	nh, n := q.a.Alloc()
+	n.item = item
+	s.OnAlloc(nh)
+	for {
+		ltail := s.GetProtected(tid, 0, &q.tail)
+		node := q.a.Get(ltail)
+		lnext := arena.Handle(node.next.Load())
+		if arena.Handle(q.tail.Load()) != ltail {
+			continue
+		}
+		if lnext.IsNil() {
+			if node.next.CompareAndSwap(0, uint64(nh)) {
+				q.tail.CompareAndSwap(uint64(ltail), uint64(nh))
+				break
+			}
+		} else {
+			q.tail.CompareAndSwap(uint64(ltail), uint64(lnext))
+		}
+	}
+	s.ClearAll(tid)
+	s.EndOp(tid)
+}
+
+// Dequeue removes the oldest item; ok=false when empty.
+func (q *ManualQueue) Dequeue(tid int) (item uint64, ok bool) {
+	s := q.s
+	s.BeginOp(tid)
+	for {
+		lhead := s.GetProtected(tid, 0, &q.head)
+		ltail := arena.Handle(q.tail.Load())
+		lnext := s.GetProtected(tid, 1, &q.a.Get(lhead).next)
+		if arena.Handle(q.head.Load()) != lhead {
+			continue
+		}
+		if lhead == ltail {
+			if lnext.IsNil() {
+				s.ClearAll(tid)
+				s.EndOp(tid)
+				return 0, false
+			}
+			q.tail.CompareAndSwap(uint64(ltail), uint64(lnext))
+			continue
+		}
+		// Read the item before swinging head: after the CAS the old
+		// sentinel is retired and the new sentinel's item is consumed.
+		item = q.a.Get(lnext).item
+		if q.head.CompareAndSwap(uint64(lhead), uint64(lnext)) {
+			s.Retire(tid, lhead)
+			s.ClearAll(tid)
+			s.EndOp(tid)
+			return item, true
+		}
+	}
+}
+
+// Drain empties the queue and flushes deferred frees; quiescent use only.
+func (q *ManualQueue) Drain(tid int) {
+	for {
+		if _, ok := q.Dequeue(tid); !ok {
+			break
+		}
+	}
+	q.s.Flush(tid)
+}

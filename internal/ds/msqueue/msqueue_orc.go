@@ -1,0 +1,103 @@
+// Package msqueue implements the Michael–Scott lock-free queue [20] in
+// two variants: OrcQueue, annotated with OrcGC exactly as the paper's
+// Algorithm 1, and ManualQueue, the classic hazard-pointer formulation
+// parameterized over any manual reclamation scheme — the pairing used by
+// the queue experiments of Figures 1 and 2.
+package msqueue
+
+import (
+	"repro/internal/arena"
+	"repro/internal/core"
+)
+
+// Node is the queue node of Algorithm 1: an item and one orc-tracked
+// hard link to the successor.
+type Node struct {
+	item uint64
+	next core.Atomic
+}
+
+// OrcQueue is MSQueueOrcGC from Algorithm 1. All reclamation is
+// automatic: no retire call appears anywhere below, only type-annotated
+// loads, stores and CASes.
+type OrcQueue struct {
+	d    *core.Domain[Node]
+	head core.Atomic
+	tail core.Atomic
+}
+
+// NewOrc builds the queue with its sentinel node. The constructor runs
+// on the caller's tid.
+func NewOrc(tid int, cfg core.DomainConfig) *OrcQueue {
+	a := arena.New[Node]()
+	d := core.NewDomain(a, func(n *Node, visit func(*core.Atomic)) {
+		visit(&n.next)
+	}, cfg)
+	q := &OrcQueue{d: d}
+	var p core.Ptr
+	d.Make(tid, nil, &p) // sentinel
+	d.Store(tid, &q.head, p.H())
+	d.Store(tid, &q.tail, p.H())
+	d.Release(tid, &p)
+	return q
+}
+
+// Domain exposes the OrcGC domain (stats, teardown).
+func (q *OrcQueue) Domain() *core.Domain[Node] { return q.d }
+
+// Enqueue is Algorithm 1 lines 16–30.
+func (q *OrcQueue) Enqueue(tid int, item uint64) {
+	d := q.d
+	var newNode, ltail, lnext core.Ptr
+	d.Make(tid, func(n *Node) { n.item = item }, &newNode)
+	for {
+		d.Load(tid, &q.tail, &ltail)
+		d.Load(tid, &d.Get(ltail.H()).next, &lnext)
+		if lnext.IsNil() {
+			if d.CAS(tid, &d.Get(ltail.H()).next, arena.Nil, newNode.H()) {
+				d.CAS(tid, &q.tail, ltail.H(), newNode.H())
+				break
+			}
+		} else {
+			d.CAS(tid, &q.tail, ltail.H(), lnext.H())
+		}
+	}
+	d.Release(tid, &newNode)
+	d.Release(tid, &ltail)
+	d.Release(tid, &lnext)
+}
+
+// Dequeue is Algorithm 1 lines 32–40. The zero return with ok=false
+// signals an empty queue.
+func (q *OrcQueue) Dequeue(tid int) (uint64, bool) {
+	d := q.d
+	var node, lnext core.Ptr
+	d.Load(tid, &q.head, &node)
+	for node.H() != d.LoadScratch(tid, &q.tail) {
+		d.Load(tid, &d.Get(node.H()).next, &lnext)
+		if d.CAS(tid, &q.head, node.H(), lnext.H()) {
+			item := d.Get(lnext.H()).item
+			d.Release(tid, &node)
+			d.Release(tid, &lnext)
+			return item, true
+		}
+		d.Load(tid, &q.head, &node)
+	}
+	d.Release(tid, &node)
+	d.Release(tid, &lnext)
+	return 0, false
+}
+
+// Drain empties the queue and releases the sentinel links; quiescent use
+// only (teardown and leak accounting).
+func (q *OrcQueue) Drain(tid int) {
+	for {
+		if _, ok := q.Dequeue(tid); !ok {
+			break
+		}
+	}
+	d := q.d
+	d.Store(tid, &q.tail, arena.Nil)
+	d.Store(tid, &q.head, arena.Nil)
+	d.FlushAll()
+}

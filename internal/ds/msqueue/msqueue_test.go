@@ -1,0 +1,252 @@
+package msqueue
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/reclaim"
+)
+
+func TestOrcSequentialFIFO(t *testing.T) {
+	q := NewOrc(0, core.DomainConfig{MaxThreads: 2})
+	for i := uint64(1); i <= 100; i++ {
+		q.Enqueue(0, i)
+	}
+	for i := uint64(1); i <= 100; i++ {
+		v, ok := q.Dequeue(0)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("dequeue from empty succeeded")
+	}
+}
+
+func TestOrcEmptyQueue(t *testing.T) {
+	q := NewOrc(0, core.DomainConfig{MaxThreads: 2})
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("fresh queue not empty")
+	}
+	q.Enqueue(0, 9)
+	if v, ok := q.Dequeue(0); !ok || v != 9 {
+		t.Fatal("single element roundtrip failed")
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("queue should be empty again")
+	}
+}
+
+// TestOrcNoLeak: after drain + flush, only zero nodes remain live.
+func TestOrcNoLeak(t *testing.T) {
+	q := NewOrc(0, core.DomainConfig{MaxThreads: 2})
+	for i := uint64(0); i < 1000; i++ {
+		q.Enqueue(0, i)
+	}
+	for i := 0; i < 500; i++ {
+		q.Dequeue(0)
+	}
+	q.Drain(0)
+	if live := q.Domain().Arena().Stats().Live; live != 0 {
+		t.Fatalf("%d nodes leaked", live)
+	}
+}
+
+// TestOrcConcurrent: conservation (multiset in == multiset out) and
+// UAF-freedom under the strict arena.
+func TestOrcConcurrent(t *testing.T) {
+	const producers, consumers = 4, 4
+	const perProducer = 10_000
+	q := NewOrc(0, core.DomainConfig{MaxThreads: producers + consumers + 1})
+
+	var sumIn, sumOut, countOut rt64
+	var wg, prodWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		prodWG.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			defer prodWG.Done()
+			for i := 0; i < perProducer; i++ {
+				v := uint64(tid)<<32 | uint64(i+1)
+				q.Enqueue(tid, v)
+				sumIn.add(v)
+			}
+		}(p + 1)
+	}
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				v, ok := q.Dequeue(tid)
+				if ok {
+					sumOut.add(v)
+					countOut.add(1)
+					continue
+				}
+				select {
+				case <-done:
+					// final sweep after producers stop
+					for {
+						v, ok := q.Dequeue(tid)
+						if !ok {
+							return
+						}
+						sumOut.add(v)
+						countOut.add(1)
+					}
+				default:
+				}
+			}
+		}(producers + c + 1)
+	}
+	go func() {
+		prodWG.Wait()
+		close(done)
+	}()
+	wg.Wait()
+
+	if countOut.v != producers*perProducer {
+		t.Fatalf("count mismatch: %d out, want %d", countOut.v, producers*perProducer)
+	}
+	if sumIn.v != sumOut.v {
+		t.Fatalf("sum mismatch: in %d out %d", sumIn.v, sumOut.v)
+	}
+	q.Drain(0)
+	if live := q.Domain().Arena().Stats().Live; live != 0 {
+		t.Fatalf("%d nodes leaked", live)
+	}
+}
+
+// TestOrcPerProducerOrder: items from one producer come out in order.
+func TestOrcPerProducerOrder(t *testing.T) {
+	const producers = 3
+	const perProducer = 5000
+	q := NewOrc(0, core.DomainConfig{MaxThreads: producers + 2})
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(tid, uint64(tid)<<32|uint64(i))
+			}
+		}(p + 1)
+	}
+	wg.Wait()
+	last := make(map[uint64]uint64)
+	for {
+		v, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		p, seq := v>>32, v&0xffffffff
+		if prev, seen := last[p]; seen && seq <= prev {
+			t.Fatalf("producer %d out of order: %d after %d", p, seq, prev)
+		}
+		last[p] = seq
+	}
+}
+
+func TestManualSequential(t *testing.T) {
+	for _, scheme := range reclaim.Names() {
+		t.Run(scheme, func(t *testing.T) {
+			q := NewManual(scheme, reclaim.Config{MaxThreads: 2})
+			for i := uint64(1); i <= 64; i++ {
+				q.Enqueue(0, i)
+			}
+			for i := uint64(1); i <= 64; i++ {
+				v, ok := q.Dequeue(0)
+				if !ok || v != i {
+					t.Fatalf("%s: dequeue %d got %d ok=%v", scheme, i, v, ok)
+				}
+			}
+			if _, ok := q.Dequeue(0); ok {
+				t.Fatal("not empty at end")
+			}
+		})
+	}
+}
+
+// TestManualConcurrent: every scheme must survive concurrent churn with
+// the strict arena watching for use-after-free.
+func TestManualConcurrent(t *testing.T) {
+	for _, scheme := range []string{"hp", "ptb", "ptp", "ebr", "he", "ibr"} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			const workers = 6
+			const iters = 8000
+			q := NewManual(scheme, reclaim.Config{MaxThreads: workers})
+			var wg sync.WaitGroup
+			var sumIn, sumOut rt64
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						v := uint64(tid)<<32 | uint64(i+1)
+						q.Enqueue(tid, v)
+						sumIn.add(v)
+						if got, ok := q.Dequeue(tid); ok {
+							sumOut.add(got)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for {
+				v, ok := q.Dequeue(0)
+				if !ok {
+					break
+				}
+				sumOut.add(v)
+			}
+			if sumIn.v != sumOut.v {
+				t.Fatalf("conservation violated: in %d out %d", sumIn.v, sumOut.v)
+			}
+			for tid := 0; tid < workers; tid++ {
+				q.Scheme().Flush(tid)
+			}
+			st := q.Scheme().Stats()
+			t.Logf("%s: retired=%d freed=%d pending=%d", scheme, st.Retired, st.Freed, st.RetiredNotFreed)
+		})
+	}
+}
+
+// TestManualReclaims: schemes other than none must actually free nodes.
+func TestManualReclaims(t *testing.T) {
+	for _, scheme := range []string{"hp", "ptb", "ptp", "ebr", "he", "ibr"} {
+		t.Run(scheme, func(t *testing.T) {
+			q := NewManual(scheme, reclaim.Config{MaxThreads: 2})
+			for r := 0; r < 20; r++ {
+				for i := uint64(0); i < 200; i++ {
+					q.Enqueue(0, i)
+				}
+				q.Drain(0)
+			}
+			q.Scheme().Flush(0)
+			st := q.Scheme().Stats()
+			if st.Freed == 0 {
+				t.Fatalf("%s freed nothing over 4000 retires", scheme)
+			}
+			live := q.Arena().Stats().Live
+			t.Logf("%s: live=%d freed=%d", scheme, live, st.Freed)
+		})
+	}
+}
+
+// rt64 is a tiny atomic accumulator for tests.
+type rt64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (r *rt64) add(x uint64) {
+	r.mu.Lock()
+	r.v += x
+	r.mu.Unlock()
+}

@@ -1,0 +1,234 @@
+package nmtree
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/reclaim"
+)
+
+// MNode is the manually reclaimed tree node.
+type MNode struct {
+	key         uint64
+	leaf        bool
+	left, right atomic.Uint64
+}
+
+// ManualTree is the NM tree under manual reclamation. Only epoch-based
+// reclamation ("ebr") and the leaking baseline ("none") are accepted:
+// the helped multi-node unlink means a deleter cannot in general name
+// every node its operation freed, so pointer-based schemes (HP/PTB/PTP)
+// and era schemes cannot be deployed without redesigning the algorithm —
+// the situation §2 "Limitations of existing schemes" describes, and the
+// reason the paper pairs this tree with OrcGC.
+//
+// Even under EBR the retire placement is conservative: the thread whose
+// cleanup CAS unlinks a chunk retires the successor node, and the
+// injecting deleter retires its leaf; internal nodes of helped multi-
+// level chunks are leaked (rare — only when deletes stack on one path).
+type ManualTree struct {
+	a     *arena.Arena[MNode]
+	s     reclaim.Scheme
+	rootH arena.Handle
+}
+
+type mseek struct {
+	ancestor, successor, parent, leaf arena.Handle
+}
+
+// NewManual builds a tree with scheme "ebr" or "none".
+func NewManual(scheme string, cfg reclaim.Config) *ManualTree {
+	if scheme != "ebr" && scheme != "none" {
+		panic(fmt.Sprintf("nmtree: scheme %q cannot reclaim the NM tree (only ebr/none)", scheme))
+	}
+	a := arena.New[MNode]()
+	t := &ManualTree{a: a}
+	cfg.MaxHPs = 1
+	t.s = reclaim.New(scheme, reclaim.Env{Free: a.Free, Hdr: a.Header}, cfg)
+
+	alloc := func(key uint64, leaf bool) arena.Handle {
+		h, n := a.Alloc()
+		n.key, n.leaf = key, leaf
+		t.s.OnAlloc(h)
+		return h
+	}
+	l0 := alloc(KInf0, true)
+	l1 := alloc(KInf1, true)
+	l2 := alloc(KInf2, true)
+	s := alloc(KInf1, false)
+	sn := a.Get(s)
+	sn.left.Store(uint64(l0))
+	sn.right.Store(uint64(l1))
+	r := alloc(KInf2, false)
+	rn := a.Get(r)
+	rn.left.Store(uint64(s))
+	rn.right.Store(uint64(l2))
+	t.rootH = r
+	return t
+}
+
+// Scheme exposes the reclamation scheme.
+func (t *ManualTree) Scheme() reclaim.Scheme { return t.s }
+
+// Arena exposes the node arena.
+func (t *ManualTree) Arena() *arena.Arena[MNode] { return t.a }
+
+func (t *ManualTree) edge(n *MNode, key uint64) *atomic.Uint64 {
+	if key < n.key {
+		return &n.left
+	}
+	return &n.right
+}
+
+func (t *ManualTree) seek(key uint64) mseek {
+	a := t.a
+	sr := mseek{ancestor: t.rootH}
+	anc := a.Get(t.rootH)
+	sr.successor = arena.Handle(anc.left.Load()).Unmarked()
+	sr.parent = sr.successor
+	parentField := arena.Handle(a.Get(sr.parent).left.Load())
+	sr.leaf = parentField.Unmarked()
+	for {
+		node := a.Get(sr.leaf)
+		if node.leaf {
+			return sr
+		}
+		if !parentField.Marked() {
+			sr.ancestor = sr.parent
+			sr.successor = sr.leaf
+		}
+		sr.parent = sr.leaf
+		parentField = arena.Handle(t.edge(node, key).Load())
+		sr.leaf = parentField.Unmarked()
+	}
+}
+
+func (t *ManualTree) cleanup(tid int, key uint64, sr mseek) bool {
+	a := t.a
+	parentNode := a.Get(sr.parent)
+	var cEdge, sEdge *atomic.Uint64
+	if key < parentNode.key {
+		cEdge, sEdge = &parentNode.left, &parentNode.right
+	} else {
+		cEdge, sEdge = &parentNode.right, &parentNode.left
+	}
+	if !arena.Handle(cEdge.Load()).Flagged() {
+		sEdge = cEdge
+	}
+	sv := arena.Handle(sEdge.Load())
+	for !sv.Marked() {
+		sEdge.CompareAndSwap(uint64(sv), uint64(sv.WithMark()))
+		sv = arena.Handle(sEdge.Load())
+	}
+	newVal := sv.Unmarked()
+	if sv.Flagged() {
+		newVal = newVal.WithFlag()
+	}
+	ancNode := a.Get(sr.ancestor)
+	if t.edge(ancNode, key).CompareAndSwap(uint64(sr.successor), uint64(newVal)) {
+		t.s.Retire(tid, sr.successor)
+		return true
+	}
+	return false
+}
+
+// Insert adds key; false if present.
+func (t *ManualTree) Insert(tid int, key uint64) bool {
+	s, a := t.s, t.a
+	s.BeginOp(tid)
+	defer s.EndOp(tid)
+	for {
+		sr := t.seek(key)
+		leafNode := a.Get(sr.leaf)
+		if leafNode.key == key {
+			return false
+		}
+		parentNode := a.Get(sr.parent)
+		edge := t.edge(parentNode, key)
+
+		nl, lnode := a.Alloc()
+		lnode.key, lnode.leaf = key, true
+		s.OnAlloc(nl)
+		ik := key
+		if leafNode.key > ik {
+			ik = leafNode.key
+		}
+		ni, inode := a.Alloc()
+		inode.key = ik
+		s.OnAlloc(ni)
+		if key < leafNode.key {
+			inode.left.Store(uint64(nl))
+			inode.right.Store(uint64(sr.leaf))
+		} else {
+			inode.left.Store(uint64(sr.leaf))
+			inode.right.Store(uint64(nl))
+		}
+		if edge.CompareAndSwap(uint64(sr.leaf), uint64(ni)) {
+			return true
+		}
+		a.Free(ni) // never published
+		a.Free(nl)
+		cur := arena.Handle(edge.Load())
+		if cur.Unmarked() == sr.leaf && cur.Tags() != 0 {
+			t.cleanup(tid, key, sr)
+		}
+	}
+}
+
+// Remove deletes key; false if absent.
+func (t *ManualTree) Remove(tid int, key uint64) bool {
+	s, a := t.s, t.a
+	s.BeginOp(tid)
+	defer s.EndOp(tid)
+	var target arena.Handle
+	injecting := true
+	for {
+		sr := t.seek(key)
+		if injecting {
+			leafNode := a.Get(sr.leaf)
+			if leafNode.key != key {
+				return false
+			}
+			parentNode := a.Get(sr.parent)
+			edge := t.edge(parentNode, key)
+			if edge.CompareAndSwap(uint64(sr.leaf), uint64(sr.leaf.WithFlag())) {
+				injecting = false
+				target = sr.leaf
+				if t.cleanup(tid, key, sr) {
+					s.Retire(tid, target)
+					return true
+				}
+			} else {
+				cur := arena.Handle(edge.Load())
+				if cur.Unmarked() == sr.leaf && cur.Tags() != 0 {
+					t.cleanup(tid, key, sr)
+				}
+			}
+			continue
+		}
+		if sr.leaf != target {
+			s.Retire(tid, target) // a helper unlinked it; we still own the leaf
+			return true
+		}
+		if t.cleanup(tid, key, sr) {
+			s.Retire(tid, target)
+			return true
+		}
+	}
+}
+
+// Contains reports membership.
+func (t *ManualTree) Contains(tid int, key uint64) bool {
+	s, a := t.s, t.a
+	s.BeginOp(tid)
+	defer s.EndOp(tid)
+	cur := t.rootH
+	for {
+		n := a.Get(cur)
+		if n.leaf {
+			return n.key == key
+		}
+		cur = arena.Handle(t.edge(n, key).Load()).Unmarked()
+	}
+}

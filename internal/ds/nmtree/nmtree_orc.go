@@ -1,0 +1,268 @@
+// Package nmtree implements the Natarajan–Mittal lock-free external
+// binary search tree [22] — the tree of Figures 7 and 8.
+//
+// Keys live in leaves; internal nodes route. Deletion is edge-based: the
+// deleter *flags* the edge parent→leaf, then *tags* the sibling edge so
+// it cannot change, and finally swings the ancestor's edge from the
+// successor to the sibling, unlinking a whole chain in one CAS. That
+// multi-node unlink is why pointer-based manual schemes do not apply
+// cleanly (the helped unlink removes nodes whose deleters cannot know
+// they are gone — the paper's first obstacle); OrcTree needs no retire
+// calls at all, while ManualTree supports only epoch-based reclamation
+// and the leaking baseline, retiring conservatively (see its comment).
+//
+// Handle tag bits: arena.Flag is the NM "flag" (leaf edge under
+// deletion), arena.Mark is the NM "tag" (sibling edge frozen).
+package nmtree
+
+import (
+	"repro/internal/arena"
+	"repro/internal/core"
+)
+
+// Sentinel keys: all real keys must be < KInf0.
+const (
+	KInf0 = ^uint64(2)
+	KInf1 = ^uint64(1)
+	KInf2 = ^uint64(0)
+)
+
+// Node is a tree node; leaf is immutable after creation.
+type Node struct {
+	key         uint64
+	leaf        bool
+	left, right core.Atomic
+}
+
+func nodeLinks(n *Node, visit func(*core.Atomic)) {
+	visit(&n.left)
+	visit(&n.right)
+}
+
+// OrcTree is the NM tree with OrcGC annotation only.
+type OrcTree struct {
+	d    *core.Domain[Node]
+	root core.Atomic // hard link to R; R and S are never deleted
+}
+
+// seekRec is the paper's seek record: ancestor→successor is the deepest
+// untagged edge above parent; parent→leaf is the final edge.
+type seekRec struct {
+	ancestor, successor, parent, leaf core.Ptr
+}
+
+func (t *OrcTree) releaseRec(tid int, sr *seekRec) {
+	t.d.Release(tid, &sr.ancestor)
+	t.d.Release(tid, &sr.successor)
+	t.d.Release(tid, &sr.parent)
+	t.d.Release(tid, &sr.leaf)
+}
+
+// NewOrc builds the sentinel skeleton R(∞₂){S(∞₁){leaf ∞₀, leaf ∞₁}, leaf ∞₂}.
+func NewOrc(tid int, cfg core.DomainConfig) *OrcTree {
+	a := arena.New[Node]()
+	d := core.NewDomain(a, nodeLinks, cfg)
+	t := &OrcTree{d: d}
+
+	var l0, l1, l2, s, r core.Ptr
+	d.Make(tid, func(n *Node) { n.key, n.leaf = KInf0, true }, &l0)
+	d.Make(tid, func(n *Node) { n.key, n.leaf = KInf1, true }, &l1)
+	d.Make(tid, func(n *Node) { n.key, n.leaf = KInf2, true }, &l2)
+	d.Make(tid, func(n *Node) { n.key = KInf1 }, &s)
+	sn := d.Get(s.H())
+	d.InitLink(tid, &sn.left, l0.H())
+	d.InitLink(tid, &sn.right, l1.H())
+	d.Make(tid, func(n *Node) { n.key = KInf2 }, &r)
+	rn := d.Get(r.H())
+	d.InitLink(tid, &rn.left, s.H())
+	d.InitLink(tid, &rn.right, l2.H())
+	d.Store(tid, &t.root, r.H())
+	for _, p := range []*core.Ptr{&l0, &l1, &l2, &s, &r} {
+		d.Release(tid, p)
+	}
+	return t
+}
+
+// Domain exposes the OrcGC domain.
+func (t *OrcTree) Domain() *core.Domain[Node] { return t.d }
+
+// Destroy drops the root and flushes; quiescent use only.
+func (t *OrcTree) Destroy(tid int) {
+	t.d.Store(tid, &t.root, arena.Nil)
+	t.d.FlushAll()
+}
+
+func childEdge(n *Node, key uint64) *core.Atomic {
+	if key < n.key {
+		return &n.left
+	}
+	return &n.right
+}
+
+// seek descends to the leaf for key, maintaining the seek record.
+func (t *OrcTree) seek(tid int, key uint64, sr *seekRec) {
+	d := t.d
+	d.Load(tid, &t.root, &sr.ancestor)
+	anc := d.Get(sr.ancestor.H())
+	d.Load(tid, &anc.left, &sr.successor)
+	sr.successor.Unmark()
+	d.CopyPtr(tid, &sr.parent, &sr.successor)
+	parentField := d.Load(tid, &d.Get(sr.parent.H()).left, &sr.leaf)
+	sr.leaf.Unmark()
+	for {
+		node := d.Get(sr.leaf.H())
+		if node.leaf {
+			return
+		}
+		// Descend through the internal node currently in sr.leaf.
+		if !parentField.Marked() { // untagged edge into it
+			d.CopyPtr(tid, &sr.ancestor, &sr.parent)
+			d.CopyPtr(tid, &sr.successor, &sr.leaf)
+		}
+		d.CopyPtr(tid, &sr.parent, &sr.leaf)
+		parentField = d.Load(tid, childEdge(node, key), &sr.leaf)
+		sr.leaf.Unmark()
+	}
+}
+
+// cleanup attempts the physical removal for the delete flagged around
+// key: freeze the sibling edge with a tag, then swing the ancestor edge
+// from successor to sibling (preserving the sibling's flag). True iff
+// this thread's CAS performed the unlink.
+func (t *OrcTree) cleanup(tid int, key uint64, sr *seekRec) bool {
+	d := t.d
+	parentNode := d.Get(sr.parent.H())
+	var cEdge, sEdge *core.Atomic
+	if key < parentNode.key {
+		cEdge, sEdge = &parentNode.left, &parentNode.right
+	} else {
+		cEdge, sEdge = &parentNode.right, &parentNode.left
+	}
+	if !cEdge.Raw().Flagged() {
+		// The flag sits on the other edge: we are helping a delete of
+		// the sibling, so the chunk to excise hangs off cEdge's side.
+		sEdge = cEdge
+	}
+	var sib core.Ptr
+	defer d.Release(tid, &sib)
+	sv := d.Load(tid, sEdge, &sib)
+	for !sv.Marked() {
+		d.CAS(tid, sEdge, sv, sv.WithMark())
+		sv = d.Load(tid, sEdge, &sib)
+	}
+	newVal := sv.Unmarked()
+	if sv.Flagged() {
+		newVal = newVal.WithFlag()
+	}
+	ancNode := d.Get(sr.ancestor.H())
+	return d.CAS(tid, childEdge(ancNode, key), sr.successor.H(), newVal)
+	// No retire anywhere: the CAS dropped the only external hard link
+	// to the successor chunk; OrcGC collapses it recursively.
+}
+
+// Insert adds key; false if present.
+func (t *OrcTree) Insert(tid int, key uint64) bool {
+	d := t.d
+	var sr seekRec
+	var nl, ni core.Ptr
+	defer t.releaseRec(tid, &sr)
+	defer func() {
+		d.Release(tid, &nl)
+		d.Release(tid, &ni)
+	}()
+	for {
+		t.seek(tid, key, &sr)
+		leafNode := d.Get(sr.leaf.H())
+		if leafNode.key == key {
+			return false
+		}
+		parentNode := d.Get(sr.parent.H())
+		edge := childEdge(parentNode, key)
+
+		d.Make(tid, func(n *Node) { n.key, n.leaf = key, true }, &nl)
+		ik := key
+		if leafNode.key > ik {
+			ik = leafNode.key
+		}
+		d.Make(tid, func(n *Node) { n.key = ik }, &ni)
+		in := d.Get(ni.H())
+		if key < leafNode.key {
+			d.InitLink(tid, &in.left, nl.H())
+			d.InitLink(tid, &in.right, sr.leaf.H())
+		} else {
+			d.InitLink(tid, &in.left, sr.leaf.H())
+			d.InitLink(tid, &in.right, nl.H())
+		}
+		if d.CAS(tid, edge, sr.leaf.H(), ni.H()) {
+			return true
+		}
+		// Discard the speculative nodes (auto-reclaimed) and help any
+		// pending delete blocking this edge.
+		d.Release(tid, &ni)
+		d.Release(tid, &nl)
+		cur := edge.Raw()
+		if cur.Unmarked() == sr.leaf.H() && cur.Tags() != 0 {
+			t.cleanup(tid, key, &sr)
+		}
+	}
+}
+
+// Remove deletes key; false if absent.
+func (t *OrcTree) Remove(tid int, key uint64) bool {
+	d := t.d
+	var sr seekRec
+	var target core.Ptr
+	defer t.releaseRec(tid, &sr)
+	defer d.Release(tid, &target)
+	injecting := true
+	for {
+		t.seek(tid, key, &sr)
+		if injecting {
+			leafNode := d.Get(sr.leaf.H())
+			if leafNode.key != key {
+				return false
+			}
+			parentNode := d.Get(sr.parent.H())
+			edge := childEdge(parentNode, key)
+			if d.CAS(tid, edge, sr.leaf.H(), sr.leaf.H().WithFlag()) {
+				injecting = false
+				d.CopyPtr(tid, &target, &sr.leaf)
+				if t.cleanup(tid, key, &sr) {
+					return true
+				}
+			} else {
+				cur := edge.Raw()
+				if cur.Unmarked() == sr.leaf.H() && cur.Tags() != 0 {
+					t.cleanup(tid, key, &sr)
+				}
+			}
+			continue
+		}
+		if sr.leaf.H() != target.H() {
+			return true // a helper finished the unlink
+		}
+		if t.cleanup(tid, key, &sr) {
+			return true
+		}
+	}
+}
+
+// Contains reports membership.
+func (t *OrcTree) Contains(tid int, key uint64) bool {
+	d := t.d
+	var cur, next core.Ptr
+	defer func() {
+		d.Release(tid, &cur)
+		d.Release(tid, &next)
+	}()
+	d.Load(tid, &t.root, &cur)
+	for {
+		n := d.Get(cur.H())
+		if n.leaf {
+			return n.key == key
+		}
+		d.Load(tid, childEdge(n, key), &next)
+		d.CopyPtr(tid, &cur, &next)
+		cur.Unmark()
+	}
+}

@@ -1,0 +1,228 @@
+package nmtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/reclaim"
+)
+
+type set interface {
+	Insert(tid int, key uint64) bool
+	Remove(tid int, key uint64) bool
+	Contains(tid int, key uint64) bool
+}
+
+func trees(threads int) map[string]set {
+	return map[string]set{
+		"orc":  NewOrc(0, core.DomainConfig{MaxThreads: threads}),
+		"ebr":  NewManual("ebr", reclaim.Config{MaxThreads: threads}),
+		"none": NewManual("none", reclaim.Config{MaxThreads: threads}),
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for name, s := range trees(2) {
+		t.Run(name, func(t *testing.T) {
+			if s.Contains(0, 10) {
+				t.Fatal("empty tree contains 10")
+			}
+			if !s.Insert(0, 10) || s.Insert(0, 10) {
+				t.Fatal("insert semantics broken")
+			}
+			for _, k := range []uint64{5, 15, 3, 7, 12, 20} {
+				if !s.Insert(0, k) {
+					t.Fatalf("insert %d failed", k)
+				}
+			}
+			for _, k := range []uint64{3, 5, 7, 10, 12, 15, 20} {
+				if !s.Contains(0, k) {
+					t.Fatalf("key %d missing", k)
+				}
+			}
+			if !s.Remove(0, 10) || s.Remove(0, 10) {
+				t.Fatal("remove semantics broken")
+			}
+			if s.Contains(0, 10) {
+				t.Fatal("10 still present")
+			}
+			for _, k := range []uint64{3, 5, 7, 12, 15, 20} {
+				if !s.Contains(0, k) {
+					t.Fatalf("key %d lost after unrelated remove", k)
+				}
+			}
+		})
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	for name, s := range trees(2) {
+		t.Run(name, func(t *testing.T) {
+			model := map[uint64]bool{}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 30_000; i++ {
+				k := uint64(rng.Intn(300)) + 1
+				switch rng.Intn(3) {
+				case 0:
+					if s.Insert(0, k) != !model[k] {
+						t.Fatalf("insert(%d) vs model at %d", k, i)
+					}
+					model[k] = true
+				case 1:
+					if s.Remove(0, k) != model[k] {
+						t.Fatalf("remove(%d) vs model at %d", k, i)
+					}
+					model[k] = false
+				default:
+					if s.Contains(0, k) != model[k] {
+						t.Fatalf("contains(%d) vs model at %d", k, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRemoveRootChild(t *testing.T) {
+	for name, s := range trees(2) {
+		t.Run(name, func(t *testing.T) {
+			s.Insert(0, 1)
+			if !s.Remove(0, 1) {
+				t.Fatal("remove sole key failed")
+			}
+			if s.Contains(0, 1) {
+				t.Fatal("key still visible")
+			}
+			// tree must still accept inserts
+			if !s.Insert(0, 2) || !s.Contains(0, 2) {
+				t.Fatal("tree unusable after emptying")
+			}
+		})
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	for name, s := range trees(9) {
+		name, s := name, s
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 8
+			const span = 200
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					base := uint64(tid*span) + 1
+					for round := 0; round < 15; round++ {
+						for k := base; k < base+span; k++ {
+							if !s.Insert(tid, k) {
+								panic("owned insert failed")
+							}
+						}
+						for k := base; k < base+span; k++ {
+							if !s.Contains(tid, k) {
+								panic("owned key missing")
+							}
+						}
+						for k := base; k < base+span; k++ {
+							if !s.Remove(tid, k) {
+								panic("owned remove failed")
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestConcurrentShared(t *testing.T) {
+	for name, s := range trees(9) {
+		name, s := name, s
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 8
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					rng := uint64(tid)*48271 + 11
+					for i := 0; i < 8000; i++ {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						k := rng%128 + 1
+						switch rng % 3 {
+						case 0:
+							s.Insert(tid, k)
+						case 1:
+							s.Remove(tid, k)
+						default:
+							s.Contains(tid, k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for k := uint64(1); k <= 128; k++ {
+				s.Remove(0, k)
+				if s.Contains(0, k) {
+					t.Fatalf("key %d survived removal", k)
+				}
+			}
+		})
+	}
+}
+
+// TestOrcTreeNoLeak: inserting and removing all keys reclaims every node
+// beyond the five sentinels.
+func TestOrcTreeNoLeak(t *testing.T) {
+	tr := NewOrc(0, core.DomainConfig{MaxThreads: 2})
+	for k := uint64(1); k <= 500; k++ {
+		tr.Insert(0, k)
+	}
+	for k := uint64(1); k <= 500; k++ {
+		if !tr.Remove(0, k) {
+			t.Fatalf("remove %d failed", k)
+		}
+	}
+	tr.Destroy(0)
+	if live := tr.Domain().Arena().Stats().Live; live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}
+
+// TestEBRTreeReclaims: the epoch variant must actually free memory.
+func TestEBRTreeReclaims(t *testing.T) {
+	tr := NewManual("ebr", reclaim.Config{MaxThreads: 2})
+	for round := 0; round < 10; round++ {
+		for k := uint64(1); k <= 200; k++ {
+			tr.Insert(0, k)
+		}
+		for k := uint64(1); k <= 200; k++ {
+			tr.Remove(0, k)
+		}
+	}
+	tr.Scheme().Flush(0)
+	if st := tr.Scheme().Stats(); st.Freed == 0 {
+		t.Fatal("EBR tree freed nothing")
+	}
+}
+
+// TestManualRejectsPointerSchemes: the constructor must refuse schemes
+// that cannot reclaim this structure (the paper's obstacle 1).
+func TestManualRejectsPointerSchemes(t *testing.T) {
+	for _, scheme := range []string{"hp", "ptb", "ptp", "he", "ibr"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewManual(%q) did not panic", scheme)
+				}
+			}()
+			NewManual(scheme, reclaim.Config{})
+		}()
+	}
+}

@@ -1,0 +1,189 @@
+package skiplist
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/reclaim"
+)
+
+// MNode is a manually reclaimed skip-list node.
+type MNode struct {
+	key      uint64
+	topLevel int32
+	next     [MaxLevels]atomic.Uint64
+}
+
+// HSManual is the Herlihy–Shavit skip list under manual reclamation.
+// Only "ebr" and "none" are accepted: the wait-free contains traverses
+// marked nodes without any per-pointer protection window the pointer-
+// based schemes could validate, and removed nodes keep live successor
+// links — the second obstacle of §2. The winning remover retires its
+// node after the physical unlink; epoch grace periods keep the chained
+// traversals safe.
+type HSManual struct {
+	a     *arena.Arena[MNode]
+	s     reclaim.Scheme
+	headH arena.Handle
+	tailH arena.Handle
+	rng   *levelRNG
+}
+
+type mseek struct {
+	preds, succs [MaxLevels]arena.Handle
+}
+
+// NewHSManual builds a skip list with scheme "ebr" or "none".
+func NewHSManual(scheme string, cfg reclaim.Config) *HSManual {
+	if scheme != "ebr" && scheme != "none" {
+		panic(fmt.Sprintf("skiplist: scheme %q cannot reclaim the HS skip list (only ebr/none)", scheme))
+	}
+	a := arena.New[MNode]()
+	cfg.MaxHPs = 1
+	s := &HSManual{a: a, rng: newLevelRNG(max(cfg.MaxThreads, 1))}
+	s.s = reclaim.New(scheme, reclaim.Env{Free: a.Free, Hdr: a.Header}, cfg)
+
+	th, tn := a.Alloc()
+	tn.key, tn.topLevel = tailKey, MaxLevels-1
+	s.s.OnAlloc(th)
+	hh, hn := a.Alloc()
+	hn.key, hn.topLevel = headKey, MaxLevels-1
+	for l := 0; l < MaxLevels; l++ {
+		hn.next[l].Store(uint64(th))
+	}
+	s.s.OnAlloc(hh)
+	s.headH, s.tailH = hh, th
+	return s
+}
+
+// Scheme exposes the reclamation scheme.
+func (s *HSManual) Scheme() reclaim.Scheme { return s.s }
+
+// Arena exposes the node arena.
+func (s *HSManual) Arena() *arena.Arena[MNode] { return s.a }
+
+func (s *HSManual) find(key uint64, r *mseek) bool {
+	a := s.a
+retry:
+	for {
+		pred := s.headH
+		for level := MaxLevels - 1; level >= 0; level-- {
+			curr := arena.Handle(a.Get(pred).next[level].Load()).Unmarked()
+			for {
+				cn := a.Get(curr)
+				succ := arena.Handle(cn.next[level].Load())
+				for succ.Marked() {
+					if !a.Get(pred).next[level].CompareAndSwap(uint64(curr), uint64(succ.Unmarked())) {
+						continue retry
+					}
+					curr = arena.Handle(a.Get(pred).next[level].Load()).Unmarked()
+					cn = a.Get(curr)
+					succ = arena.Handle(cn.next[level].Load())
+				}
+				if cn.key < key {
+					pred = curr
+					curr = succ.Unmarked()
+				} else {
+					break
+				}
+			}
+			r.preds[level] = pred
+			r.succs[level] = curr
+		}
+		return a.Get(r.succs[0]).key == key
+	}
+}
+
+// Insert adds key; false if present.
+func (s *HSManual) Insert(tid int, key uint64) bool {
+	a := s.a
+	s.s.BeginOp(tid)
+	defer s.s.EndOp(tid)
+	topLevel := int32(s.rng.next(tid))
+	var r mseek
+	for {
+		if s.find(key, &r) {
+			return false
+		}
+		nh, n := a.Alloc()
+		n.key, n.topLevel = key, topLevel
+		for l := int32(0); l <= topLevel; l++ {
+			n.next[l].Store(uint64(r.succs[l]))
+		}
+		s.s.OnAlloc(nh)
+		if !a.Get(r.preds[0]).next[0].CompareAndSwap(uint64(r.succs[0]), uint64(nh)) {
+			a.Free(nh) // never published
+			continue
+		}
+		for l := int32(1); l <= topLevel; l++ {
+			for {
+				if a.Get(r.preds[l]).next[l].CompareAndSwap(uint64(r.succs[l]), uint64(nh)) {
+					break
+				}
+				s.find(key, &r) // book-faithful: nh.next[l] left stale
+			}
+		}
+		return true
+	}
+}
+
+// Remove deletes key; false if absent.
+func (s *HSManual) Remove(tid int, key uint64) bool {
+	a := s.a
+	s.s.BeginOp(tid)
+	defer s.s.EndOp(tid)
+	var r mseek
+	if !s.find(key, &r) {
+		return false
+	}
+	node := r.succs[0]
+	nd := a.Get(node)
+	for l := nd.topLevel; l >= 1; l-- {
+		succ := arena.Handle(nd.next[l].Load())
+		for !succ.Marked() {
+			nd.next[l].CompareAndSwap(uint64(succ), uint64(succ.WithMark()))
+			succ = arena.Handle(nd.next[l].Load())
+		}
+	}
+	for {
+		succ := arena.Handle(nd.next[0].Load())
+		if succ.Marked() {
+			return false
+		}
+		if nd.next[0].CompareAndSwap(uint64(succ), uint64(succ.WithMark())) {
+			s.find(key, &r) // physical unlink
+			s.s.Retire(tid, node)
+			return true
+		}
+	}
+}
+
+// Contains is the book's non-restarting lookup.
+func (s *HSManual) Contains(tid int, key uint64) bool {
+	a := s.a
+	s.s.BeginOp(tid)
+	defer s.s.EndOp(tid)
+	pred := s.headH
+	var curr arena.Handle
+	for level := MaxLevels - 1; level >= 0; level-- {
+		curr = arena.Handle(a.Get(pred).next[level].Load()).Unmarked()
+		for {
+			cn := a.Get(curr)
+			succ := arena.Handle(cn.next[level].Load())
+			for succ.Marked() {
+				curr = succ.Unmarked()
+				cn = a.Get(curr)
+				succ = arena.Handle(cn.next[level].Load())
+			}
+			if cn.key < key {
+				pred = curr
+				curr = succ.Unmarked()
+			} else {
+				break
+			}
+		}
+	}
+	cn := a.Get(curr)
+	return cn.key == key && !arena.Handle(cn.next[0].Load()).Marked()
+}

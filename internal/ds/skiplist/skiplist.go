@@ -1,0 +1,67 @@
+// Package skiplist implements the two lock-free skip lists of the
+// paper's Figures 7 and 8 plus the §5 memory-footprint experiment:
+//
+//   - HSOrc / HSManual — the Herlihy–Shavit lock-free skip list [15]
+//     (the book's LockFreeSkipList, which the authors ported from Java).
+//     Its contains() descends without ever restarting, traversing marked
+//     nodes, and its insert leaves upper-level successor links stale —
+//     so removed nodes can chain to other removed nodes, giving a
+//     key-bounded population of unreclaimable memory (the ≈19 GB data
+//     point). Also the paper's third-obstacle structure: a half-inserted
+//     node can be removed and later completes its insertion.
+//   - CRFOrc — the paper's new CRF-skip: removers fully isolate a node
+//     and then *poison* its successor links; any traversal that steps on
+//     poison restarts from the top. Poisoning breaks removed-node chains
+//     (memory stays linear) at the cost of making contains lock-free
+//     rather than wait-free.
+//
+// Keys must lie strictly between 0 and 2^64−1 (head/tail sentinels).
+package skiplist
+
+import (
+	"repro/internal/arena"
+	"repro/internal/rt"
+)
+
+// MaxLevels is the skip-list height (level indices 0..MaxLevels-1).
+const MaxLevels = 16
+
+const (
+	headKey = uint64(0)
+	tailKey = ^uint64(0)
+)
+
+// poison is the link value CRF removers install once a node is isolated:
+// a nil reference carrying both tag bits, never produced by any other
+// operation.
+var poison = arena.Nil.WithFlag().WithMark()
+
+func isPoison(h arena.Handle) bool { return h.IsNil() && h.Flagged() }
+
+// levelRNG hands out geometric levels, one xorshift state per thread.
+type levelRNG struct {
+	states []rt.PaddedUint64
+}
+
+func newLevelRNG(threads int) *levelRNG {
+	r := &levelRNG{states: make([]rt.PaddedUint64, threads)}
+	for i := range r.states {
+		r.states[i].Store(uint64(i)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D)
+	}
+	return r
+}
+
+// next returns a level in [0, MaxLevels): P(level ≥ k) = 2^-k.
+func (r *levelRNG) next(tid int) int {
+	x := r.states[tid].Load()
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.states[tid].Store(x)
+	lvl := 0
+	for x&1 == 1 && lvl < MaxLevels-1 {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}

@@ -1,0 +1,183 @@
+package turnqueue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+)
+
+// LObj mirrors Obj with plain handle links for the no-reclamation
+// baseline.
+type LObj struct {
+	item    uint64
+	owner   int32
+	next    atomic.Uint64
+	reqLink atomic.Uint64
+	result  atomic.Uint64
+}
+
+// LeakQueue is the turn queue without reclamation.
+type LeakQueue struct {
+	a      *arena.Arena[LObj]
+	nthr   int
+	head   atomic.Uint64
+	tail   atomic.Uint64
+	emptyH arena.Handle
+	enqs   []atomic.Uint64
+	deqs   []atomic.Uint64
+}
+
+// NewLeak builds an empty leaking turn queue.
+func NewLeak(threads int) *LeakQueue {
+	if threads <= 0 {
+		threads = 64
+	}
+	a := arena.New[LObj]()
+	q := &LeakQueue{a: a, nthr: threads}
+	q.enqs = make([]atomic.Uint64, threads)
+	q.deqs = make([]atomic.Uint64, threads)
+	sh, sn := a.Alloc()
+	sn.owner = -1
+	q.head.Store(uint64(sh))
+	q.tail.Store(uint64(sh))
+	eh, en := a.Alloc()
+	en.owner = -1
+	q.emptyH = eh
+	return q
+}
+
+// Arena exposes the arena (leak accounting).
+func (q *LeakQueue) Arena() *arena.Arena[LObj] { return q.a }
+
+// Enqueue appends item.
+func (q *LeakQueue) Enqueue(tid int, item uint64) {
+	a := q.a
+	nh, n := a.Alloc()
+	n.item, n.owner = item, int32(tid)
+	q.enqs[tid].Store(uint64(nh))
+
+	for arena.Handle(q.enqs[tid].Load()) == nh {
+		th := arena.Handle(q.tail.Load())
+		tn := a.Get(th)
+		next := arena.Handle(tn.next.Load())
+		if !next.IsNil() {
+			ow := a.Get(next).owner
+			if ow >= 0 && int(ow) < q.nthr {
+				q.enqs[ow].CompareAndSwap(uint64(next), 0)
+			}
+			q.tail.CompareAndSwap(uint64(th), uint64(next))
+			continue
+		}
+		start := int(tn.owner) + 1
+		linked := false
+		for j := 0; j < q.nthr; j++ {
+			i := (start + j) % q.nthr
+			rh := arena.Handle(q.enqs[i].Load())
+			if rh.IsNil() {
+				continue
+			}
+			tn.next.CompareAndSwap(0, uint64(rh))
+			linked = true
+			break
+		}
+		if !linked {
+			break
+		}
+	}
+}
+
+// Dequeue removes the oldest item; ok=false when empty.
+func (q *LeakQueue) Dequeue(tid int) (uint64, bool) {
+	a := q.a
+	rh, _ := a.Alloc()
+	a.Get(rh).owner = int32(tid)
+	q.deqs[tid].Store(uint64(rh))
+	for {
+		res := arena.Handle(a.Get(rh).result.Load())
+		if !res.IsNil() {
+			q.deqs[tid].CompareAndSwap(uint64(rh), 0)
+			if res == q.emptyH {
+				return 0, false
+			}
+			return a.Get(res).item, true
+		}
+		q.serve()
+	}
+}
+
+func (q *LeakQueue) serve() {
+	a := q.a
+	hh := arena.Handle(q.head.Load())
+	hn := a.Get(hh)
+	nh := arena.Handle(hn.next.Load())
+	if arena.Handle(q.head.Load()) != hh {
+		return
+	}
+	if nh.IsNil() {
+		for i := 0; i < q.nthr; i++ {
+			rh := arena.Handle(q.deqs[i].Load())
+			if rh.IsNil() {
+				continue
+			}
+			if arena.Handle(q.head.Load()) != hh || hn.next.Load() != 0 {
+				return
+			}
+			a.Get(rh).result.CompareAndSwap(0, uint64(q.emptyH))
+		}
+		return
+	}
+	node := a.Get(nh)
+	for {
+		cur := arena.Handle(node.reqLink.Load())
+		if cur.IsNil() {
+			start := 0
+			if pl := arena.Handle(hn.reqLink.Load()); !pl.IsNil() {
+				start = int(a.Get(pl).owner) + 1
+			}
+			chosen := false
+			for j := 0; j < q.nthr; j++ {
+				i := (start + j) % q.nthr
+				ch := arena.Handle(q.deqs[i].Load())
+				if ch.IsNil() || a.Get(ch).result.Load() != 0 {
+					continue
+				}
+				node.reqLink.CompareAndSwap(0, uint64(ch))
+				chosen = true
+				break
+			}
+			if !chosen {
+				return
+			}
+			continue
+		}
+		reqObj := a.Get(cur)
+		res := arena.Handle(reqObj.result.Load())
+		switch {
+		case res.IsNil():
+			reqObj.result.CompareAndSwap(0, uint64(nh))
+		case res == nh:
+			ow := int(reqObj.owner)
+			if ow >= 0 && ow < q.nthr {
+				q.deqs[ow].CompareAndSwap(uint64(cur), 0)
+			}
+			q.head.CompareAndSwap(uint64(hh), uint64(nh))
+			return
+		default:
+			next := int(reqObj.owner) + 1
+			reassigned := false
+			for j := 0; j < q.nthr; j++ {
+				i := (next + j) % q.nthr
+				ch := arena.Handle(q.deqs[i].Load())
+				if ch.IsNil() || ch == cur || a.Get(ch).result.Load() != 0 {
+					continue
+				}
+				node.reqLink.CompareAndSwap(uint64(cur), uint64(ch))
+				reassigned = true
+				break
+			}
+			if !reassigned {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package turnqueue
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := NewOrc(0, core.DomainConfig{MaxThreads: 4})
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("fresh queue not empty")
+	}
+	for i := uint64(1); i <= 300; i++ {
+		q.Enqueue(0, i)
+	}
+	for i := uint64(1); i <= 300; i++ {
+		v, ok := q.Dequeue(0)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestAlternating(t *testing.T) {
+	q := NewOrc(0, core.DomainConfig{MaxThreads: 4})
+	for round := uint64(1); round <= 1000; round++ {
+		q.Enqueue(0, round)
+		v, ok := q.Dequeue(1)
+		if !ok || v != round {
+			t.Fatalf("round %d: got %d ok=%v", round, v, ok)
+		}
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	const workers = 6
+	const per = 3000
+	q := NewOrc(0, core.DomainConfig{MaxThreads: workers + 1})
+	var mu sync.Mutex
+	var sumIn, sumOut uint64
+	var cnt int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			var in, out uint64
+			var c int
+			for i := 0; i < per; i++ {
+				v := uint64(tid*per + i + 1)
+				q.Enqueue(tid, v)
+				in += v
+				if got, ok := q.Dequeue(tid); ok {
+					out += got
+					c++
+				}
+			}
+			mu.Lock()
+			sumIn += in
+			sumOut += out
+			cnt += c
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	for {
+		v, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		sumOut += v
+		cnt++
+	}
+	if cnt != workers*per {
+		t.Fatalf("count %d want %d", cnt, workers*per)
+	}
+	if sumIn != sumOut {
+		t.Fatalf("sum in=%d out=%d", sumIn, sumOut)
+	}
+}
+
+func TestConcurrentEnqueueOnly(t *testing.T) {
+	const workers = 8
+	const per = 3000
+	q := NewOrc(0, core.DomainConfig{MaxThreads: workers + 1})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(tid, uint64(tid)<<32|uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	last := map[uint64]int64{}
+	n := 0
+	for {
+		v, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		n++
+		p, seq := v>>32, int64(v&0xffffffff)
+		if prev, seen := last[p]; seen && seq <= prev {
+			t.Fatalf("producer %d out of order: %d after %d", p, seq, prev)
+		}
+		last[p] = seq
+	}
+	if n != workers*per {
+		t.Fatalf("drained %d want %d", n, workers*per)
+	}
+}
+
+func TestOrcReclaims(t *testing.T) {
+	q := NewOrc(0, core.DomainConfig{MaxThreads: 3})
+	for i := uint64(1); i <= 500; i++ {
+		q.Enqueue(0, i)
+	}
+	for i := uint64(1); i <= 500; i++ {
+		q.Dequeue(1)
+	}
+	q.Drain(0)
+	if live := q.Domain().Arena().Stats().Live; live != 0 {
+		t.Fatalf("turn queue leaked %d objects", live)
+	}
+}

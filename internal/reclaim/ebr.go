@@ -1,0 +1,133 @@
+package reclaim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/rt"
+)
+
+const ebrIdle = ^uint64(0)
+
+type ebrItem struct {
+	h     arena.Handle
+	epoch uint64
+}
+
+// EBR is classic three-epoch epoch-based reclamation (Fraser / RCU
+// family). Protection is a per-operation epoch announcement — wait-free
+// and cheap — but retire is blocking: a thread parked inside an
+// operation stalls the epoch and unreclaimed memory is unbounded, which
+// is exactly the Table 1 row the paper contrasts the lock-free schemes
+// against.
+type EBR struct {
+	counters
+	env Env
+	cfg Config
+
+	global       atomic.Uint64
+	reservations []rt.PaddedUint64
+	limbo        [][]ebrItem
+	ops          []int // per-thread retire counter for amortized advance
+}
+
+// NewEBR builds an epoch-based-reclamation instance.
+func NewEBR(env Env, cfg Config) *EBR {
+	cfg.defaults()
+	e := &EBR{
+		env:          env,
+		cfg:          cfg,
+		reservations: make([]rt.PaddedUint64, cfg.MaxThreads),
+		limbo:        make([][]ebrItem, cfg.MaxThreads),
+		ops:          make([]int, cfg.MaxThreads),
+	}
+	e.global.Store(2)
+	for i := range e.reservations {
+		e.reservations[i].Store(ebrIdle)
+	}
+	return e
+}
+
+// Name returns "ebr".
+func (*EBR) Name() string { return "ebr" }
+
+// BeginOp announces the thread is active in the current epoch.
+func (e *EBR) BeginOp(tid int) {
+	e.reservations[tid].Store(e.global.Load())
+}
+
+// EndOp marks the thread quiescent.
+func (e *EBR) EndOp(tid int) {
+	e.reservations[tid].Store(ebrIdle)
+}
+
+// GetProtected needs no per-pointer work: the epoch announcement covers
+// every object reachable during the operation.
+func (e *EBR) GetProtected(_, _ int, addr *atomic.Uint64) arena.Handle {
+	return arena.Handle(addr.Load())
+}
+
+// Protect is a no-op under epochs.
+func (*EBR) Protect(int, int, arena.Handle) {}
+
+// Clear is a no-op under epochs.
+func (*EBR) Clear(int, int) {}
+
+// ClearAll is a no-op under epochs.
+func (*EBR) ClearAll(int) {}
+
+// OnAlloc is a no-op for EBR.
+func (*EBR) OnAlloc(arena.Handle) {}
+
+// Retire stamps the object with the current epoch and occasionally tries
+// to advance the epoch and reap the limbo list.
+func (e *EBR) Retire(tid int, v arena.Handle) {
+	e.onRetire()
+	e.limbo[tid] = append(e.limbo[tid], ebrItem{h: v.Unmarked(), epoch: e.global.Load()})
+	e.ops[tid]++
+	if e.ops[tid]%32 == 0 {
+		e.tryAdvance()
+		e.reap(tid)
+	}
+}
+
+// tryAdvance bumps the global epoch if every active thread has observed
+// the current one. A single stalled reader blocks the bump — EBR's
+// defining weakness.
+func (e *EBR) tryAdvance() {
+	cur := e.global.Load()
+	for t := 0; t < e.cfg.MaxThreads; t++ {
+		r := e.reservations[t].Load()
+		if r != ebrIdle && r < cur {
+			return
+		}
+	}
+	e.global.CompareAndSwap(cur, cur+1)
+}
+
+// reap frees limbo entries two epochs behind the global epoch: every
+// thread active when they were retired has since passed through a
+// quiescent announcement.
+func (e *EBR) reap(tid int) {
+	g := e.global.Load()
+	keep := e.limbo[tid][:0]
+	for _, it := range e.limbo[tid] {
+		if it.epoch+2 <= g {
+			e.env.Free(it.h)
+			e.onFree()
+		} else {
+			keep = append(keep, it)
+		}
+	}
+	e.limbo[tid] = keep
+}
+
+// Flush attempts an advance and a reap.
+func (e *EBR) Flush(tid int) {
+	e.tryAdvance()
+	e.tryAdvance()
+	e.reap(tid)
+}
+
+// Stats reports counters.
+func (e *EBR) Stats() Stats { return e.snapshot() }

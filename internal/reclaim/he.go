@@ -1,0 +1,147 @@
+package reclaim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+)
+
+// HE is hazard eras (Ramalhete–Correia, SPAA '17): each object carries a
+// birth era and a retire era in its two header words; readers publish
+// the era in which they are traversing instead of individual pointers. A
+// retired object may be freed once no published era intersects its
+// lifetime interval. Lock-free protect, wait-free retire, bound
+// O(#L·H·t²) — looser than the pointer-based schemes, cheaper protects.
+type HE struct {
+	counters
+	env Env
+	cfg Config
+
+	clock   atomic.Uint64
+	eras    [][]atomic.Uint64 // published eras, 0 = none
+	retired [][]heItem
+	thresh  int
+}
+
+type heItem struct {
+	h      arena.Handle
+	birth  uint64
+	retire uint64
+}
+
+// NewHE builds a hazard-eras instance.
+func NewHE(env Env, cfg Config) *HE {
+	cfg.defaults()
+	h := &HE{
+		env:     env,
+		cfg:     cfg,
+		eras:    make([][]atomic.Uint64, cfg.MaxThreads),
+		retired: make([][]heItem, cfg.MaxThreads),
+		thresh:  cfg.MaxHPs * cfg.MaxThreads,
+	}
+	h.clock.Store(1)
+	for i := range h.eras {
+		h.eras[i] = make([]atomic.Uint64, cfg.MaxHPs+8)
+	}
+	if h.thresh < 64 {
+		h.thresh = 64
+	}
+	return h
+}
+
+// Name returns "he".
+func (*HE) Name() string { return "he" }
+
+// BeginOp is a no-op (eras are published per protection slot).
+func (*HE) BeginOp(int) {}
+
+// EndOp clears all published eras of the thread.
+func (h *HE) EndOp(tid int) { h.ClearAll(tid) }
+
+// OnAlloc stamps the object's birth era into header word A.
+func (h *HE) OnAlloc(v arena.Handle) {
+	birth, _ := h.env.Hdr(v)
+	birth.Store(h.clock.Load())
+}
+
+// GetProtected publishes the current era until the era is stable across
+// the read of addr — the HE protection loop.
+func (h *HE) GetProtected(tid, idx int, addr *atomic.Uint64) arena.Handle {
+	prev := h.eras[tid][idx].Load()
+	for {
+		v := arena.Handle(addr.Load())
+		era := h.clock.Load()
+		if era == prev {
+			return v
+		}
+		h.eras[tid][idx].Store(era)
+		prev = era
+	}
+}
+
+// Protect publishes the current era in the slot.
+func (h *HE) Protect(tid, idx int, _ arena.Handle) {
+	h.eras[tid][idx].Store(h.clock.Load())
+}
+
+// Clear resets one era slot.
+func (h *HE) Clear(tid, idx int) { h.eras[tid][idx].Store(0) }
+
+// ClearAll resets every era slot of the thread.
+func (h *HE) ClearAll(tid int) {
+	for i := 0; i < h.cfg.MaxHPs; i++ {
+		h.eras[tid][i].Store(0)
+	}
+}
+
+// Retire stamps the retire era, bumps the era clock, and scans when the
+// thread's retired list is long enough.
+func (h *HE) Retire(tid int, v arena.Handle) {
+	h.onRetire()
+	v = v.Unmarked()
+	birth, retire := h.env.Hdr(v)
+	e := h.clock.Load()
+	retire.Store(e)
+	h.retired[tid] = append(h.retired[tid], heItem{h: v, birth: birth.Load(), retire: e})
+	h.clock.Add(1)
+	if len(h.retired[tid]) >= h.thresh {
+		h.scan(tid)
+	}
+}
+
+func (h *HE) scan(tid int) {
+	// Snapshot all published eras once.
+	var eras []uint64
+	for t := 0; t < h.cfg.MaxThreads; t++ {
+		for i := 0; i < h.cfg.MaxHPs; i++ {
+			if e := h.eras[t][i].Load(); e != 0 {
+				eras = append(eras, e)
+			}
+		}
+	}
+	keep := h.retired[tid][:0]
+	for _, it := range h.retired[tid] {
+		if intervalReserved(eras, it.birth, it.retire) {
+			keep = append(keep, it)
+			continue
+		}
+		h.env.Free(it.h)
+		h.onFree()
+	}
+	h.retired[tid] = keep
+}
+
+func intervalReserved(eras []uint64, birth, retire uint64) bool {
+	for _, e := range eras {
+		if birth <= e && e <= retire {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush scans unconditionally.
+func (h *HE) Flush(tid int) { h.scan(tid) }
+
+// Stats reports counters.
+func (h *HE) Stats() Stats { return h.snapshot() }

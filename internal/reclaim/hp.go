@@ -1,0 +1,161 @@
+package reclaim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+)
+
+// hpArrays is the published hazardous-pointer matrix shared by the
+// pointer-based schemes: one single-writer row per thread, readable by
+// every retiring thread. Entries hold unmarked handles.
+type hpArrays struct {
+	rows [][]atomic.Uint64
+	hps  int
+}
+
+func newHPArrays(threads, hps int) *hpArrays {
+	a := &hpArrays{rows: make([][]atomic.Uint64, threads), hps: hps}
+	for i := range a.rows {
+		// One backing array per thread keeps rows on separate cache
+		// lines without explicit padding structs.
+		a.rows[i] = make([]atomic.Uint64, hps+8)
+	}
+	return a
+}
+
+func (a *hpArrays) publish(tid, idx int, h arena.Handle) {
+	a.rows[tid][idx].Store(uint64(h.Unmarked()))
+}
+
+func (a *hpArrays) read(tid, idx int) arena.Handle {
+	return arena.Handle(a.rows[tid][idx].Load())
+}
+
+func (a *hpArrays) clear(tid, idx int) {
+	a.rows[tid][idx].Store(0)
+}
+
+func (a *hpArrays) clearAll(tid int) {
+	for i := 0; i < a.hps; i++ {
+		a.rows[tid][i].Store(0)
+	}
+}
+
+// PublishWithSwap mirrors core.PublishWithSwap for the manual schemes:
+// publish hazardous pointers with exchange instead of store (the
+// Intel/AMD ablation of DESIGN.md). Flip only at quiescence.
+var PublishWithSwap atomic.Bool
+
+// getProtected is the protection loop shared verbatim by HP, PTB and PTP
+// (the paper notes the three schemes protect identically): re-publish
+// until the address still holds the published value.
+func (a *hpArrays) getProtected(tid, idx int, addr *atomic.Uint64) arena.Handle {
+	swap := PublishWithSwap.Load()
+	var published arena.Handle = ^arena.Handle(0)
+	for {
+		v := arena.Handle(addr.Load())
+		if v.Unmarked() == published {
+			return v
+		}
+		published = v.Unmarked()
+		if swap {
+			a.rows[tid][idx].Swap(uint64(published))
+		} else {
+			a.rows[tid][idx].Store(uint64(published))
+		}
+	}
+}
+
+// HP is Michael's hazard-pointers scheme: per-thread retired lists,
+// amortized scans that free every retired object not currently
+// published. Bound on unreclaimed objects: O(H·t²).
+type HP struct {
+	counters
+	env Env
+	cfg Config
+	hp  *hpArrays
+	// per-thread retired lists; single-owner, no synchronization
+	retired [][]arena.Handle
+	// scan threshold: classic R = 2·H·t
+	threshold int
+}
+
+// NewHP builds a hazard-pointers instance.
+func NewHP(env Env, cfg Config) *HP {
+	cfg.defaults()
+	h := &HP{
+		env:       env,
+		cfg:       cfg,
+		hp:        newHPArrays(cfg.MaxThreads, cfg.MaxHPs),
+		retired:   make([][]arena.Handle, cfg.MaxThreads),
+		threshold: 2 * cfg.MaxHPs * cfg.MaxThreads,
+	}
+	if h.threshold < 64 {
+		h.threshold = 64
+	}
+	return h
+}
+
+// Name returns "hp".
+func (*HP) Name() string { return "hp" }
+
+// BeginOp is a no-op for HP.
+func (*HP) BeginOp(int) {}
+
+// EndOp is a no-op for HP.
+func (*HP) EndOp(int) {}
+
+// GetProtected implements the standard hazard-pointer protection loop.
+func (h *HP) GetProtected(tid, idx int, addr *atomic.Uint64) arena.Handle {
+	return h.hp.getProtected(tid, idx, addr)
+}
+
+// Protect publishes an already-pinned handle.
+func (h *HP) Protect(tid, idx int, v arena.Handle) { h.hp.publish(tid, idx, v) }
+
+// Clear clears one slot.
+func (h *HP) Clear(tid, idx int) { h.hp.clear(tid, idx) }
+
+// ClearAll clears the thread's row.
+func (h *HP) ClearAll(tid int) { h.hp.clearAll(tid) }
+
+// OnAlloc is a no-op for HP.
+func (*HP) OnAlloc(arena.Handle) {}
+
+// Retire appends to the thread's retired list and scans when the list
+// reaches the threshold.
+func (h *HP) Retire(tid int, v arena.Handle) {
+	h.onRetire()
+	h.retired[tid] = append(h.retired[tid], v.Unmarked())
+	if len(h.retired[tid]) >= h.threshold {
+		h.scan(tid)
+	}
+}
+
+// Flush runs a scan unconditionally.
+func (h *HP) Flush(tid int) { h.scan(tid) }
+
+func (h *HP) scan(tid int) {
+	published := make(map[arena.Handle]struct{}, h.cfg.MaxThreads*h.cfg.MaxHPs)
+	for t := 0; t < h.cfg.MaxThreads; t++ {
+		for i := 0; i < h.cfg.MaxHPs; i++ {
+			if p := h.hp.read(t, i); !p.IsNil() {
+				published[p] = struct{}{}
+			}
+		}
+	}
+	keep := h.retired[tid][:0]
+	for _, v := range h.retired[tid] {
+		if _, hazardous := published[v]; hazardous {
+			keep = append(keep, v)
+			continue
+		}
+		h.env.Free(v)
+		h.onFree()
+	}
+	h.retired[tid] = keep
+}
+
+// Stats reports counters.
+func (h *HP) Stats() Stats { return h.snapshot() }

@@ -1,0 +1,154 @@
+package reclaim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/rt"
+)
+
+// IBR is two-generation interval-based reclamation (2GEIBR, Wen et al.,
+// PPoPP '18) — the IBR variant the paper singles out as lock-free with
+// bounded memory. Each thread reserves an era *interval* [lower, upper]:
+// lower is pinned at operation start, upper is ratcheted forward by the
+// HE-style protection loop. A retired object is freed once its
+// [birth, retire] interval intersects no thread's reservation. The
+// interval reservation is what inflates the bound past HE's (the paper's
+// related-work discussion of Hyaline/IBR).
+type IBR struct {
+	counters
+	env Env
+	cfg Config
+
+	clock   atomic.Uint64
+	lower   []rt.PaddedUint64 // 0 = inactive
+	upper   []rt.PaddedUint64
+	retired [][]heItem
+	allocs  atomic.Uint64
+	thresh  int
+}
+
+// NewIBR builds a 2GEIBR instance.
+func NewIBR(env Env, cfg Config) *IBR {
+	cfg.defaults()
+	i := &IBR{
+		env:     env,
+		cfg:     cfg,
+		lower:   make([]rt.PaddedUint64, cfg.MaxThreads),
+		upper:   make([]rt.PaddedUint64, cfg.MaxThreads),
+		retired: make([][]heItem, cfg.MaxThreads),
+		thresh:  cfg.MaxHPs * cfg.MaxThreads,
+	}
+	i.clock.Store(1)
+	if i.thresh < 64 {
+		i.thresh = 64
+	}
+	return i
+}
+
+// Name returns "ibr".
+func (*IBR) Name() string { return "ibr" }
+
+// BeginOp pins the reservation interval at the current era.
+func (i *IBR) BeginOp(tid int) {
+	e := i.clock.Load()
+	i.lower[tid].Store(e)
+	i.upper[tid].Store(e)
+}
+
+// EndOp drops the reservation.
+func (i *IBR) EndOp(tid int) {
+	i.lower[tid].Store(0)
+	i.upper[tid].Store(0)
+}
+
+// OnAlloc stamps the birth era and advances the era clock every few
+// allocations (IBR ticks on allocation, unlike HE's tick on retire).
+func (i *IBR) OnAlloc(v arena.Handle) {
+	birth, _ := i.env.Hdr(v)
+	birth.Store(i.clock.Load())
+	if i.allocs.Add(1)%16 == 0 {
+		i.clock.Add(1)
+	}
+}
+
+// GetProtected ratchets the upper reservation until the era is stable
+// across the read.
+func (i *IBR) GetProtected(tid, _ int, addr *atomic.Uint64) arena.Handle {
+	prev := i.upper[tid].Load()
+	for {
+		v := arena.Handle(addr.Load())
+		era := i.clock.Load()
+		if era == prev {
+			return v
+		}
+		i.upper[tid].Store(era)
+		prev = era
+	}
+}
+
+// Protect ratchets the upper reservation.
+func (i *IBR) Protect(tid, _ int, _ arena.Handle) {
+	e := i.clock.Load()
+	if e > i.upper[tid].Load() {
+		i.upper[tid].Store(e)
+	}
+}
+
+// Clear is a no-op: intervals are per-thread, not per-slot.
+func (*IBR) Clear(int, int) {}
+
+// ClearAll is a no-op; EndOp drops the reservation.
+func (*IBR) ClearAll(int) {}
+
+// Retire stamps the retire era and scans when the list is long enough.
+func (i *IBR) Retire(tid int, v arena.Handle) {
+	i.onRetire()
+	v = v.Unmarked()
+	birth, retire := i.env.Hdr(v)
+	e := i.clock.Load()
+	retire.Store(e)
+	i.retired[tid] = append(i.retired[tid], heItem{h: v, birth: birth.Load(), retire: e})
+	if len(i.retired[tid]) >= i.thresh {
+		i.scan(tid)
+	}
+}
+
+func (i *IBR) scan(tid int) {
+	type iv struct{ lo, hi uint64 }
+	var res []iv
+	for t := 0; t < i.cfg.MaxThreads; t++ {
+		lo := i.lower[t].Load()
+		if lo == 0 {
+			continue
+		}
+		hi := i.upper[t].Load()
+		if hi < lo {
+			hi = lo
+		}
+		res = append(res, iv{lo, hi})
+	}
+	keep := i.retired[tid][:0]
+	for _, it := range i.retired[tid] {
+		conflict := false
+		for _, r := range res {
+			if it.birth <= r.hi && r.lo <= it.retire {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			keep = append(keep, it)
+			continue
+		}
+		i.env.Free(it.h)
+		i.onFree()
+	}
+	i.retired[tid] = keep
+}
+
+// Flush scans unconditionally.
+func (i *IBR) Flush(tid int) { i.scan(tid) }
+
+// Stats reports counters.
+func (i *IBR) Stats() Stats { return i.snapshot() }

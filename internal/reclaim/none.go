@@ -1,0 +1,105 @@
+package reclaim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+)
+
+// None is the leaking baseline: protection is free, retire leaks. This is
+// the "no reclamation" configuration the paper normalizes queue
+// throughput against in Figures 1 and 2.
+type None struct {
+	counters
+}
+
+// NewNone builds the leaking baseline scheme.
+func NewNone(Env, Config) *None { return &None{} }
+
+// Name returns "none".
+func (*None) Name() string { return "none" }
+
+// BeginOp is a no-op.
+func (*None) BeginOp(int) {}
+
+// EndOp is a no-op.
+func (*None) EndOp(int) {}
+
+// GetProtected just loads the handle; nothing is ever freed, so no
+// protection is necessary.
+func (*None) GetProtected(_, _ int, addr *atomic.Uint64) arena.Handle {
+	return arena.Handle(addr.Load())
+}
+
+// Protect is a no-op.
+func (*None) Protect(int, int, arena.Handle) {}
+
+// Clear is a no-op.
+func (*None) Clear(int, int) {}
+
+// ClearAll is a no-op.
+func (*None) ClearAll(int) {}
+
+// Retire leaks the object, counting it as permanently unreclaimed.
+func (n *None) Retire(_ int, _ arena.Handle) { n.onRetire() }
+
+// OnAlloc is a no-op.
+func (*None) OnAlloc(arena.Handle) {}
+
+// Flush is a no-op.
+func (*None) Flush(int) {}
+
+// Stats reports the leak count in RetiredNotFreed.
+func (n *None) Stats() Stats { return n.snapshot() }
+
+// Unsafe frees on retire without any protection handshake. It is *wrong*
+// by construction and exists so tests and the uafdemo example can show
+// the arena's generation check catching the resulting use-after-free,
+// the fault the paper attributes to reclaiming memory the system
+// allocator may reuse.
+type Unsafe struct {
+	counters
+	env Env
+}
+
+// NewUnsafe builds the deliberately broken scheme.
+func NewUnsafe(env Env, _ Config) *Unsafe { return &Unsafe{env: env} }
+
+// Name returns "unsafe".
+func (*Unsafe) Name() string { return "unsafe" }
+
+// BeginOp is a no-op.
+func (*Unsafe) BeginOp(int) {}
+
+// EndOp is a no-op.
+func (*Unsafe) EndOp(int) {}
+
+// GetProtected loads without protecting — the bug.
+func (*Unsafe) GetProtected(_, _ int, addr *atomic.Uint64) arena.Handle {
+	return arena.Handle(addr.Load())
+}
+
+// Protect is a no-op — the bug.
+func (*Unsafe) Protect(int, int, arena.Handle) {}
+
+// Clear is a no-op.
+func (*Unsafe) Clear(int, int) {}
+
+// ClearAll is a no-op.
+func (*Unsafe) ClearAll(int) {}
+
+// Retire frees immediately, regardless of concurrent readers.
+func (u *Unsafe) Retire(_ int, h arena.Handle) {
+	u.onRetire()
+	u.env.Free(h.Unmarked())
+	u.onFree()
+}
+
+// OnAlloc is a no-op.
+func (*Unsafe) OnAlloc(arena.Handle) {}
+
+// Flush is a no-op.
+func (*Unsafe) Flush(int) {}
+
+// Stats reports counters.
+func (u *Unsafe) Stats() Stats { return u.snapshot() }

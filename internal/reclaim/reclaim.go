@@ -1,0 +1,148 @@
+// Package reclaim implements the manual lock-free memory reclamation
+// schemes compared in the paper's evaluation: hazard pointers (HP),
+// pass-the-buck (PTB), the paper's pass-the-pointer (PTP, §3.1 /
+// Algorithm 2), epoch-based reclamation (EBR), hazard eras (HE),
+// two-generation interval-based reclamation (2GEIBR), plus a leaking
+// baseline (None) and a deliberately unsafe scheme used to demonstrate
+// that the arena's generation check catches use-after-free.
+//
+// All schemes operate on arena.Handle references. A data structure built
+// on a scheme follows the classic manual protocol: GetProtected before
+// dereferencing a shared link, Retire once a node is unreachable,
+// ClearAll when an operation finishes.
+package reclaim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/arena"
+)
+
+// Env binds a scheme to the arena holding its objects.
+type Env struct {
+	// Free returns an object to the allocator. Called exactly once per
+	// retired object, at a point where the scheme has proven no thread
+	// can still dereference it.
+	Free func(arena.Handle)
+	// Hdr exposes the object's two scheme header words (birth/retire
+	// eras for HE and IBR). May be nil for schemes that keep no
+	// per-object state.
+	Hdr func(arena.Handle) (*atomic.Uint64, *atomic.Uint64)
+}
+
+// Config sizes a scheme's per-thread structures.
+type Config struct {
+	MaxThreads int // capacity of the tid space
+	MaxHPs     int // H: hazardous pointers per thread the structure needs
+}
+
+func (c *Config) defaults() {
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 64
+	}
+	if c.MaxHPs <= 0 {
+		c.MaxHPs = 8
+	}
+}
+
+// Stats reports a scheme's reclamation pressure. RetiredNotFreed and
+// MaxRetiredNotFreed are the quantities bounded by the paper's Table 1.
+type Stats struct {
+	Retired            uint64
+	Freed              uint64
+	RetiredNotFreed    int64
+	MaxRetiredNotFreed int64
+}
+
+// Scheme is the manual reclamation interface shared by all schemes.
+//
+// GetProtected loads *addr and protects the referenced object in slot
+// idx of the calling thread's hazardous-pointer array, looping until the
+// published protection is validated against addr. The returned handle
+// keeps whatever tag bits were stored. Protect publishes an
+// already-loaded handle without validation (safe only when the object is
+// already protected through another slot or otherwise pinned). Clear
+// resets one slot; ClearAll resets every slot of the thread and must be
+// called when an operation completes. Retire hands over an unreachable
+// object; BeginOp/EndOp bracket a data-structure operation (meaningful
+// for the epoch- and era-based schemes, no-ops elsewhere). OnAlloc
+// stamps a freshly allocated object (era schemes); structures call it
+// right after arena.Alloc.
+type Scheme interface {
+	Name() string
+	BeginOp(tid int)
+	EndOp(tid int)
+	GetProtected(tid, idx int, addr *atomic.Uint64) arena.Handle
+	Protect(tid, idx int, h arena.Handle)
+	Clear(tid, idx int)
+	ClearAll(tid int)
+	Retire(tid int, h arena.Handle)
+	OnAlloc(h arena.Handle)
+	// Flush makes a best effort to drain this thread's deferred frees;
+	// tests call it at quiescent points.
+	Flush(tid int)
+	Stats() Stats
+}
+
+// counters implements the shared Stats bookkeeping.
+type counters struct {
+	retired atomic.Uint64
+	freed   atomic.Uint64
+	pending atomic.Int64
+	maxPend atomic.Int64
+}
+
+func (c *counters) onRetire() {
+	c.retired.Add(1)
+	p := c.pending.Add(1)
+	for {
+		m := c.maxPend.Load()
+		if p <= m || c.maxPend.CompareAndSwap(m, p) {
+			return
+		}
+	}
+}
+
+func (c *counters) onFree() {
+	c.freed.Add(1)
+	c.pending.Add(-1)
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Retired:            c.retired.Load(),
+		Freed:              c.freed.Load(),
+		RetiredNotFreed:    c.pending.Load(),
+		MaxRetiredNotFreed: c.maxPend.Load(),
+	}
+}
+
+// Names lists every scheme constructible by New, in presentation order.
+func Names() []string {
+	return []string{"none", "hp", "ptb", "ptp", "ebr", "he", "ibr"}
+}
+
+// New constructs a scheme by name.
+func New(name string, env Env, cfg Config) Scheme {
+	switch name {
+	case "none", "leak":
+		return NewNone(env, cfg)
+	case "hp":
+		return NewHP(env, cfg)
+	case "ptb":
+		return NewPTB(env, cfg)
+	case "ptp":
+		return NewPTP(env, cfg)
+	case "ebr":
+		return NewEBR(env, cfg)
+	case "he":
+		return NewHE(env, cfg)
+	case "ibr", "2geibr":
+		return NewIBR(env, cfg)
+	case "unsafe":
+		return NewUnsafe(env, cfg)
+	default:
+		panic(fmt.Sprintf("reclaim: unknown scheme %q", name))
+	}
+}
