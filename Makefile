@@ -1,0 +1,29 @@
+GO ?= go
+
+# Packages whose concurrency hot paths warrant a race-detector pass on
+# every check: the allocator, the OrcGC core, and the manual schemes.
+RACE_PKGS = ./internal/arena/ ./internal/core/ ./internal/reclaim/
+
+.PHONY: check vet build test race bench-alloc clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# Re-measure the allocator against the single-free-list baseline and
+# refresh BENCH_alloc.json.
+bench-alloc:
+	ALLOC_BENCH=1 $(GO) test ./internal/arena/ -run TestAllocBenchReport -count=1 -v
+
+clean:
+	$(GO) clean ./...

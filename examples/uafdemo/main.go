@@ -25,7 +25,7 @@ type node struct{ payload uint64 }
 
 func interleave(scheme string) (faults, freed uint64, intact uint64) {
 	a := arena.New[node](arena.WithFaultMode(arena.Count))
-	s := reclaim.New(scheme, reclaim.Env{Free: a.Free, Hdr: a.Header},
+	s := reclaim.New(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header},
 		reclaim.Config{MaxThreads: 2, MaxHPs: 2})
 
 	var slot atomic.Uint64

@@ -2,6 +2,8 @@ package arena
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -22,21 +24,48 @@ const (
 	maxChunks        = 1 << 14
 	defaultChunkSize = 1 << 12
 
-	stateFree uint32 = 0
-	stateLive uint32 = 1
-
 	idxNone uint32 = ^uint32(0)
+
+	// cacheLine is the padding granularity keeping per-shard and
+	// per-thread hot words on distinct lines (128 covers adjacent-line
+	// prefetching).
+	cacheLine = 128
+
+	// maxTids bounds the tid space AllocT/FreeT accept; out-of-range
+	// tids fall back to the shared sharded path.
+	maxTids = 256
+
+	// magCap is the capacity of a per-tid magazine; magBatch is the
+	// number of slot indices moved per spill/refill between a magazine
+	// and its home shard.
+	magCap   = 64
+	magBatch = 32
+
+	// statStripes is the number of statistics stripes. Stripes are
+	// selected by slot index (one carve batch lands in one stripe), so a
+	// slot's alloc and free always hit the same stripe and per-stripe
+	// Live never drifts negative the way tid-striped counters would
+	// under producer/consumer workloads.
+	statStripes = 64
+	stripeShift = 5 // log2(magBatch): one carve batch maps to one stripe
+
+	maxShards = 64
 )
 
 // Slot is one allocation cell. HdrA and HdrB are two scheme-owned header
 // words — the "extra words per object" column of the paper's Table 1.
 // OrcGC keeps the _orc word in HdrA; hazard eras keeps birth/retire eras
 // in HdrA/HdrB; plain pointer-based schemes leave them untouched.
+//
+// Liveness is encoded in the generation's parity: odd while live, even
+// while free (0 = virgin). Alloc and Free each bump the generation, so a
+// handle (which always carries an odd generation) matches the slot
+// exactly while its object is live — one atomic load validates both
+// identity and liveness, and no separate state word is needed on the
+// alloc/free path.
 type Slot[T any] struct {
 	gen      atomic.Uint32
-	state    atomic.Uint32
 	freeNext atomic.Uint32 // free-list link, valid only while free
-	_        uint32
 	HdrA     atomic.Uint64
 	HdrB     atomic.Uint64
 	Val      T
@@ -46,34 +75,80 @@ type chunkOf[T any] struct {
 	slots []Slot[T]
 }
 
-// Stats is a snapshot of an arena's allocation counters.
+// Stats is a snapshot of an arena's allocation counters. Allocs, Frees
+// and Live are exact at quiescence (they aggregate per-thread and shared
+// counters; Live = Allocs - Frees). MaxLive sums per-stripe high-water
+// marks of the (live ∪ magazine-cached) slot census and is therefore a
+// ≥-approximation of the true high-water of Live: each stripe's maximum
+// is at least its census at the moment the global peak occurred, and the
+// census counts every live slot (cached ones only add), so the sum bounds
+// the peak from above. The overshoot is bounded by the magazine capacity
+// of the threads active at the peak.
 type Stats struct {
-	Allocs  uint64 // total Alloc calls
-	Frees   uint64 // total Free calls
+	Allocs  uint64 // total Alloc/AllocT calls
+	Frees   uint64 // total Free/FreeT calls
 	Live    int64  // Allocs - Frees
-	MaxLive int64  // high-water mark of Live
+	MaxLive int64  // upper bound on the high-water mark of Live
 	Faults  uint64 // stale dereferences observed (Count mode)
 	Slots   uint64 // slots ever carved out of chunks
 }
 
 // Arena is a chunked slab allocator for values of type T.
-// All methods are safe for concurrent use; Alloc and Free are lock-free.
+//
+// All methods are safe for concurrent use; Alloc/Free and AllocT/FreeT
+// are lock-free. The free-slot pool is sharded: GOMAXPROCS-sized Treiber
+// stacks (work-stealing between them) behind per-tid magazine caches that
+// make the AllocT/FreeT common case entirely CAS-free on shared memory.
 type Arena[T any] struct {
-	mode      FaultMode
-	chunkSize uint32
+	mode       FaultMode
+	chunkSize  uint32
+	chunkShift uint32
+	chunkMask  uint32
+	shardMask  uint32
 
-	next     atomic.Uint64 // next never-used slot index
-	freeHead atomic.Uint64 // packed (aba:32, idx:32) Treiber stack head
+	next atomic.Uint64 // next never-used slot index
 
-	allocs  atomic.Uint64
-	frees   atomic.Uint64
-	live    atomic.Int64
-	maxLive atomic.Int64
-	faults  atomic.Uint64
+	shards  []shard
+	stripes [statStripes]stripe
+	mags    [maxTids]atomic.Pointer[magazine]
+
+	// Tid-less Alloc/Free counters (the sharded fallback path).
+	sharedAllocs atomic.Uint64
+	sharedFrees  atomic.Uint64
+	faults       atomic.Uint64
 
 	zombie Slot[T] // target of stale derefs in Count mode
 
 	chunks [maxChunks]atomic.Pointer[chunkOf[T]]
+}
+
+// shard is one Treiber stack of free slot indices, alone on its cache
+// line. The head packs (aba:32, idx:32) to defeat ABA.
+type shard struct {
+	head atomic.Uint64
+	_    [cacheLine - 8]byte
+}
+
+// stripe is one statistics cell counting slots that are live or cached
+// in a magazine; stripes are indexed by slot index so a slot's entry and
+// exit always debit the same cell and per-stripe counts stay ≥ 0. The
+// census changes only at pool boundaries (shared Alloc/Free, magazine
+// spill/refill) — magazine hits touch no stripe at all.
+type stripe struct {
+	live    atomic.Int64
+	maxLive atomic.Int64
+	_       [cacheLine - 16]byte
+}
+
+// magazine is a per-tid cache of free slot indices plus that tid's
+// single-writer alloc/free counters. Only the owning tid touches n and
+// slots; the counters are written by the owner and read by Stats.
+type magazine struct {
+	n      uint32
+	slots  [magCap]uint32
+	allocs atomic.Uint64
+	frees  atomic.Uint64
+	_      [cacheLine]byte
 }
 
 // Option configures an Arena.
@@ -82,13 +157,28 @@ type Option func(*config)
 type config struct {
 	mode      FaultMode
 	chunkSize uint32
+	shards    uint32
 }
 
 // WithFaultMode sets the use-after-free reaction (default Strict).
 func WithFaultMode(m FaultMode) Option { return func(c *config) { c.mode = m } }
 
 // WithChunkSize sets the number of slots per chunk (default 4096).
+// Non-power-of-two sizes are rounded up to the next power of two so slot
+// addressing stays a shift and a mask.
 func WithChunkSize(n uint32) Option { return func(c *config) { c.chunkSize = n } }
+
+// WithShards sets the free-list shard count (default GOMAXPROCS, rounded
+// up to a power of two, capped at 64). Tests use this to exercise the
+// work-stealing path deterministically.
+func WithShards(n uint32) Option { return func(c *config) { c.shards = n } }
+
+func ceilPow2(n uint32) uint32 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << (32 - bits.LeadingZeros32(n-1))
+}
 
 // New creates an empty arena.
 func New[T any](opts ...Option) *Arena[T] {
@@ -96,9 +186,29 @@ func New[T any](opts ...Option) *Arena[T] {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	a := &Arena[T]{mode: cfg.mode, chunkSize: cfg.chunkSize}
+	if cfg.chunkSize == 0 {
+		cfg.chunkSize = defaultChunkSize
+	}
+	if cfg.shards == 0 {
+		cfg.shards = uint32(runtime.GOMAXPROCS(0))
+	}
+	if cfg.shards > maxShards {
+		cfg.shards = maxShards
+	}
+	cs := ceilPow2(cfg.chunkSize)
+	ns := ceilPow2(cfg.shards)
+	a := &Arena[T]{
+		mode:       cfg.mode,
+		chunkSize:  cs,
+		chunkShift: uint32(bits.TrailingZeros32(cs)),
+		chunkMask:  cs - 1,
+		shardMask:  ns - 1,
+		shards:     make([]shard, ns),
+	}
+	for i := range a.shards {
+		a.shards[i].head.Store(packFree(0, idxNone))
+	}
 	a.next.Store(1) // slot 0 reserved so no valid handle is ever 0
-	a.freeHead.Store(packFree(0, idxNone))
 	return a
 }
 
@@ -108,12 +218,11 @@ func unpackFree(v uint64) (aba uint32, idx uint32) {
 }
 
 func (a *Arena[T]) slotAt(idx uint32) *Slot[T] {
-	c := idx / a.chunkSize
-	ch := a.chunks[c].Load()
+	ch := a.chunks[idx>>a.chunkShift].Load()
 	if ch == nil {
 		return nil
 	}
-	return &ch.slots[idx%a.chunkSize]
+	return &ch.slots[idx&a.chunkMask]
 }
 
 func (a *Arena[T]) ensureChunk(c uint32) *chunkOf[T] {
@@ -128,91 +237,6 @@ func (a *Arena[T]) ensureChunk(c uint32) *chunkOf[T] {
 		return fresh
 	}
 	return a.chunks[c].Load()
-}
-
-// Alloc carves out a slot and returns its handle plus a pointer for
-// initialization. The payload is zeroed. The slot's header words are
-// zeroed too; schemes that stamp headers (eras, orc) do so right after.
-func (a *Arena[T]) Alloc() (Handle, *T) {
-	idx := a.popFree()
-	if idx == idxNone {
-		idx = uint32(a.next.Add(1) - 1)
-		a.ensureChunk(idx / a.chunkSize)
-	}
-	s := a.slotAt(idx)
-	if !s.state.CompareAndSwap(stateFree, stateLive) {
-		panic(fmt.Sprintf("arena: slot %d allocated while live", idx))
-	}
-	gen := s.gen.Load()
-	if gen == 0 {
-		// first use of a virgin slot
-		s.gen.Store(1)
-		gen = 1
-	}
-	var zero T
-	s.Val = zero
-	s.HdrA.Store(0)
-	s.HdrB.Store(0)
-
-	a.allocs.Add(1)
-	l := a.live.Add(1)
-	for {
-		m := a.maxLive.Load()
-		if l <= m || a.maxLive.CompareAndSwap(m, l) {
-			break
-		}
-	}
-	return Pack(idx, gen), &s.Val
-}
-
-func (a *Arena[T]) popFree() uint32 {
-	for {
-		old := a.freeHead.Load()
-		aba, idx := unpackFree(old)
-		if idx == idxNone {
-			return idxNone
-		}
-		next := a.slotAt(idx).freeNext.Load()
-		if a.freeHead.CompareAndSwap(old, packFree(aba+1, next)) {
-			return idx
-		}
-	}
-}
-
-// Free returns the object named by h to the arena. The slot generation is
-// bumped (invalidating every outstanding handle to the object) and the
-// payload is poisoned (zeroed). Freeing a stale or nil handle panics:
-// reclamation schemes must free each object exactly once.
-func (a *Arena[T]) Free(h Handle) {
-	h = h.Unmarked()
-	if h.IsNil() {
-		panic("arena: free of nil handle")
-	}
-	idx := h.Index()
-	s := a.slotAt(idx)
-	if s == nil || s.gen.Load() != h.Gen() {
-		panic(fmt.Sprintf("arena: double free or stale free of %v", h))
-	}
-	var zero T
-	s.Val = zero // poison: stale readers see a zeroed husk
-	g := h.Gen() + 1
-	if g >= 1<<genBits {
-		g = 1
-	}
-	s.gen.Store(g)
-	if !s.state.CompareAndSwap(stateLive, stateFree) {
-		panic(fmt.Sprintf("arena: double free of %v", h))
-	}
-	for {
-		old := a.freeHead.Load()
-		aba, head := unpackFree(old)
-		s.freeNext.Store(head)
-		if a.freeHead.CompareAndSwap(old, packFree(aba+1, idx)) {
-			break
-		}
-	}
-	a.frees.Add(1)
-	a.live.Add(-1)
 }
 
 // Get dereferences h, applying the generation check. Tag bits are
@@ -241,7 +265,7 @@ func (a *Arena[T]) TryGet(h Handle) (*T, bool) {
 		return nil, false
 	}
 	s := a.slotAt(idx)
-	if s == nil || s.gen.Load() != h.Gen() || s.state.Load() != stateLive {
+	if s == nil || h.Gen()&1 == 0 || s.gen.Load() != h.Gen() {
 		return nil, false
 	}
 	return &s.Val, true
@@ -253,7 +277,7 @@ func (a *Arena[T]) Header(h Handle) (*atomic.Uint64, *atomic.Uint64) {
 	h = h.Unmarked()
 	idx := h.Index()
 	s := a.slotAt(idx)
-	if s == nil || s.gen.Load() != h.Gen() {
+	if s == nil || h.Gen()&1 == 0 || s.gen.Load() != h.Gen() {
 		panic(fmt.Sprintf("arena: use-after-free header access %v", h))
 	}
 	return &s.HdrA, &s.HdrB
@@ -271,14 +295,24 @@ func (a *Arena[T]) Valid(h Handle) bool {
 	return ok
 }
 
-// Stats returns a snapshot of the arena counters.
+// Stats returns a snapshot of the arena counters. Exact at quiescence;
+// see the Stats type for the MaxLive approximation.
 func (a *Arena[T]) Stats() Stats {
-	return Stats{
-		Allocs:  a.allocs.Load(),
-		Frees:   a.frees.Load(),
-		Live:    a.live.Load(),
-		MaxLive: a.maxLive.Load(),
-		Faults:  a.faults.Load(),
-		Slots:   a.next.Load() - 1,
+	st := Stats{
+		Allocs: a.sharedAllocs.Load(),
+		Frees:  a.sharedFrees.Load(),
+		Faults: a.faults.Load(),
+		Slots:  a.next.Load() - 1,
 	}
+	for i := range a.mags {
+		if m := a.mags[i].Load(); m != nil {
+			st.Allocs += m.allocs.Load()
+			st.Frees += m.frees.Load()
+		}
+	}
+	st.Live = int64(st.Allocs) - int64(st.Frees)
+	for i := range a.stripes {
+		st.MaxLive += a.stripes[i].maxLive.Load()
+	}
+	return st
 }

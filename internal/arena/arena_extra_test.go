@@ -41,23 +41,28 @@ func TestValidRejectsWrongGeneration(t *testing.T) {
 	}
 }
 
-// TestGenerationWrap: the 30-bit generation wraps to 1, skipping the
-// virgin marker 0.
+// TestGenerationWrap: the 30-bit generation wraps to 0 at the top of its
+// range, preserving the parity invariant (even = free), and the next
+// alloc hands out generation 1 again.
 func TestGenerationWrap(t *testing.T) {
 	a := New[node]()
 	h, _ := a.Alloc()
 	idx := h.Index()
 	s := a.slotAt(idx)
 	a.Free(h)
-	// Force the generation to the top of its range and recycle.
-	s.gen.Store((1 << genBits) - 1)
+	// Force the generation to the last even value and recycle.
+	s.gen.Store((1 << genBits) - 2)
 	h2, _ := a.Alloc()
 	if h2.Gen() != (1<<genBits)-1 {
 		t.Fatalf("gen %d", h2.Gen())
 	}
 	a.Free(h2)
-	if g := s.gen.Load(); g != 1 {
-		t.Fatalf("generation wrapped to %d, want 1", g)
+	if g := s.gen.Load(); g != 0 {
+		t.Fatalf("generation wrapped to %d, want 0", g)
+	}
+	h3, _ := a.Alloc()
+	if h3.Gen() != 1 {
+		t.Fatalf("post-wrap gen %d, want 1", h3.Gen())
 	}
 }
 

@@ -10,7 +10,9 @@
 //
 //	bits 63..62  tag bits (the mark/flag bits lock-free structures keep
 //	             in low pointer bits in C/C++)
-//	bits 61..32  slot generation (bumped on every Free)
+//	bits 61..32  slot generation (bumped on every Alloc and Free; odd
+//	             while the object is live, so a handle — always minted
+//	             with an odd generation — matches only its own lifetime)
 //	bits 31..0   slot index
 //
 // Dereferencing a handle whose generation no longer matches the slot is

@@ -1,0 +1,17 @@
+package arena
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// The tid-less Alloc/Free fallback hashes callers to a shard by the P
+// they are running on, the same trick sync.Pool uses to get a
+// contention-free shard hint without a thread id. Pin/unpin immediately:
+// the P index is only a hash, a stale value just picks a suboptimal
+// shard.
+
+//go:linkname runtime_procPin runtime.procPin
+func runtime_procPin() int
+
+//go:linkname runtime_procUnpin runtime.procUnpin
+func runtime_procUnpin()

@@ -1,0 +1,278 @@
+package arena
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMagazineSpillRefillRoundtrip: a single tid churning more handles
+// than a magazine holds must spill to its home shard and refill from it,
+// never carving new slots once the pool is primed.
+func TestMagazineSpillRefillRoundtrip(t *testing.T) {
+	a := New[node](WithShards(8), WithChunkSize(64))
+	const n = 200
+	var hs []Handle
+	for i := 0; i < n; i++ {
+		h, p := a.AllocT(0)
+		p.Key = uint64(i)
+		hs = append(hs, h)
+	}
+	carved := a.Stats().Slots
+	for _, h := range hs {
+		a.FreeT(0, h)
+	}
+	hs = hs[:0]
+	for i := 0; i < n; i++ {
+		h, _ := a.AllocT(0)
+		hs = append(hs, h)
+	}
+	if got := a.Stats().Slots; got != carved {
+		t.Fatalf("Slots grew %d → %d: free→alloc cycle did not recycle", carved, got)
+	}
+	st := a.Stats()
+	if st.Allocs != 2*n || st.Frees != n || st.Live != n {
+		t.Fatalf("stats %+v, want allocs=%d frees=%d live=%d", st, 2*n, n, n)
+	}
+}
+
+// TestWorkStealingRefill: a tid homed on an empty shard must steal freed
+// slots from a sibling shard instead of carving fresh ones.
+func TestWorkStealingRefill(t *testing.T) {
+	a := New[node](WithShards(8), WithChunkSize(64))
+	// Prime shard 5 directly with recycled slots (deterministic: the
+	// spill/steal paths are what we are testing, not the P hash).
+	var hs []Handle
+	for i := 0; i < magBatch; i++ {
+		h, _ := a.Alloc()
+		hs = append(hs, h)
+	}
+	for _, h := range hs {
+		a.freeToShard(5, h)
+		a.sharedFrees.Add(1)
+	}
+	carved := a.Stats().Slots
+	// tid 1 is homed on shard 1 (empty): its refill must sweep siblings
+	// and find shard 5's stack.
+	h, _ := a.AllocT(1)
+	if got := a.Stats().Slots; got != carved {
+		t.Fatalf("Slots grew %d → %d: refill carved instead of stealing", carved, got)
+	}
+	if h.IsNil() {
+		t.Fatal("stolen alloc returned nil handle")
+	}
+}
+
+// TestAllocTFreeTInterop: tid-less Alloc/Free and tid'd AllocT/FreeT must
+// interoperate on one arena — objects allocated by one path freed by the
+// other, with exact counters.
+func TestAllocTFreeTInterop(t *testing.T) {
+	a := New[node](WithShards(4))
+	h1, _ := a.AllocT(3)
+	h2, _ := a.Alloc()
+	a.Free(h1)     // tid'd alloc, tid-less free
+	a.FreeT(5, h2) // tid-less alloc, tid'd free (different tid, too)
+	h3, _ := a.Alloc()
+	a.FreeT(3, h3)
+	st := a.Stats()
+	if st.Allocs != 3 || st.Frees != 3 || st.Live != 0 {
+		t.Fatalf("stats %+v, want allocs=3 frees=3 live=0", st)
+	}
+	if st.MaxLive < 2 {
+		t.Fatalf("MaxLive=%d, want ≥ 2 (two objects were live at once)", st.MaxLive)
+	}
+}
+
+// TestShardedStressChurn is the -race stress of the sharded allocator:
+// concurrent AllocT/FreeT across tids mapping to distinct and shared
+// shards, magazine spill/refill, cross-tid frees through channels
+// (work-stealing), plus tid-less traffic. Asserts no slot is ever handed
+// to two owners, Live is exact at quiescence, and MaxLive bounds the
+// observed high-water from above.
+func TestShardedStressChurn(t *testing.T) {
+	a := New[node](WithShards(4), WithChunkSize(64))
+	const (
+		workers = 8
+		iters   = 4000
+	)
+	var (
+		wg       sync.WaitGroup
+		trueLive atomic.Int64
+		hiWater  atomic.Int64
+	)
+	// Cross-free channels: worker w hands every 7th handle to worker w+1.
+	chans := make([]chan Handle, workers)
+	for i := range chans {
+		chans[i] = make(chan Handle, 256)
+	}
+	sample := func(l int64) {
+		for {
+			m := hiWater.Load()
+			if l <= m || hiWater.CompareAndSwap(m, l) {
+				return
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			var held []Handle
+			seed := uint64(tid + 1)
+			free := func(h Handle) {
+				trueLive.Add(-1)
+				a.FreeT(tid, h)
+			}
+			for i := 0; i < iters; i++ {
+				h, p := a.AllocT(tid)
+				p.Key = uint64(tid)<<32 | uint64(i)
+				sample(trueLive.Add(1))
+				if i%7 == 0 {
+					// Hand to the neighbour; it frees with its own tid,
+					// pushing the slot toward a different shard.
+					select {
+					case chans[(tid+1)%workers] <- h:
+					default:
+						held = append(held, h)
+					}
+				} else {
+					held = append(held, h)
+				}
+				// Drain anything the neighbour handed us.
+				for {
+					select {
+					case g := <-chans[tid]:
+						free(g)
+						continue
+					default:
+					}
+					break
+				}
+				// Churn hard enough to overflow the magazine (magCap=64).
+				if len(held) > 90 {
+					seed = seed*6364136223846793005 + 1442695040888963407
+					for k := 0; k < 48; k++ {
+						j := int(seed>>33) % len(held)
+						if got := a.Get(held[j]).Key >> 32; got != uint64(tid) {
+							panic("payload corrupted across shards")
+						}
+						free(held[j])
+						held[j] = held[len(held)-1]
+						held = held[:len(held)-1]
+						seed += uint64(k)
+					}
+				}
+			}
+			for _, h := range held {
+				free(h)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Drain handles still in flight in the channels.
+	for i, c := range chans {
+		for {
+			select {
+			case h := <-c:
+				trueLive.Add(-1)
+				a.FreeT(i, h)
+				continue
+			default:
+			}
+			break
+		}
+	}
+	st := a.Stats()
+	if st.Live != 0 {
+		t.Fatalf("leak: Live=%d at quiescence", st.Live)
+	}
+	if st.Allocs != workers*iters {
+		t.Fatalf("Allocs=%d, want %d", st.Allocs, workers*iters)
+	}
+	if st.Frees != st.Allocs {
+		t.Fatalf("Frees=%d, want %d", st.Frees, st.Allocs)
+	}
+	if st.MaxLive < hiWater.Load() {
+		t.Fatalf("MaxLive=%d below observed high-water %d", st.MaxLive, hiWater.Load())
+	}
+}
+
+// TestMixedAPIsConcurrent: tid'd and tid-less callers on one arena under
+// race detection; counters exact at quiescence.
+func TestMixedAPIsConcurrent(t *testing.T) {
+	a := New[node](WithShards(4), WithChunkSize(64))
+	const iters = 3000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if tid%2 == 0 {
+					h, _ := a.AllocT(tid)
+					a.FreeT(tid, h)
+				} else {
+					h, _ := a.Alloc()
+					a.Free(h)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Allocs != 4*iters || st.Frees != 4*iters || st.Live != 0 {
+		t.Fatalf("stats %+v, want allocs=frees=%d live=0", st, 4*iters)
+	}
+}
+
+// TestMaxLiveSequentialExact: with a single allocating thread the striped
+// MaxLive bound holds (it counts magazine-cached slots too, so it may
+// overshoot by at most one refill batch per stripe).
+func TestMaxLiveSequentialExact(t *testing.T) {
+	a := New[node]()
+	var hs []Handle
+	for i := 0; i < 100; i++ {
+		h, _ := a.AllocT(0)
+		hs = append(hs, h)
+	}
+	for _, h := range hs {
+		a.FreeT(0, h)
+	}
+	st := a.Stats()
+	if st.Live != 0 || st.MaxLive < 100 {
+		t.Fatalf("stats %+v, want live=0 maxLive≥100", st)
+	}
+}
+
+// TestChunkSizeRoundsToPow2: WithChunkSize must round up so slot
+// addressing stays shift/mask.
+func TestChunkSizeRoundsToPow2(t *testing.T) {
+	a := New[node](WithChunkSize(100)) // rounds to 128
+	if a.chunkSize != 128 || a.chunkMask != 127 || a.chunkShift != 7 {
+		t.Fatalf("chunkSize=%d shift=%d mask=%d, want 128/7/127", a.chunkSize, a.chunkShift, a.chunkMask)
+	}
+	// And addressing still works across chunk boundaries.
+	var hs []Handle
+	for i := 0; i < 300; i++ {
+		h, p := a.Alloc()
+		p.Key = uint64(i)
+		hs = append(hs, h)
+	}
+	for i, h := range hs {
+		if a.Get(h).Key != uint64(i) {
+			t.Fatalf("slot %d corrupted", i)
+		}
+	}
+}
+
+// TestOutOfRangeTidFallsBack: AllocT/FreeT with a tid outside the
+// magazine space must degrade to the shared path, not fault.
+func TestOutOfRangeTidFallsBack(t *testing.T) {
+	a := New[node]()
+	h, _ := a.AllocT(maxTids + 7)
+	a.FreeT(-1, h)
+	st := a.Stats()
+	if st.Allocs != 1 || st.Frees != 1 || st.Live != 0 {
+		t.Fatalf("stats %+v, want allocs=frees=1 live=0", st)
+	}
+}

@@ -286,7 +286,7 @@ type boundNode struct{ self uint64 }
 // benchmark scale and reports the scheme's high-water pending count.
 func MeasureBound(scheme string, threads, hps int, dur time.Duration) (maxPending int64, freed uint64) {
 	a := arena.New[boundNode]()
-	s := reclaim.New(scheme, reclaim.Env{Free: a.Free, Hdr: a.Header},
+	s := reclaim.New(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header},
 		reclaim.Config{MaxThreads: threads, MaxHPs: hps})
 
 	slots := make([]atomic.Uint64, 64)
@@ -326,7 +326,7 @@ func MeasureBound(scheme string, threads, hps int, dur time.Duration) (maxPendin
 			x := uint64(tid * 977)
 			for !stop.Load() {
 				x = x*6364136223846793005 + 1442695040888963407
-				h, p := a.Alloc()
+				h, p := a.AllocT(tid)
 				p.self = uint64(h)
 				s.OnAlloc(h)
 				old := arena.Handle(slots[x%uint64(len(slots))].Swap(uint64(h)))

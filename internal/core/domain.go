@@ -86,7 +86,7 @@ func (d *Domain[T]) Get(h arena.Handle) *T { return d.arena.Get(h) }
 // stays alive through p's protection and is reclaimed automatically if
 // dropped without ever being linked.
 func (d *Domain[T]) Make(tid int, init func(*T), p *Ptr) arena.Handle {
-	h, obj := d.arena.Alloc()
+	h, obj := d.arena.AllocT(tid)
 	d.arena.HdrA(h).Store(orcZero)
 	if init != nil {
 		init(obj)

@@ -107,6 +107,6 @@ func (d *Domain[T]) deleteObj(tid int, h arena.Handle) {
 			d.decrementOrc(tid, arena.Handle(a.v.Load()))
 		})
 	}
-	d.arena.Free(h)
+	d.arena.FreeT(tid, h)
 	d.frees.Add(1)
 }

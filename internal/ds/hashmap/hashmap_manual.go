@@ -31,7 +31,7 @@ func NewManual(scheme string, nbuckets int, cfg reclaim.Config) *ManualMap {
 	a := arena.New[MNode]()
 	cfg.MaxHPs = HPsNeeded
 	m := &ManualMap{a: a, buckets: make([]atomic.Uint64, nbuckets)}
-	m.s = reclaim.New(scheme, reclaim.Env{Free: a.Free, Hdr: a.Header}, cfg)
+	m.s = reclaim.New(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
 	return m
 }
 
@@ -87,14 +87,14 @@ func (m *ManualMap) Insert(tid int, key uint64) bool {
 		if found {
 			return false
 		}
-		nh, n := m.a.Alloc()
+		nh, n := m.a.AllocT(tid)
 		n.key = key
 		n.next.Store(uint64(cur))
 		m.s.OnAlloc(nh)
 		if prevA.CompareAndSwap(uint64(cur), uint64(nh)) {
 			return true
 		}
-		m.a.Free(nh)
+		m.a.FreeT(tid, nh)
 	}
 }
 

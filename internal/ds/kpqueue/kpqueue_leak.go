@@ -68,14 +68,14 @@ func (q *LeakQueue) isStillPending(i int, phase int64) bool {
 	return d.pending && d.phase <= phase
 }
 
-func (q *LeakQueue) help(phase int64) {
+func (q *LeakQueue) help(tid int, phase int64) {
 	for i := 0; i < q.nthr; i++ {
 		d := q.get(arena.Handle(q.state[i].Load()))
 		if d.pending && d.phase <= phase {
 			if d.enqueue {
-				q.helpEnq(i, phase)
+				q.helpEnq(tid, i, phase)
 			} else {
-				q.helpDeq(i, phase)
+				q.helpDeq(tid, i, phase)
 			}
 		}
 	}
@@ -84,18 +84,18 @@ func (q *LeakQueue) help(phase int64) {
 // Enqueue appends item.
 func (q *LeakQueue) Enqueue(tid int, item uint64) {
 	phase := q.maxPhase() + 1
-	nh, n := q.a.Alloc()
+	nh, n := q.a.AllocT(tid)
 	n.value, n.enqTid = item, int32(tid)
 	n.deqTid.Store(-1)
-	dh, dn := q.a.Alloc()
+	dh, dn := q.a.AllocT(tid)
 	dn.phase, dn.pending, dn.enqueue = phase, true, true
 	dn.node.Store(uint64(nh))
 	q.state[tid].Store(uint64(dh))
-	q.help(phase)
-	q.helpFinishEnq()
+	q.help(tid, phase)
+	q.helpFinishEnq(tid)
 }
 
-func (q *LeakQueue) helpEnq(i int, phase int64) {
+func (q *LeakQueue) helpEnq(tid, i int, phase int64) {
 	for q.isStillPending(i, phase) {
 		last := arena.Handle(q.tail.Load())
 		next := arena.Handle(q.get(last).next.Load())
@@ -106,17 +106,17 @@ func (q *LeakQueue) helpEnq(i int, phase int64) {
 			if q.isStillPending(i, phase) {
 				node := arena.Handle(q.get(arena.Handle(q.state[i].Load())).node.Load())
 				if !node.IsNil() && q.get(last).next.CompareAndSwap(0, uint64(node)) {
-					q.helpFinishEnq()
+					q.helpFinishEnq(tid)
 					return
 				}
 			}
 		} else {
-			q.helpFinishEnq()
+			q.helpFinishEnq(tid)
 		}
 	}
 }
 
-func (q *LeakQueue) helpFinishEnq() {
+func (q *LeakQueue) helpFinishEnq(tid int) {
 	last := arena.Handle(q.tail.Load())
 	next := arena.Handle(q.get(last).next.Load())
 	if next.IsNil() {
@@ -126,7 +126,7 @@ func (q *LeakQueue) helpFinishEnq() {
 	if en >= 0 && en < q.nthr {
 		curDesc := arena.Handle(q.state[en].Load())
 		if arena.Handle(q.tail.Load()) == last && arena.Handle(q.get(curDesc).node.Load()) == next {
-			dh, dn := q.a.Alloc()
+			dh, dn := q.a.AllocT(tid)
 			dn.phase, dn.pending, dn.enqueue = q.get(curDesc).phase, false, true
 			dn.node.Store(uint64(next))
 			q.state[en].CompareAndSwap(uint64(curDesc), uint64(dh))
@@ -138,11 +138,11 @@ func (q *LeakQueue) helpFinishEnq() {
 // Dequeue removes the oldest item; ok=false when empty.
 func (q *LeakQueue) Dequeue(tid int) (uint64, bool) {
 	phase := q.maxPhase() + 1
-	dh, dn := q.a.Alloc()
+	dh, dn := q.a.AllocT(tid)
 	dn.phase, dn.pending, dn.enqueue = phase, true, false
 	q.state[tid].Store(uint64(dh))
-	q.help(phase)
-	q.helpFinishDeq()
+	q.help(tid, phase)
+	q.helpFinishDeq(tid)
 
 	desc := q.get(arena.Handle(q.state[tid].Load()))
 	node := arena.Handle(desc.node.Load())
@@ -153,7 +153,7 @@ func (q *LeakQueue) Dequeue(tid int) (uint64, bool) {
 	return q.get(next).value, true
 }
 
-func (q *LeakQueue) helpDeq(i int, phase int64) {
+func (q *LeakQueue) helpDeq(tid, i int, phase int64) {
 	for q.isStillPending(i, phase) {
 		first := arena.Handle(q.head.Load())
 		last := arena.Handle(q.tail.Load())
@@ -165,12 +165,12 @@ func (q *LeakQueue) helpDeq(i int, phase int64) {
 			if next.IsNil() {
 				curDesc := arena.Handle(q.state[i].Load())
 				if arena.Handle(q.tail.Load()) == last && q.isStillPending(i, phase) {
-					nh, nd := q.a.Alloc()
+					nh, nd := q.a.AllocT(tid)
 					nd.phase, nd.pending, nd.enqueue = q.get(curDesc).phase, false, false
 					q.state[i].CompareAndSwap(uint64(curDesc), uint64(nh))
 				}
 			} else {
-				q.helpFinishEnq()
+				q.helpFinishEnq(tid)
 			}
 			continue
 		}
@@ -180,7 +180,7 @@ func (q *LeakQueue) helpDeq(i int, phase int64) {
 			break
 		}
 		if arena.Handle(q.head.Load()) == first && node != first {
-			nh, nd := q.a.Alloc()
+			nh, nd := q.a.AllocT(tid)
 			nd.phase, nd.pending, nd.enqueue = q.get(curDesc).phase, true, false
 			nd.node.Store(uint64(first))
 			if !q.state[i].CompareAndSwap(uint64(curDesc), uint64(nh)) {
@@ -188,11 +188,11 @@ func (q *LeakQueue) helpDeq(i int, phase int64) {
 			}
 		}
 		q.get(first).deqTid.CompareAndSwap(-1, int32(i))
-		q.helpFinishDeq()
+		q.helpFinishDeq(tid)
 	}
 }
 
-func (q *LeakQueue) helpFinishDeq() {
+func (q *LeakQueue) helpFinishDeq(tid int) {
 	first := arena.Handle(q.head.Load())
 	next := arena.Handle(q.get(first).next.Load())
 	dq := int(q.get(first).deqTid.Load())
@@ -201,7 +201,7 @@ func (q *LeakQueue) helpFinishDeq() {
 	}
 	curDesc := arena.Handle(q.state[dq].Load())
 	if arena.Handle(q.head.Load()) == first && !next.IsNil() {
-		nh, nd := q.a.Alloc()
+		nh, nd := q.a.AllocT(tid)
 		nd.phase, nd.pending, nd.enqueue = q.get(curDesc).phase, false, false
 		nd.node.Store(q.get(curDesc).node.Load())
 		q.state[dq].CompareAndSwap(uint64(curDesc), uint64(nh))

@@ -104,7 +104,7 @@ func NewLeak() *LeakQueue {
 func (q *LeakQueue) Arena() *arena.Arena[LSeg] { return q.a }
 
 // Enqueue appends a 32-bit item.
-func (q *LeakQueue) Enqueue(_ int, item uint64) {
+func (q *LeakQueue) Enqueue(tid int, item uint64) {
 	for {
 		crq := arena.Handle(q.tail.Load())
 		seg := q.a.Get(crq)
@@ -115,13 +115,13 @@ func (q *LeakQueue) Enqueue(_ int, item uint64) {
 		if seg.enq(item) {
 			return
 		}
-		nh, ns := q.a.Alloc()
+		nh, ns := q.a.AllocT(tid)
 		initLSeg(ns, item)
 		if seg.next.CompareAndSwap(0, uint64(nh)) {
 			q.tail.CompareAndSwap(uint64(crq), uint64(nh))
 			return
 		}
-		q.a.Free(nh) // never published
+		q.a.FreeT(tid, nh) // never published
 	}
 }
 

@@ -33,7 +33,7 @@ func NewManual(scheme string, cfg reclaim.Config) *ManualList {
 	a := arena.New[MNode]()
 	cfg.MaxHPs = HPsNeeded
 	l := &ManualList{a: a}
-	l.s = reclaim.New(scheme, reclaim.Env{Free: a.Free, Hdr: a.Header}, cfg)
+	l.s = reclaim.New(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
 
 	th, tn := a.Alloc()
 	tn.key = tailKey
@@ -101,7 +101,7 @@ func (l *ManualList) Insert(tid int, key uint64) bool {
 		if found {
 			return false
 		}
-		nh, n := l.a.Alloc()
+		nh, n := l.a.AllocT(tid)
 		n.key = key
 		n.next.Store(uint64(cur))
 		s.OnAlloc(nh)
@@ -109,7 +109,7 @@ func (l *ManualList) Insert(tid int, key uint64) bool {
 			return true
 		}
 		// Never published: return straight to the allocator.
-		l.a.Free(nh)
+		l.a.FreeT(tid, nh)
 	}
 }
 

@@ -34,7 +34,7 @@ func NewManual(scheme string, cfg reclaim.Config) *ManualQueue {
 	a := arena.New[MNode]()
 	cfg.MaxHPs = HPsNeeded
 	q := &ManualQueue{a: a}
-	q.s = reclaim.New(scheme, reclaim.Env{Free: a.Free, Hdr: a.Header}, cfg)
+	q.s = reclaim.New(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
 	h, _ := a.Alloc() // sentinel
 	q.s.OnAlloc(h)
 	q.head.Store(uint64(h))
@@ -52,7 +52,7 @@ func (q *ManualQueue) Arena() *arena.Arena[MNode] { return q.a }
 func (q *ManualQueue) Enqueue(tid int, item uint64) {
 	s := q.s
 	s.BeginOp(tid)
-	nh, n := q.a.Alloc()
+	nh, n := q.a.AllocT(tid)
 	n.item = item
 	s.OnAlloc(nh)
 	for {

@@ -45,7 +45,7 @@ func NewManual(scheme string, cfg reclaim.Config) *ManualTree {
 	a := arena.New[MNode]()
 	t := &ManualTree{a: a}
 	cfg.MaxHPs = 1
-	t.s = reclaim.New(scheme, reclaim.Env{Free: a.Free, Hdr: a.Header}, cfg)
+	t.s = reclaim.New(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
 
 	alloc := func(key uint64, leaf bool) arena.Handle {
 		h, n := a.Alloc()
@@ -147,14 +147,14 @@ func (t *ManualTree) Insert(tid int, key uint64) bool {
 		parentNode := a.Get(sr.parent)
 		edge := t.edge(parentNode, key)
 
-		nl, lnode := a.Alloc()
+		nl, lnode := a.AllocT(tid)
 		lnode.key, lnode.leaf = key, true
 		s.OnAlloc(nl)
 		ik := key
 		if leafNode.key > ik {
 			ik = leafNode.key
 		}
-		ni, inode := a.Alloc()
+		ni, inode := a.AllocT(tid)
 		inode.key = ik
 		s.OnAlloc(ni)
 		if key < leafNode.key {
@@ -167,8 +167,8 @@ func (t *ManualTree) Insert(tid int, key uint64) bool {
 		if edge.CompareAndSwap(uint64(sr.leaf), uint64(ni)) {
 			return true
 		}
-		a.Free(ni) // never published
-		a.Free(nl)
+		a.FreeT(tid, ni) // never published
+		a.FreeT(tid, nl)
 		cur := arena.Handle(edge.Load())
 		if cur.Unmarked() == sr.leaf && cur.Tags() != 0 {
 			t.cleanup(tid, key, sr)

@@ -42,7 +42,7 @@ func NewHSManual(scheme string, cfg reclaim.Config) *HSManual {
 	a := arena.New[MNode]()
 	cfg.MaxHPs = 1
 	s := &HSManual{a: a, rng: newLevelRNG(max(cfg.MaxThreads, 1))}
-	s.s = reclaim.New(scheme, reclaim.Env{Free: a.Free, Hdr: a.Header}, cfg)
+	s.s = reclaim.New(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
 
 	th, tn := a.Alloc()
 	tn.key, tn.topLevel = tailKey, MaxLevels-1
@@ -106,14 +106,14 @@ func (s *HSManual) Insert(tid int, key uint64) bool {
 		if s.find(key, &r) {
 			return false
 		}
-		nh, n := a.Alloc()
+		nh, n := a.AllocT(tid)
 		n.key, n.topLevel = key, topLevel
 		for l := int32(0); l <= topLevel; l++ {
 			n.next[l].Store(uint64(r.succs[l]))
 		}
 		s.s.OnAlloc(nh)
 		if !a.Get(r.preds[0]).next[0].CompareAndSwap(uint64(r.succs[0]), uint64(nh)) {
-			a.Free(nh) // never published
+			a.FreeT(tid, nh) // never published
 			continue
 		}
 		for l := int32(1); l <= topLevel; l++ {

@@ -52,7 +52,7 @@ func (q *LeakQueue) Arena() *arena.Arena[LObj] { return q.a }
 // Enqueue appends item.
 func (q *LeakQueue) Enqueue(tid int, item uint64) {
 	a := q.a
-	nh, n := a.Alloc()
+	nh, n := a.AllocT(tid)
 	n.item, n.owner = item, int32(tid)
 	q.enqs[tid].Store(uint64(nh))
 
@@ -89,7 +89,7 @@ func (q *LeakQueue) Enqueue(tid int, item uint64) {
 // Dequeue removes the oldest item; ok=false when empty.
 func (q *LeakQueue) Dequeue(tid int) (uint64, bool) {
 	a := q.a
-	rh, _ := a.Alloc()
+	rh, _ := a.AllocT(tid)
 	a.Get(rh).owner = int32(tid)
 	q.deqs[tid].Store(uint64(rh))
 	for {

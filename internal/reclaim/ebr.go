@@ -113,7 +113,7 @@ func (e *EBR) reap(tid int) {
 	keep := e.limbo[tid][:0]
 	for _, it := range e.limbo[tid] {
 		if it.epoch+2 <= g {
-			e.env.Free(it.h)
+			e.env.Free(tid, it.h)
 			e.onFree()
 		} else {
 			keep = append(keep, it)

@@ -125,7 +125,7 @@ func (h *HE) scan(tid int) {
 			keep = append(keep, it)
 			continue
 		}
-		h.env.Free(it.h)
+		h.env.Free(tid, it.h)
 		h.onFree()
 	}
 	h.retired[tid] = keep

@@ -151,7 +151,7 @@ func (h *HP) scan(tid int) {
 			keep = append(keep, v)
 			continue
 		}
-		h.env.Free(v)
+		h.env.Free(tid, v)
 		h.onFree()
 	}
 	h.retired[tid] = keep

@@ -141,7 +141,7 @@ func (i *IBR) scan(tid int) {
 			keep = append(keep, it)
 			continue
 		}
-		i.env.Free(it.h)
+		i.env.Free(tid, it.h)
 		i.onFree()
 	}
 	i.retired[tid] = keep

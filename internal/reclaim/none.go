@@ -89,9 +89,9 @@ func (*Unsafe) Clear(int, int) {}
 func (*Unsafe) ClearAll(int) {}
 
 // Retire frees immediately, regardless of concurrent readers.
-func (u *Unsafe) Retire(_ int, h arena.Handle) {
+func (u *Unsafe) Retire(tid int, h arena.Handle) {
 	u.onRetire()
-	u.env.Free(h.Unmarked())
+	u.env.Free(tid, h.Unmarked())
 	u.onFree()
 }
 

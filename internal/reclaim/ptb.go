@@ -103,7 +103,7 @@ func (p *PTB) liberate(tid int) {
 		v := list[i]
 		g, gi, guarded := p.findGuard(v)
 		if !guarded {
-			p.env.Free(v)
+			p.env.Free(tid, v)
 			p.onFree()
 			continue
 		}

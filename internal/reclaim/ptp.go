@@ -76,7 +76,7 @@ func (p *PTP) Clear(tid, idx int) {
 	}
 	if p.handovers[tid][idx].Load() != 0 {
 		if v := arena.Handle(p.handovers[tid][idx].Swap(0)); !v.IsNil() {
-			p.handoverOrDelete(v, tid)
+			p.handoverOrDelete(tid, v, tid)
 		}
 	}
 }
@@ -92,15 +92,17 @@ func (p *PTP) ClearAll(tid int) {
 func (*PTP) OnAlloc(arena.Handle) {}
 
 // Retire implements Algorithm 2 line 22.
-func (p *PTP) Retire(_ int, v arena.Handle) {
+func (p *PTP) Retire(tid int, v arena.Handle) {
 	p.onRetire()
-	p.handoverOrDelete(v.Unmarked(), 0)
+	p.handoverOrDelete(tid, v.Unmarked(), 0)
 }
 
 // handoverOrDelete is Algorithm 2 lines 24–37: push the pointer forward
 // through the handover matrix until it either displaces nothing (parked)
-// or survives the whole scan unprotected (deleted).
-func (p *PTP) handoverOrDelete(ptr arena.Handle, start int) {
+// or survives the whole scan unprotected (deleted). tid is the calling
+// thread (for the allocator's free path); start is the thread row the
+// scan begins at.
+func (p *PTP) handoverOrDelete(tid int, ptr arena.Handle, start int) {
 	for it := start; it < p.cfg.MaxThreads; it++ {
 		for idx := 0; idx < p.cfg.MaxHPs; {
 			if p.hp.read(it, idx) == ptr {
@@ -117,7 +119,7 @@ func (p *PTP) handoverOrDelete(ptr arena.Handle, start int) {
 			idx++
 		}
 	}
-	p.env.Free(ptr)
+	p.env.Free(tid, ptr)
 	p.onFree()
 }
 
@@ -125,7 +127,7 @@ func (p *PTP) handoverOrDelete(ptr arena.Handle, start int) {
 func (p *PTP) Flush(tid int) {
 	for idx := 0; idx < p.cfg.MaxHPs; idx++ {
 		if v := arena.Handle(p.handovers[tid][idx].Swap(0)); !v.IsNil() {
-			p.handoverOrDelete(v, 0)
+			p.handoverOrDelete(tid, v, 0)
 		}
 	}
 }

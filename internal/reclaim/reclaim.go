@@ -23,8 +23,10 @@ import (
 type Env struct {
 	// Free returns an object to the allocator. Called exactly once per
 	// retired object, at a point where the scheme has proven no thread
-	// can still dereference it.
-	Free func(arena.Handle)
+	// can still dereference it. The tid is the reclaiming thread's id:
+	// arena.FreeT uses it to return the slot to that thread's magazine
+	// cache, keeping the scheme's free path off the shared free lists.
+	Free func(tid int, h arena.Handle)
 	// Hdr exposes the object's two scheme header words (birth/retire
 	// eras for HE and IBR). May be nil for schemes that keep no
 	// per-object state.

@@ -17,7 +17,7 @@ func testEnv(t testing.TB, mode arena.FaultMode) (*arena.Arena[tnode], Env) {
 	t.Helper()
 	a := arena.New[tnode](arena.WithFaultMode(mode))
 	return a, Env{
-		Free: a.Free,
+		Free: a.FreeT,
 		Hdr:  a.Header,
 	}
 }
