@@ -1,10 +1,11 @@
 GO ?= go
 
 # Packages whose concurrency hot paths warrant a race-detector pass on
-# every check: the allocator, the OrcGC core, and the manual schemes.
-RACE_PKGS = ./internal/arena/ ./internal/core/ ./internal/reclaim/
+# every check: the allocator, the OrcGC core, the manual schemes, and
+# the networked KV service (pipelined connections over both).
+RACE_PKGS = ./internal/arena/ ./internal/core/ ./internal/reclaim/ ./internal/kvstore/
 
-.PHONY: check vet build test race bench-alloc clean
+.PHONY: check vet build test race bench-alloc serve load smoke bench-kv clean
 
 check: vet build test race
 
@@ -25,5 +26,42 @@ race:
 bench-alloc:
 	ALLOC_BENCH=1 $(GO) test ./internal/arena/ -run TestAllocBenchReport -count=1 -v
 
+# orcstore: run the KV server (RECLAIM selects the scheme) and drive it.
+RECLAIM ?= orcgc
+ADDR    ?= 127.0.0.1:7070
+
+serve:
+	$(GO) run ./cmd/kvserver -addr $(ADDR) -reclaim $(RECLAIM)
+
+load:
+	$(GO) run ./cmd/kvload -addr $(ADDR) -conns 8 -duration 5s
+
+# Quick loopback sanity run: server + 2s uniform load, then SIGINT and
+# verify the drain leak check passes (kvserver exits non-zero if not).
+smoke:
+	$(GO) build -o bin/kvserver ./cmd/kvserver
+	$(GO) build -o bin/kvload ./cmd/kvload
+	./bin/kvserver -addr 127.0.0.1:7199 -reclaim $(RECLAIM) & \
+	pid=$$!; sleep 1; \
+	./bin/kvload -addr 127.0.0.1:7199 -conns 4 -duration 2s -warmup 500ms \
+	  -dist uniform -keys 10000 -out '' || { kill $$pid; exit 1; }; \
+	kill -INT $$pid; wait $$pid
+
+# Sweep every reclamation scheme through the loopback service and
+# refresh BENCH_kv.json (throughput + latency percentiles + drain leak
+# report per scheme).
+bench-kv:
+	$(GO) build -o bin/kvserver ./cmd/kvserver
+	$(GO) build -o bin/kvload ./cmd/kvload
+	for s in orcgc none hp ptb ptp ebr he ibr; do \
+	  ./bin/kvserver -addr 127.0.0.1:7199 -reclaim $$s & \
+	  pid=$$!; sleep 1; \
+	  ./bin/kvload -addr 127.0.0.1:7199 -conns 8 -duration 3s -warmup 1s \
+	    -dist zipfian -theta 0.99 -keys 50000 -mix get=50,put=44,del=5,scan=1 \
+	    -drain -out BENCH_kv.json || { kill $$pid; exit 1; }; \
+	  kill -INT $$pid; wait $$pid || exit 1; \
+	done
+
 clean:
 	$(GO) clean ./...
+	rm -rf bin

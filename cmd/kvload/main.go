@@ -1,0 +1,375 @@
+// kvload drives a kvserver with an open-loop mixed workload and reports
+// throughput plus an HDR-style latency distribution.
+//
+//	kvload -addr 127.0.0.1:7070 -conns 8 -rate 20000 -duration 5s \
+//	       -dist zipfian -theta 0.99 -keys 100000 -mix get=50,put=45,del=4,scan=1
+//
+// With -rate > 0 each connection paces sends on its own schedule and
+// latency is measured from the *scheduled* send time, so queueing delay
+// from a slow server is charged to the server (no coordinated
+// omission). With -rate 0 the generator runs closed-loop: each
+// connection keeps -pipeline requests in flight and latency is measured
+// from the actual send.
+//
+// Results append into -out (default BENCH_kv.json), keyed by -label
+// (default: the server's scheme, fetched via STATS), so a sweep over
+// schemes accumulates one comparable document.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/kvstore"
+)
+
+type mix struct {
+	get, put, del, scan int // cumulative thresholds out of 100
+}
+
+func parseMix(s string) (mix, error) {
+	w := map[string]int{"get": 0, "put": 0, "del": 0, "scan": 0}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return mix{}, fmt.Errorf("bad mix element %q", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if _, known := w[kv[0]]; err != nil || !known || n < 0 {
+			return mix{}, fmt.Errorf("bad mix element %q", part)
+		}
+		w[kv[0]] = n
+	}
+	total := w["get"] + w["put"] + w["del"] + w["scan"]
+	if total != 100 {
+		return mix{}, fmt.Errorf("mix weights sum to %d, want 100", total)
+	}
+	return mix{
+		get:  w["get"],
+		put:  w["get"] + w["put"],
+		del:  w["get"] + w["put"] + w["del"],
+		scan: 100,
+	}, nil
+}
+
+type keyGen interface{ next() uint64 }
+
+// inflight rides the pipeline between sender and receiver halves of one
+// connection: which Recv* to call and when the op was (scheduled to be)
+// sent.
+type inflight struct {
+	op    uint8
+	sched time.Time
+}
+
+type connResult struct {
+	hist bench.Hist
+	ops  uint64
+	errs uint64
+}
+
+// runConn drives one connection until deadline. Sends and receives run
+// in separate goroutines (the client's pipelining contract), coupled by
+// the inflight queue.
+func runConn(addr string, id int, seed int64, deadline time.Time, warmupUntil time.Time,
+	m mix, dist string, theta float64, keys uint64, scanLen uint32,
+	interval time.Duration, pipeline int) (connResult, error) {
+
+	cl, err := kvstore.Dial(addr)
+	if err != nil {
+		return connResult{}, err
+	}
+	defer cl.Close()
+
+	r := rand.New(rand.NewSource(seed))
+	var gen keyGen
+	if dist == "zipfian" {
+		gen = newZipf(r, keys, theta)
+	} else {
+		gen = &uniformGen{n: keys, r: r}
+	}
+
+	queue := make(chan inflight, 4096)
+	var res connResult
+	var recvErr error // written by the receiver before failed.Store
+	var failed atomic.Bool
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for f := range queue {
+			var err error
+			switch f.op {
+			case kvstore.OpGet:
+				_, _, err = cl.RecvGet()
+			case kvstore.OpPut:
+				_, err = cl.RecvPut()
+			case kvstore.OpDel:
+				_, err = cl.RecvDel()
+			case kvstore.OpScan:
+				_, err = cl.RecvScan(nil)
+			}
+			if err != nil {
+				res.errs++
+				recvErr = err
+				failed.Store(true)
+				return
+			}
+			res.ops++
+			if now := time.Now(); now.After(warmupUntil) {
+				res.hist.RecordDur(now.Sub(f.sched))
+			}
+		}
+	}()
+
+	send := func(sched time.Time) {
+		k := gen.next()
+		p := r.Intn(100)
+		var op uint8
+		switch {
+		case p < m.get:
+			op = kvstore.OpGet
+			cl.SendGet(k)
+		case p < m.put:
+			op = kvstore.OpPut
+			cl.SendPut(k, k^uint64(sched.UnixNano()))
+		case p < m.del:
+			op = kvstore.OpDel
+			cl.SendDel(k)
+		default:
+			op = kvstore.OpScan
+			cl.SendScan(k, scanLen)
+		}
+		queue <- inflight{op: op, sched: sched}
+	}
+
+	if interval > 0 {
+		// Open loop: send on the schedule regardless of responses;
+		// flush in small batches to amortize syscalls.
+		next := time.Now()
+		unflushed := 0
+		for time.Now().Before(deadline) && !failed.Load() {
+			now := time.Now()
+			if now.Before(next) {
+				if unflushed > 0 {
+					cl.Flush()
+					unflushed = 0
+				}
+				time.Sleep(next.Sub(now))
+			}
+			send(next) // latency clock starts at the scheduled time
+			unflushed++
+			if unflushed >= 16 {
+				cl.Flush()
+				unflushed = 0
+			}
+			next = next.Add(interval)
+		}
+	} else {
+		// Closed loop: keep `pipeline` requests in flight.
+		sent := 0
+		for time.Now().Before(deadline) && !failed.Load() {
+			for sent < pipeline {
+				send(time.Now())
+				sent++
+			}
+			cl.Flush()
+			// Wait for the queue to drain below the window before
+			// refilling: receiver consumes as responses arrive.
+			for len(queue) >= pipeline && !failed.Load() {
+				time.Sleep(50 * time.Microsecond)
+			}
+			sent = len(queue)
+		}
+	}
+	cl.CloseWrite()
+	close(queue)
+	rwg.Wait()
+	return res, recvErr
+}
+
+// Report is one kvload run, keyed into BENCH_kv.json by Label.
+type Report struct {
+	Label        string               `json:"label"`
+	Scheme       string               `json:"scheme"`
+	Conns        int                  `json:"conns"`
+	RatePerSec   float64              `json:"rate_per_sec"` // 0 = closed loop
+	Pipeline     int                  `json:"pipeline,omitempty"`
+	Duration     string               `json:"duration"`
+	Dist         string               `json:"dist"`
+	Theta        float64              `json:"theta,omitempty"`
+	Keys         uint64               `json:"keys"`
+	Mix          string               `json:"mix"`
+	ScanLen      uint32               `json:"scan_len"`
+	Ops          uint64               `json:"ops"`
+	Errors       uint64               `json:"errors"`
+	ThroughputPS float64              `json:"throughput_ops_per_sec"`
+	Latency      bench.LatSummary     `json:"latency_us"`
+	Stats        *kvstore.Stats       `json:"server_stats,omitempty"`
+	Drain        *kvstore.DrainReport `json:"drain,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	conns := flag.Int("conns", 8, "concurrent connections")
+	rate := flag.Float64("rate", 0, "total target ops/sec across all conns (0 = closed loop)")
+	pipeline := flag.Int("pipeline", 16, "closed-loop in-flight requests per conn")
+	duration := flag.Duration("duration", 5*time.Second, "measured run length")
+	warmup := flag.Duration("warmup", time.Second, "lead-in whose latencies are discarded")
+	dist := flag.String("dist", "zipfian", "key distribution: zipfian|uniform")
+	theta := flag.Float64("theta", 0.99, "zipfian exponent (YCSB default 0.99)")
+	keys := flag.Uint64("keys", 100000, "keyspace size")
+	mixFlag := flag.String("mix", "get=50,put=45,del=4,scan=1", "op mix, weights summing to 100")
+	scanLen := flag.Uint("scanlen", 16, "keys per scan")
+	preload := flag.Bool("preload", true, "insert the whole keyspace before the run")
+	drain := flag.Bool("drain", false, "send DRAIN after the run and record the leak report")
+	label := flag.String("label", "", "result key in -out (default: server scheme)")
+	out := flag.String("out", "BENCH_kv.json", "merge results into this JSON file ('' = stdout only)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	m, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvload: %v\n", err)
+		os.Exit(2)
+	}
+	if *dist != "zipfian" && *dist != "uniform" {
+		fmt.Fprintf(os.Stderr, "kvload: unknown dist %q\n", *dist)
+		os.Exit(2)
+	}
+
+	ctl, err := kvstore.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvload: %v\n", err)
+		os.Exit(1)
+	}
+	stats, err := ctl.Stats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvload: STATS: %v\n", err)
+		os.Exit(1)
+	}
+	if *label == "" {
+		*label = stats.Scheme
+	}
+
+	if *preload {
+		n := uint64(0)
+		for k := uint64(1); k <= *keys; k++ {
+			ctl.SendPut(k, k)
+			if n++; n%1024 == 0 {
+				ctl.Flush()
+				for ; n > 0; n-- {
+					ctl.RecvPut()
+				}
+			}
+		}
+		ctl.Flush()
+		for ; n > 0; n-- {
+			ctl.RecvPut()
+		}
+	}
+
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(*conns) / *rate * float64(time.Second))
+	}
+	warmupUntil := time.Now().Add(*warmup)
+	deadline := warmupUntil.Add(*duration)
+
+	results := make([]connResult, *conns)
+	errs := make([]error, *conns)
+	var wg sync.WaitGroup
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = runConn(*addr, i, *seed+int64(i)*7919, deadline, warmupUntil,
+				m, *dist, *theta, *keys, uint32(*scanLen), interval, *pipeline)
+		}(i)
+	}
+	wg.Wait()
+
+	rep := Report{
+		Label: *label, Scheme: stats.Scheme,
+		Conns: *conns, RatePerSec: *rate,
+		Duration: duration.String(), Dist: *dist, Keys: *keys,
+		Mix: *mixFlag, ScanLen: uint32(*scanLen),
+	}
+	if *dist == "zipfian" {
+		rep.Theta = *theta
+	}
+	if *rate == 0 {
+		rep.Pipeline = *pipeline
+	}
+	var hist bench.Hist
+	for i := range results {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "kvload: conn %d: %v\n", i, errs[i])
+			rep.Errors++
+		}
+		hist.Merge(&results[i].hist)
+		rep.Ops += results[i].ops
+		rep.Errors += results[i].errs
+	}
+	rep.ThroughputPS = float64(hist.Count()) / duration.Seconds()
+	rep.Latency = hist.Summary()
+
+	if st, err := ctl.Stats(); err == nil {
+		st.Sides = nil // per-index detail is noise in the report
+		rep.Stats = &st
+	}
+	if *drain {
+		if dr, err := ctl.Drain(); err == nil {
+			rep.Drain = &dr
+		} else {
+			fmt.Fprintf(os.Stderr, "kvload: DRAIN: %v\n", err)
+		}
+	}
+	ctl.Close()
+
+	fmt.Printf("%-8s %8.0f ops/s  p50 %.1fus  p99 %.1fus  p999 %.1fus  (%d ops, %d errs)\n",
+		rep.Label, rep.ThroughputPS,
+		rep.Latency.P50Us, rep.Latency.P99Us, rep.Latency.P999Us, rep.Ops, rep.Errors)
+
+	if *out != "" {
+		if err := mergeReport(*out, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "kvload: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// mergeReport updates path in place, keeping one entry per label so a
+// sweep over schemes accumulates a single comparable document.
+func mergeReport(path string, rep Report) error {
+	byLabel := map[string]Report{}
+	if b, err := os.ReadFile(path); err == nil {
+		var old []Report
+		if json.Unmarshal(b, &old) == nil {
+			for _, r := range old {
+				byLabel[r.Label] = r
+			}
+		}
+	}
+	byLabel[rep.Label] = rep
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	all := make([]Report, 0, len(labels))
+	for _, l := range labels {
+		all = append(all, byLabel[l])
+	}
+	return bench.WriteJSON(path, all)
+}

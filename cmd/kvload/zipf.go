@@ -1,0 +1,66 @@
+package main
+
+import (
+	"math"
+	"math/rand"
+)
+
+// zipfGen is the YCSB-style Zipfian generator: unlike stdlib rand.Zipf
+// (which requires s > 1) it supports the benchmark-standard exponent
+// theta < 1 (YCSB default 0.99). Ranks are scrambled with a Fibonacci
+// hash so the hot keys spread across the keyspace (and therefore across
+// store shards) instead of clustering at the low end.
+type zipfGen struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	r     *rand.Rand
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func newZipf(r *rand.Rand, n uint64, theta float64) *zipfGen {
+	zetan := zeta(n, theta)
+	return &zipfGen{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/zetan),
+		r:     r,
+	}
+}
+
+// rank draws a 1-based rank; rank 1 is the hottest.
+func (z *zipfGen) rank() uint64 {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 1
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 2
+	}
+	return 1 + uint64(float64(z.n)*math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// next draws a key in [1, n], rank-scrambled.
+func (z *zipfGen) next() uint64 {
+	return 1 + (z.rank()*0x9e3779b97f4a7c15)%z.n
+}
+
+// uniformGen draws keys uniformly from [1, n].
+type uniformGen struct {
+	n uint64
+	r *rand.Rand
+}
+
+func (u *uniformGen) next() uint64 { return 1 + uint64(u.r.Int63n(int64(u.n))) }

@@ -13,8 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -30,14 +28,10 @@ func main() {
 	out := flag.String("out", "", "directory for TSV data files (optional)")
 	flag.Parse()
 
-	var tc []int
-	for _, part := range strings.Split(*threads, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "orcbench: bad thread count %q\n", part)
-			os.Exit(2)
-		}
-		tc = append(tc, n)
+	tc, err := bench.ParseThreads(*threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orcbench: %v\n", err)
+		os.Exit(2)
 	}
 	cfg := bench.Config{
 		Threads:  tc,

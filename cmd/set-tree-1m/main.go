@@ -8,8 +8,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -24,14 +22,12 @@ func main() {
 	flag.Parse()
 
 	cfg := bench.Config{Duration: *duration, Runs: *runs, KeysBig: *keys, DataDir: *out}
-	for _, part := range strings.Split(*threads, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
-			os.Exit(2)
-		}
-		cfg.Threads = append(cfg.Threads, n)
+	tc, err := bench.ParseThreads(*threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+	cfg.Threads = tc
 	for _, id := range []string{"7", "8"} {
 		if err := bench.Figure(id, cfg, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Hist is an HDR-style latency histogram: log-bucketed with histSubBits
+// bits of sub-bucket resolution per octave, giving a bounded ~3%
+// relative error at every magnitude while covering the full uint64
+// nanosecond range in a few KB. A Hist is single-writer (one per
+// goroutine); Merge combines per-goroutine histograms at quiescence,
+// which is how both the kv load generator and the bench harness
+// aggregate across worker goroutines without sharing cache lines on the
+// hot path.
+type Hist struct {
+	counts [histNBuckets]uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+	min    uint64
+}
+
+const (
+	histSubBits  = 5 // 32 sub-buckets per octave → ≤3.1% relative error
+	histSubCount = 1 << histSubBits
+	// Buckets: one linear region below 2^histSubBits, then one region of
+	// histSubCount buckets per remaining octave of a 64-bit value (the
+	// highest region index is 64-histSubBits, inclusive).
+	histNBuckets = (64 - histSubBits + 1) * histSubCount
+)
+
+// bucketOfDur maps a nanosecond value to its bucket index.
+func bucketOfDur(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	k := bits.Len64(v)             // position of the highest set bit, > histSubBits
+	shift := k - histSubBits - 1   // ≥ 0
+	sub := (v >> uint(shift)) - histSubCount
+	return (shift+1)<<histSubBits + int(sub)
+}
+
+// bucketMid returns a representative (midpoint) value for bucket idx.
+func bucketMid(idx int) uint64 {
+	if idx < histSubCount {
+		return uint64(idx)
+	}
+	shift := idx>>histSubBits - 1
+	sub := uint64(idx & (histSubCount - 1))
+	lo := (histSubCount + sub) << uint(shift)
+	return lo + (uint64(1)<<uint(shift))/2
+}
+
+// Record adds one nanosecond observation.
+func (h *Hist) Record(ns uint64) {
+	h.counts[bucketOfDur(ns)]++
+	h.total++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+	if h.total == 1 || ns < h.min {
+		h.min = ns
+	}
+}
+
+// RecordDur adds one duration observation.
+func (h *Hist) RecordDur(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
+}
+
+// Merge folds other into h. Safe only when neither side is being
+// written concurrently.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Max returns the largest observation in nanoseconds.
+func (h *Hist) Max() uint64 { return h.max }
+
+// Mean returns the mean observation in nanoseconds.
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns the value at quantile q in [0,1] (bucket midpoint;
+// the exact max for q beyond the last observation).
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			if i == bucketOfDur(h.max) {
+				return h.max
+			}
+			return bucketMid(i)
+		}
+	}
+	return h.max
+}
+
+// LatSummary is the JSON-ready digest of a histogram, in microseconds
+// (the resolution BENCH_kv.json and the figure tables report).
+type LatSummary struct {
+	Count  uint64  `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P90Us  float64 `json:"p90_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// Summary digests the histogram for reports.
+func (h *Hist) Summary() LatSummary {
+	us := func(ns uint64) float64 { return float64(ns) / 1e3 }
+	return LatSummary{
+		Count:  h.total,
+		MeanUs: h.Mean() / 1e3,
+		P50Us:  us(h.Quantile(0.50)),
+		P90Us:  us(h.Quantile(0.90)),
+		P99Us:  us(h.Quantile(0.99)),
+		P999Us: us(h.Quantile(0.999)),
+		MaxUs:  us(h.max),
+	}
+}

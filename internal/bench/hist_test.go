@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Every bucket's representative value must map back to that bucket,
+	// and bucket indices must be monotone in the value.
+	for idx := 0; idx < histNBuckets; idx++ {
+		mid := bucketMid(idx)
+		if got := bucketOfDur(mid); got != idx {
+			t.Fatalf("bucketOfDur(bucketMid(%d)=%d) = %d", idx, mid, got)
+		}
+	}
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1 << 40, math.MaxUint64} {
+		idx := bucketOfDur(v)
+		if idx < prev {
+			t.Fatalf("bucket index not monotone at %d: %d < %d", v, idx, prev)
+		}
+		if idx >= histNBuckets {
+			t.Fatalf("bucket index %d out of range for %d", idx, v)
+		}
+		prev = idx
+	}
+}
+
+func TestHistRelativeError(t *testing.T) {
+	var h Hist
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]uint64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform values spanning ns..minutes.
+		v := uint64(math.Exp(rng.Float64()*25)) + 1
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))]
+		got := h.Quantile(q)
+		relErr := math.Abs(float64(got)-float64(exact)) / float64(exact)
+		if relErr > 0.05 {
+			t.Errorf("q=%v: got %d exact %d relErr %.3f", q, got, exact, relErr)
+		}
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("q=1 %d != max %d", h.Quantile(1), h.Max())
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b, whole Hist
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1_000_000))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		whole.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Max() != whole.Max() {
+		t.Fatalf("merge count/max mismatch: %d/%d vs %d/%d", a.Count(), a.Max(), whole.Count(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("merge quantile %v mismatch: %d vs %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	if a.Mean() != whole.Mean() {
+		t.Fatalf("merge mean mismatch")
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty hist not zero")
+	}
+	s := h.Summary()
+	if s.Count != 0 || s.P99Us != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}

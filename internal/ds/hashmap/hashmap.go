@@ -13,13 +13,19 @@
 package hashmap
 
 import (
+	"sync/atomic"
+
 	"repro/internal/arena"
 	"repro/internal/core"
 )
 
-// Node is a bucket-list node.
+// Node is a bucket-list node. val is a plain payload word (not a link:
+// it never references another tracked object, so it stays outside
+// nodeLinks). It is written only while the node is protected, so reads
+// through a protected handle are always safe.
 type Node struct {
 	key  uint64
+	val  atomic.Uint64
 	next core.Atomic
 }
 
@@ -149,6 +155,61 @@ func (m *OrcMap) Remove(tid int, key uint64) bool {
 			m.find(tid, root, key, &prev, &cur, &next)
 		}
 		return true
+	}
+}
+
+// Get returns the value stored under key.
+func (m *OrcMap) Get(tid int, key uint64) (uint64, bool) {
+	d := m.d
+	root := &m.buckets[bucketOf(key, len(m.buckets))]
+	var prev, cur, next core.Ptr
+	defer func() {
+		d.Release(tid, &prev)
+		d.Release(tid, &cur)
+		d.Release(tid, &next)
+	}()
+	_, found := m.find(tid, root, key, &prev, &cur, &next)
+	if !found {
+		return 0, false
+	}
+	return d.Get(cur.H()).val.Load(), true
+}
+
+// Put inserts key→val or updates the value of an existing key; it
+// returns true when the key was newly inserted. An in-place update
+// linearizes at the val store: if the node is found unmarked afterwards
+// the update preceded any concurrent removal of that node; if it was
+// already marked the removal may have won, so Put retries and inserts a
+// fresh node (the mark bit on next is permanent once set).
+func (m *OrcMap) Put(tid int, key, val uint64) bool {
+	d := m.d
+	root := &m.buckets[bucketOf(key, len(m.buckets))]
+	var prev, cur, next, nn core.Ptr
+	defer func() {
+		d.Release(tid, &prev)
+		d.Release(tid, &cur)
+		d.Release(tid, &next)
+		d.Release(tid, &nn)
+	}()
+	for {
+		prevA, found := m.find(tid, root, key, &prev, &cur, &next)
+		if found {
+			curN := d.Get(cur.H())
+			curN.val.Store(val)
+			if curN.next.Raw().Marked() {
+				continue // a concurrent remove may have missed the update
+			}
+			return false
+		}
+		d.Make(tid, func(n *Node) {
+			n.key = key
+			n.val.Store(val)
+		}, &nn)
+		d.InitLink(tid, &d.Get(nn.H()).next, cur.H())
+		if d.CAS(tid, prevA, cur.H(), nn.H()) {
+			return true
+		}
+		d.Release(tid, &nn)
 	}
 }
 

@@ -7,9 +7,12 @@ import (
 	"repro/internal/reclaim"
 )
 
-// MNode is a manually reclaimed bucket-list node.
+// MNode is a manually reclaimed bucket-list node. val is a plain
+// payload word, written only while the node is protected by the
+// scheme's hazardous pointers (or covered by its epoch).
 type MNode struct {
 	key  uint64
+	val  atomic.Uint64
 	next atomic.Uint64
 }
 
@@ -123,6 +126,50 @@ func (m *ManualMap) Remove(tid int, key uint64) bool {
 			m.find(tid, root, key)
 		}
 		return true
+	}
+}
+
+// Get returns the value stored under key.
+func (m *ManualMap) Get(tid int, key uint64) (uint64, bool) {
+	root := &m.buckets[bucketOf(key, len(m.buckets))]
+	m.s.BeginOp(tid)
+	defer m.s.EndOp(tid)
+	defer m.s.ClearAll(tid)
+	_, cur, found := m.find(tid, root, key)
+	if !found {
+		return 0, false
+	}
+	return m.a.Get(cur).val.Load(), true
+}
+
+// Put inserts key→val or updates the value of an existing key; true
+// when newly inserted. See OrcMap.Put for the update linearization
+// argument (the mark bit on next is permanent once set, so an unmarked
+// re-check after the val store proves the update preceded any removal).
+func (m *ManualMap) Put(tid int, key, val uint64) bool {
+	root := &m.buckets[bucketOf(key, len(m.buckets))]
+	m.s.BeginOp(tid)
+	defer m.s.EndOp(tid)
+	defer m.s.ClearAll(tid)
+	for {
+		prevA, cur, found := m.find(tid, root, key)
+		if found {
+			curN := m.a.Get(cur)
+			curN.val.Store(val)
+			if arena.Handle(curN.next.Load()).Marked() {
+				continue // a concurrent remove may have missed the update
+			}
+			return false
+		}
+		nh, n := m.a.AllocT(tid)
+		n.key = key
+		n.val.Store(val)
+		n.next.Store(uint64(cur))
+		m.s.OnAlloc(nh)
+		if prevA.CompareAndSwap(uint64(cur), uint64(nh)) {
+			return true
+		}
+		m.a.FreeT(tid, nh)
 	}
 }
 

@@ -1,0 +1,104 @@
+package hashmap
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/reclaim"
+)
+
+// kvMap is the Put/Get surface shared by both variants.
+type kvMap interface {
+	Put(tid int, key, val uint64) bool
+	Get(tid int, key uint64) (uint64, bool)
+	Remove(tid int, key uint64) bool
+}
+
+func kvVariants(threads int) map[string]kvMap {
+	out := map[string]kvMap{
+		"orc": NewOrc(0, 64, core.DomainConfig{MaxThreads: threads}),
+	}
+	for _, s := range []string{"hp", "ebr", "ptp", "none"} {
+		out["manual-"+s] = NewManual(s, 64, reclaim.Config{MaxThreads: threads})
+	}
+	return out
+}
+
+func TestPutGetSequential(t *testing.T) {
+	for name, m := range kvVariants(2) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := m.Get(0, 7); ok {
+				t.Fatal("get on empty map")
+			}
+			if !m.Put(0, 7, 100) {
+				t.Fatal("first put should insert")
+			}
+			if v, ok := m.Get(0, 7); !ok || v != 100 {
+				t.Fatalf("get = %d,%v want 100,true", v, ok)
+			}
+			if m.Put(0, 7, 200) {
+				t.Fatal("second put should update, not insert")
+			}
+			if v, ok := m.Get(0, 7); !ok || v != 200 {
+				t.Fatalf("get after update = %d,%v want 200,true", v, ok)
+			}
+			if !m.Remove(0, 7) {
+				t.Fatal("remove")
+			}
+			if _, ok := m.Get(0, 7); ok {
+				t.Fatal("get after remove")
+			}
+			if !m.Put(0, 7, 300) {
+				t.Fatal("put after remove should insert")
+			}
+			if v, _ := m.Get(0, 7); v != 300 {
+				t.Fatalf("get = %d want 300", v)
+			}
+		})
+	}
+}
+
+// TestPutGetConcurrent checks read-your-writes per key under concurrent
+// put/del churn on other keys: each worker owns a disjoint key set and
+// every Get must return the worker's latest Put value (or miss right
+// after its own Remove).
+func TestPutGetConcurrent(t *testing.T) {
+	const workers = 4
+	const per = 400
+	for name, m := range kvVariants(workers) {
+		m := m
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make(chan string, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					base := uint64(tid * 1000)
+					for i := 0; i < per; i++ {
+						k := base + uint64(i%17) + 1
+						want := uint64(tid*per + i)
+						m.Put(tid, k, want)
+						if v, ok := m.Get(tid, k); !ok || v != want {
+							errs <- name
+							return
+						}
+						if i%5 == 0 {
+							m.Remove(tid, k)
+							if _, ok := m.Get(tid, k); ok {
+								errs <- name
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			if msg, bad := <-errs; bad {
+				t.Fatalf("%s: lost an update on its own key", msg)
+			}
+		})
+	}
+}

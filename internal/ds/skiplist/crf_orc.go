@@ -143,50 +143,164 @@ func (s *CRFOrc) Insert(tid int, key uint64) bool {
 	d := s.d
 	topLevel := int32(s.rng.next(tid))
 	var r orcSeek
-	var nn, own core.Ptr
+	var nn core.Ptr
 	defer s.releaseSeek(tid, &r)
-	defer func() {
-		d.Release(tid, &nn)
-		d.Release(tid, &own)
-	}()
+	defer d.Release(tid, &nn)
 	for {
 		if s.find(tid, key, &r) {
 			return false
 		}
 		d.Make(tid, func(n *Node) { n.key, n.topLevel = key, topLevel }, &nn)
-		nd := d.Get(nn.H())
-		for l := int32(0); l <= topLevel; l++ {
-			d.InitLink(tid, &nd.next[l], r.succs[l].H())
+		if s.linkNew(tid, &nn, topLevel, &r) {
+			return true
 		}
-		if !d.CAS(tid, &d.Get(r.preds[0].H()).next[0], r.succs[0].H(), nn.H()) {
-			d.Release(tid, &nn)
-			continue
+		d.Release(tid, &nn)
+	}
+}
+
+// Put inserts key→val or updates an existing key's value; true when
+// newly inserted. An in-place update linearizes at the val store: the
+// bottom-level mark (and poison) are permanent once set, so finding
+// next[0] clean after the store proves the update preceded any removal.
+func (s *CRFOrc) Put(tid int, key, val uint64) bool {
+	d := s.d
+	topLevel := int32(s.rng.next(tid))
+	var r orcSeek
+	var nn core.Ptr
+	defer s.releaseSeek(tid, &r)
+	defer d.Release(tid, &nn)
+	for {
+		if s.find(tid, key, &r) {
+			nd := d.Get(r.succs[0].H())
+			nd.val.Store(val)
+			if b := nd.next[0].Raw(); b.Marked() || isPoison(b) {
+				continue // a concurrent remove may have missed the update
+			}
+			return false
 		}
-		for l := int32(1); l <= topLevel; l++ {
-			for {
-				// Re-synchronize our own successor link before exposing
-				// this level — the CRF fix: a linked node never points
-				// at a node that was removed before the link was made.
-				cur := d.Load(tid, &nd.next[l], &own)
-				if cur.Marked() || isPoison(cur) {
-					return true // we were removed mid-insert; stop
-				}
-				if cur != r.succs[l].H() {
-					if !d.CAS(tid, &nd.next[l], cur, r.succs[l].H()) {
-						continue
-					}
-				}
-				if d.CAS(tid, &d.Get(r.preds[l].H()).next[l], r.succs[l].H(), nn.H()) {
-					break
-				}
-				s.find(tid, key, &r)
-				if r.succs[0].H() != nn.H() && d.Get(nn.H()).next[0].Raw().Marked() {
-					return true // removed while linking; abandon upper levels
+		d.Make(tid, func(n *Node) {
+			n.key, n.topLevel = key, topLevel
+			n.val.Store(val)
+		}, &nn)
+		if s.linkNew(tid, &nn, topLevel, &r) {
+			return true
+		}
+		d.Release(tid, &nn)
+	}
+}
+
+// linkNew publishes the prepared node nn at its bottom level and then
+// walks the upper levels with the CRF re-synchronization — the shared
+// tail of Insert and Put. It reports whether nn was published (false
+// means the bottom-level CAS lost and the caller should retry).
+func (s *CRFOrc) linkNew(tid int, nn *core.Ptr, topLevel int32, r *orcSeek) bool {
+	d := s.d
+	var own core.Ptr
+	defer d.Release(tid, &own)
+	nd := d.Get(nn.H())
+	for l := int32(0); l <= topLevel; l++ {
+		d.InitLink(tid, &nd.next[l], r.succs[l].H())
+	}
+	if !d.CAS(tid, &d.Get(r.preds[0].H()).next[0], r.succs[0].H(), nn.H()) {
+		return false
+	}
+	key := nd.key
+	for l := int32(1); l <= topLevel; l++ {
+		for {
+			// Re-synchronize our own successor link before exposing this
+			// level — the CRF fix: a linked node never points at a node
+			// that was removed before the link was made.
+			cur := d.Load(tid, &nd.next[l], &own)
+			if cur.Marked() || isPoison(cur) {
+				return true // we were removed mid-insert; stop
+			}
+			if cur != r.succs[l].H() {
+				if !d.CAS(tid, &nd.next[l], cur, r.succs[l].H()) {
+					continue
 				}
 			}
+			if d.CAS(tid, &d.Get(r.preds[l].H()).next[l], r.succs[l].H(), nn.H()) {
+				break
+			}
+			s.find(tid, key, r)
+			if r.succs[0].H() != nn.H() && d.Get(nn.H()).next[0].Raw().Marked() {
+				return true // removed while linking; abandon upper levels
+			}
 		}
-		return true
 	}
+	return true
+}
+
+// Get returns the value stored under key.
+func (s *CRFOrc) Get(tid int, key uint64) (uint64, bool) {
+	d := s.d
+	var r orcSeek
+	defer s.releaseSeek(tid, &r)
+	if !s.find(tid, key, &r) {
+		return 0, false
+	}
+	nd := d.Get(r.succs[0].H())
+	v := nd.val.Load()
+	if b := nd.next[0].Raw(); b.Marked() || isPoison(b) {
+		return 0, false
+	}
+	return v, true
+}
+
+// Scan walks level 0 in ascending key order starting at the first live
+// key ≥ from, calling emit for up to limit live pairs. Stepping on a
+// poisoned husk restarts the walk just past the last emitted key, so
+// nothing is emitted twice. Returns the number emitted; emit may stop
+// the scan early by returning false.
+func (s *CRFOrc) Scan(tid int, from uint64, limit int, emit func(k, v uint64) bool) int {
+	d := s.d
+	if from < 1 {
+		from = 1
+	}
+	count := 0
+	lo := from
+	var cur, succ core.Ptr
+	defer func() {
+		d.Release(tid, &cur)
+		d.Release(tid, &succ)
+	}()
+retry:
+	for count < limit && lo < tailKey {
+		var r orcSeek
+		s.find(tid, lo, &r) // positions succs[0] at the first node ≥ lo
+		d.CopyPtr(tid, &cur, &r.succs[0])
+		s.releaseSeek(tid, &r)
+		for count < limit {
+			nd := d.Get(cur.H())
+			k := nd.key
+			if k == tailKey {
+				return count
+			}
+			v := nd.val.Load()
+			succH := d.Load(tid, &nd.next[0], &succ)
+			if isPoison(succH) {
+				lo = maxU64(lo, k) // k itself may be a husk: re-seek it
+				continue retry
+			}
+			if !succH.Marked() && k >= lo {
+				lo = k + 1
+				count++
+				if !emit(k, v) {
+					return count
+				}
+			}
+			d.CopyPtr(tid, &cur, &succ)
+			cur.Unmark()
+		}
+	}
+	return count
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Remove deletes key; false if absent.

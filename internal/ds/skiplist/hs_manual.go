@@ -8,9 +8,11 @@ import (
 	"repro/internal/reclaim"
 )
 
-// MNode is a manually reclaimed skip-list node.
+// MNode is a manually reclaimed skip-list node. val is a plain payload
+// word, written only under the scheme's protection (epoch).
 type MNode struct {
 	key      uint64
+	val      atomic.Uint64
 	topLevel int32
 	next     [MaxLevels]atomic.Uint64
 }
@@ -157,6 +159,123 @@ func (s *HSManual) Remove(tid int, key uint64) bool {
 			return true
 		}
 	}
+}
+
+// Put inserts key→val or updates an existing key's value; true when
+// newly inserted. An in-place update linearizes at the val store: the
+// bottom-level mark is permanent once set, so finding next[0] unmarked
+// after the store proves the update preceded any removal of the node.
+func (s *HSManual) Put(tid int, key, val uint64) bool {
+	a := s.a
+	s.s.BeginOp(tid)
+	defer s.s.EndOp(tid)
+	topLevel := int32(s.rng.next(tid))
+	var r mseek
+	for {
+		if s.find(key, &r) {
+			nd := a.Get(r.succs[0])
+			nd.val.Store(val)
+			if arena.Handle(nd.next[0].Load()).Marked() {
+				continue // a concurrent remove may have missed the update
+			}
+			return false
+		}
+		nh, n := a.AllocT(tid)
+		n.key, n.topLevel = key, topLevel
+		n.val.Store(val)
+		for l := int32(0); l <= topLevel; l++ {
+			n.next[l].Store(uint64(r.succs[l]))
+		}
+		s.s.OnAlloc(nh)
+		if !a.Get(r.preds[0]).next[0].CompareAndSwap(uint64(r.succs[0]), uint64(nh)) {
+			a.FreeT(tid, nh) // never published
+			continue
+		}
+		for l := int32(1); l <= topLevel; l++ {
+			for {
+				if a.Get(r.preds[l]).next[l].CompareAndSwap(uint64(r.succs[l]), uint64(nh)) {
+					break
+				}
+				s.find(key, &r)
+			}
+		}
+		return true
+	}
+}
+
+// Get returns the value stored under key, using the book's
+// non-restarting descent.
+func (s *HSManual) Get(tid int, key uint64) (uint64, bool) {
+	a := s.a
+	s.s.BeginOp(tid)
+	defer s.s.EndOp(tid)
+	curr := s.descend(key)
+	cn := a.Get(curr)
+	if cn.key != key || arena.Handle(cn.next[0].Load()).Marked() {
+		return 0, false
+	}
+	return cn.val.Load(), true
+}
+
+// descend runs the book's wait-free traversal and returns the first
+// node with key ≥ the target at level 0 (possibly reached through
+// marked nodes, which epoch protection keeps dereferenceable).
+func (s *HSManual) descend(key uint64) arena.Handle {
+	a := s.a
+	pred := s.headH
+	var curr arena.Handle
+	for level := MaxLevels - 1; level >= 0; level-- {
+		curr = arena.Handle(a.Get(pred).next[level].Load()).Unmarked()
+		for {
+			cn := a.Get(curr)
+			succ := arena.Handle(cn.next[level].Load())
+			for succ.Marked() {
+				curr = succ.Unmarked()
+				cn = a.Get(curr)
+				succ = arena.Handle(cn.next[level].Load())
+			}
+			if cn.key < key {
+				pred = curr
+				curr = succ.Unmarked()
+			} else {
+				break
+			}
+		}
+	}
+	return curr
+}
+
+// Scan walks level 0 in ascending key order starting at the first live
+// key ≥ from, calling emit for up to limit live pairs (marked nodes are
+// traversed but not emitted). It returns the number emitted; emit may
+// stop the scan early by returning false. The whole scan runs inside
+// one epoch-protected operation — the long-lived-reader shape that
+// stresses epoch-based reclamation.
+func (s *HSManual) Scan(tid int, from uint64, limit int, emit func(k, v uint64) bool) int {
+	a := s.a
+	s.s.BeginOp(tid)
+	defer s.s.EndOp(tid)
+	if from < 1 {
+		from = 1
+	}
+	curr := s.descend(from)
+	count := 0
+	for count < limit {
+		cn := a.Get(curr)
+		if cn.key == tailKey {
+			break
+		}
+		succ := arena.Handle(cn.next[0].Load())
+		if !succ.Marked() && cn.key >= from {
+			if !emit(cn.key, cn.val.Load()) {
+				count++
+				break
+			}
+			count++
+		}
+		curr = succ.Unmarked()
+	}
+	return count
 }
 
 // Contains is the book's non-restarting lookup.

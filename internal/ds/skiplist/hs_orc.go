@@ -1,13 +1,18 @@
 package skiplist
 
 import (
+	"sync/atomic"
+
 	"repro/internal/arena"
 	"repro/internal/core"
 )
 
 // Node is a skip-list node: key, height, and one orc link per level.
+// val is a plain payload word (never a link, so it stays outside
+// nodeLinks); it is written only while the node is protected.
 type Node struct {
 	key      uint64
+	val      atomic.Uint64
 	topLevel int32
 	next     [MaxLevels]core.Atomic
 }

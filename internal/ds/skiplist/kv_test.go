@@ -1,0 +1,137 @@
+package skiplist
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/reclaim"
+)
+
+// kvSkip is the Put/Get/Scan surface shared by CRFOrc and HSManual.
+type kvSkip interface {
+	Put(tid int, key, val uint64) bool
+	Get(tid int, key uint64) (uint64, bool)
+	Remove(tid int, key uint64) bool
+	Scan(tid int, from uint64, limit int, emit func(k, v uint64) bool) int
+}
+
+func kvSkipVariants(threads int) map[string]kvSkip {
+	return map[string]kvSkip{
+		"crf-orc": NewCRFOrc(0, core.DomainConfig{MaxThreads: threads}),
+		"hs-ebr":  NewHSManual("ebr", reclaim.Config{MaxThreads: threads}),
+		"hs-none": NewHSManual("none", reclaim.Config{MaxThreads: threads}),
+	}
+}
+
+func TestKVSequential(t *testing.T) {
+	for name, s := range kvSkipVariants(2) {
+		t.Run(name, func(t *testing.T) {
+			if !s.Put(0, 10, 1) || !s.Put(0, 30, 3) || !s.Put(0, 20, 2) {
+				t.Fatal("inserting puts")
+			}
+			if s.Put(0, 20, 22) {
+				t.Fatal("update reported as insert")
+			}
+			if v, ok := s.Get(0, 20); !ok || v != 22 {
+				t.Fatalf("get(20) = %d,%v", v, ok)
+			}
+			if _, ok := s.Get(0, 15); ok {
+				t.Fatal("get(15) on absent key")
+			}
+			var got []uint64
+			n := s.Scan(0, 0, 10, func(k, v uint64) bool {
+				got = append(got, k, v)
+				return true
+			})
+			want := []uint64{10, 1, 20, 22, 30, 3}
+			if n != 3 || len(got) != 6 {
+				t.Fatalf("scan n=%d got=%v", n, got)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("scan got %v want %v", got, want)
+				}
+			}
+			// Bounded scan starting mid-range.
+			got = got[:0]
+			if n := s.Scan(0, 11, 1, func(k, v uint64) bool { got = append(got, k); return true }); n != 1 || got[0] != 20 {
+				t.Fatalf("scan(from=11,limit=1) n=%d got=%v", n, got)
+			}
+			s.Remove(0, 20)
+			got = got[:0]
+			s.Scan(0, 0, 10, func(k, v uint64) bool { got = append(got, k); return true })
+			if len(got) != 2 || got[0] != 10 || got[1] != 30 {
+				t.Fatalf("scan after remove = %v", got)
+			}
+		})
+	}
+}
+
+// TestKVScanUnderChurn runs scans concurrently with put/remove churn
+// and checks every scan's output is strictly ascending, within range,
+// and only ever contains keys that could legitimately be present.
+func TestKVScanUnderChurn(t *testing.T) {
+	const workers = 3
+	const scanners = 2
+	const per = 300
+	for name, s := range kvSkipVariants(workers + scanners) {
+		s := s
+		t.Run(name, func(t *testing.T) {
+			// Stable backbone keys that are never removed.
+			for k := uint64(100); k <= 1000; k += 100 {
+				s.Put(0, k, k)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan string, workers+scanners)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						k := uint64(tid*2000+i%37) + 2000
+						s.Put(tid, k, k)
+						if i%3 == 0 {
+							s.Remove(tid, k)
+						}
+					}
+				}(w)
+			}
+			for w := 0; w < scanners; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < 40; i++ {
+						last := uint64(0)
+						bad := false
+						s.Scan(tid, 50, 64, func(k, v uint64) bool {
+							if k <= last || k < 50 {
+								bad = true
+								return false
+							}
+							last = k
+							return true
+						})
+						if bad {
+							errs <- name
+							return
+						}
+					}
+				}(workers + w)
+			}
+			wg.Wait()
+			close(errs)
+			if msg, bad := <-errs; bad {
+				t.Fatalf("%s: scan emitted out-of-order or out-of-range key", msg)
+			}
+			// The backbone must be fully visible at quiescence.
+			seen := map[uint64]bool{}
+			s.Scan(0, 0, 1000, func(k, v uint64) bool { seen[k] = true; return true })
+			for k := uint64(100); k <= 1000; k += 100 {
+				if !seen[k] {
+					t.Fatalf("backbone key %d missing from scan", k)
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,18 @@ import (
 	"repro/internal/core"
 )
 
+// consumed is the reqLink tombstone installed when the node's item has
+// been delivered and the head has moved past it: a nil reference (so it
+// keeps no hard link — OrcGC needs unreachable objects acyclic) whose
+// mark bit distinguishes it from the armed-empty state. Plain nil means
+// "no dequeuer chosen yet" and may be CASed to a request; the tombstone
+// is terminal. Without it, a helper still arbitrating on an already-
+// consumed node would observe the broken cycle as plain nil, re-arm the
+// link with a fresh request, and deliver the node a second time — the
+// surplus-dequeue race TestConcurrentConservation used to trip under
+// the race detector.
+var consumed = arena.Nil.WithMark()
+
 // Obj is a queue node or a dequeue request.
 type Obj struct {
 	item    uint64
@@ -193,6 +205,9 @@ func (q *OrcQueue) serve(tid int) {
 	node := d.Get(nh)
 	for {
 		cur := d.Load(tid, &node.reqLink, &r)
+		if cur == consumed {
+			return // node already delivered; we are a stale helper
+		}
 		if cur.IsNil() {
 			// Choose the next dequeuer in turn order: scan from the
 			// previous consumer's owner + 1.
@@ -236,9 +251,13 @@ func (q *OrcQueue) serve(tid int) {
 			// OrcGC needs unreachable objects acyclic, but a consumed
 			// node and its request reference each other (reqLink vs
 			// result). Once head has moved past hh its reqLink is no
-			// longer the turn anchor: break the cycle there.
+			// longer the turn anchor: break the cycle there. The link is
+			// replaced with the consumed tombstone, never plain nil —
+			// plain nil would read as "no dequeuer chosen" to a stale
+			// helper, which could then re-arm the link and deliver hh's
+			// item a second time.
 			if pl := hn.reqLink.Raw(); !pl.IsNil() {
-				d.CAS(tid, &hn.reqLink, pl, arena.Nil)
+				d.CAS(tid, &hn.reqLink, pl, consumed)
 			}
 			return
 		default:
@@ -284,7 +303,7 @@ func (q *OrcQueue) Drain(tid int) {
 	if hh := d.Load(tid, &q.head, &hp); !hh.IsNil() {
 		hn := d.Get(hh)
 		if pl := hn.reqLink.Raw(); !pl.IsNil() {
-			d.CAS(tid, &hn.reqLink, pl, arena.Nil)
+			d.CAS(tid, &hn.reqLink, pl, consumed)
 		}
 	}
 	d.Release(tid, &hp)

@@ -1,0 +1,237 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+)
+
+// Client speaks the wire protocol over one connection. It supports
+// pipelining through the split Send*/Recv* halves: issue any number of
+// Send* calls, Flush, then Recv* once per outstanding request, in
+// order. The single-sender/single-receiver contract: at most one
+// goroutine may call Send*/Flush and at most one may call Recv* at a
+// time (they may be different goroutines). The blocking helpers
+// (Get/Put/Del/Scan/Stats/Drain) each do a full round trip and must not
+// be mixed with outstanding pipelined requests.
+type Client struct {
+	c  net.Conn
+	bw *bufio.Writer
+	br *bufio.Reader
+
+	wbuf []byte
+	rbuf []byte
+}
+
+// Dial connects to a kvstore server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		c:  c,
+		bw: bufio.NewWriterSize(c, 64<<10),
+		br: bufio.NewReaderSize(c, 64<<10),
+	}, nil
+}
+
+// Close tears the connection down.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// CloseWrite half-closes the sending side, telling the server the
+// pipeline is complete; queued responses still arrive.
+func (cl *Client) CloseWrite() error {
+	cl.Flush()
+	if tc, ok := cl.c.(*net.TCPConn); ok {
+		return tc.CloseWrite()
+	}
+	return nil
+}
+
+func (cl *Client) send(payload []byte) {
+	cl.wbuf = appendFrame(cl.wbuf[:0], payload)
+	cl.bw.Write(cl.wbuf)
+}
+
+// SendGet queues a GET.
+func (cl *Client) SendGet(key uint64) {
+	p := []byte{OpGet}
+	cl.send(appendU64(p, key))
+}
+
+// SendPut queues a PUT.
+func (cl *Client) SendPut(key, val uint64) {
+	p := []byte{OpPut}
+	p = appendU64(p, key)
+	cl.send(appendU64(p, val))
+}
+
+// SendDel queues a DEL.
+func (cl *Client) SendDel(key uint64) {
+	p := []byte{OpDel}
+	cl.send(appendU64(p, key))
+}
+
+// SendScan queues a SCAN.
+func (cl *Client) SendScan(from uint64, limit uint32) {
+	p := []byte{OpScan}
+	p = appendU64(p, from)
+	cl.send(appendU32(p, limit))
+}
+
+// SendStats queues a STATS.
+func (cl *Client) SendStats() { cl.send([]byte{OpStats}) }
+
+// SendDrain queues a DRAIN (quiescent use only).
+func (cl *Client) SendDrain() { cl.send([]byte{OpDrain}) }
+
+// Flush pushes all queued requests to the wire.
+func (cl *Client) Flush() error { return cl.bw.Flush() }
+
+// recv reads one response payload (status byte first).
+func (cl *Client) recv() ([]byte, error) {
+	p, err := readFrame(cl.br, cl.rbuf)
+	if err != nil {
+		return nil, err
+	}
+	cl.rbuf = p
+	if p[0] == StatusErr {
+		return nil, fmt.Errorf("kvstore: server error: %s", p[1:])
+	}
+	return p, nil
+}
+
+// RecvGet consumes a GET response.
+func (cl *Client) RecvGet() (val uint64, found bool, err error) {
+	p, err := cl.recv()
+	if err != nil {
+		return 0, false, err
+	}
+	if p[0] == StatusNotFound {
+		return 0, false, nil
+	}
+	v, ok := getU64(p, 1)
+	if !ok {
+		return 0, false, fmt.Errorf("kvstore: short GET response")
+	}
+	return v, true, nil
+}
+
+// RecvPut consumes a PUT response; inserted is true for a fresh key.
+func (cl *Client) RecvPut() (inserted bool, err error) {
+	p, err := cl.recv()
+	if err != nil {
+		return false, err
+	}
+	return len(p) >= 2 && p[1] == 1, nil
+}
+
+// RecvDel consumes a DEL response; found is false for an absent key.
+func (cl *Client) RecvDel() (found bool, err error) {
+	p, err := cl.recv()
+	if err != nil {
+		return false, err
+	}
+	return p[0] == StatusOK, nil
+}
+
+// RecvScan consumes a SCAN response, appending interleaved k,v pairs to
+// dst and returning the extended slice.
+func (cl *Client) RecvScan(dst []uint64) ([]uint64, error) {
+	p, err := cl.recv()
+	if err != nil {
+		return dst, err
+	}
+	n, ok := getU32(p, 1)
+	if !ok {
+		return dst, fmt.Errorf("kvstore: short SCAN response")
+	}
+	off := 5
+	for i := uint32(0); i < 2*n; i++ {
+		w, ok := getU64(p, off)
+		if !ok {
+			return dst, fmt.Errorf("kvstore: truncated SCAN response")
+		}
+		dst = append(dst, w)
+		off += 8
+	}
+	return dst, nil
+}
+
+// RecvStats consumes a STATS response.
+func (cl *Client) RecvStats() (Stats, error) {
+	var st Stats
+	p, err := cl.recv()
+	if err != nil {
+		return st, err
+	}
+	err = json.Unmarshal(p[1:], &st)
+	return st, err
+}
+
+// RecvDrain consumes a DRAIN response.
+func (cl *Client) RecvDrain() (DrainReport, error) {
+	var rep DrainReport
+	p, err := cl.recv()
+	if err != nil {
+		return rep, err
+	}
+	err = json.Unmarshal(p[1:], &rep)
+	return rep, err
+}
+
+// Get is a blocking round trip.
+func (cl *Client) Get(key uint64) (uint64, bool, error) {
+	cl.SendGet(key)
+	if err := cl.Flush(); err != nil {
+		return 0, false, err
+	}
+	return cl.RecvGet()
+}
+
+// Put is a blocking round trip.
+func (cl *Client) Put(key, val uint64) (bool, error) {
+	cl.SendPut(key, val)
+	if err := cl.Flush(); err != nil {
+		return false, err
+	}
+	return cl.RecvPut()
+}
+
+// Del is a blocking round trip.
+func (cl *Client) Del(key uint64) (bool, error) {
+	cl.SendDel(key)
+	if err := cl.Flush(); err != nil {
+		return false, err
+	}
+	return cl.RecvDel()
+}
+
+// Scan is a blocking round trip returning interleaved k,v pairs.
+func (cl *Client) Scan(from uint64, limit uint32) ([]uint64, error) {
+	cl.SendScan(from, limit)
+	if err := cl.Flush(); err != nil {
+		return nil, err
+	}
+	return cl.RecvScan(nil)
+}
+
+// Stats is a blocking round trip.
+func (cl *Client) Stats() (Stats, error) {
+	cl.SendStats()
+	if err := cl.Flush(); err != nil {
+		return Stats{}, err
+	}
+	return cl.RecvStats()
+}
+
+// Drain is a blocking round trip (quiescent use only).
+func (cl *Client) Drain() (DrainReport, error) {
+	cl.SendDrain()
+	if err := cl.Flush(); err != nil {
+		return DrainReport{}, err
+	}
+	return cl.RecvDrain()
+}

@@ -1,0 +1,89 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: length-prefixed little-endian binary frames, designed
+// for pipelining — a client may write any number of requests before
+// reading responses; the server answers strictly in request order.
+//
+//	request  frame: u32 payloadLen | u8 op | op-specific fields
+//	response frame: u32 payloadLen | u8 status | op-specific fields
+//
+// Ops and their request/response payloads (after the op/status byte):
+//
+//	GET   key u64                → OK: val u64        | NotFound
+//	PUT   key u64, val u64       → OK: inserted u8
+//	DEL   key u64                → OK | NotFound
+//	SCAN  from u64, limit u32    → OK: n u32, n×(k u64, v u64)
+//	STATS                        → OK: JSON bytes (kvstore.Stats)
+//	DRAIN                        → OK: JSON bytes (kvstore.DrainReport);
+//	                               quiescent use only (no other traffic)
+//
+// Err responses carry a UTF-8 message.
+const (
+	OpGet   = uint8(1)
+	OpPut   = uint8(2)
+	OpDel   = uint8(3)
+	OpScan  = uint8(4)
+	OpStats = uint8(5)
+	OpDrain = uint8(6)
+
+	StatusOK       = uint8(0)
+	StatusNotFound = uint8(1)
+	StatusErr      = uint8(2)
+)
+
+// MaxFrame bounds a frame payload; a SCAN of MaxScanLimit pairs is the
+// largest legitimate frame.
+const (
+	MaxScanLimit = 1024
+	MaxFrame     = 16 + MaxScanLimit*16
+)
+
+// readFrame reads one length-prefixed frame payload into buf (growing
+// it as needed) and returns the payload slice.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("kvstore: bad frame length %d", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// appendFrame appends a length-prefixed frame holding payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+func appendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+
+func getU64(b []byte, off int) (uint64, bool) {
+	if off+8 > len(b) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(b[off:]), true
+}
+
+func getU32(b []byte, off int) (uint32, bool) {
+	if off+4 > len(b) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(b[off:]), true
+}

@@ -1,0 +1,258 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Server serves the wire protocol over TCP. Each accepted connection
+// checks a tid out of a fixed pool for its lifetime — the tid is what
+// the reclamation layer keys its per-thread state on, so connections
+// map one-to-one onto reclamation threads. A reader goroutine parses
+// and executes requests serially (per-connection order is the protocol
+// contract) while a writer goroutine streams responses, flushing only
+// when the pipeline goes idle.
+type Server struct {
+	st *Store
+	ln net.Listener
+
+	tids chan int // pool of tids 1..MaxThreads-1; tid 0 belongs to New/drain
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer wraps st; the caller keeps ownership of st (for
+// DrainAndCheck after Shutdown).
+func NewServer(st *Store) *Server {
+	s := &Server{
+		st:    st,
+		tids:  make(chan int, st.MaxThreads()-1),
+		conns: make(map[net.Conn]struct{}),
+	}
+	for t := 1; t < st.MaxThreads(); t++ {
+		s.tids <- t
+	}
+	return s
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns
+// once the accept loop exits; Shutdown waits for the connections.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("kvstore: server already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		select {
+		case tid := <-s.tids:
+			if !s.track(c) {
+				s.tids <- tid
+				c.Close()
+				return nil
+			}
+			s.wg.Add(1)
+			go s.handle(c, tid)
+		default:
+			// Tid pool exhausted: every reclamation thread slot is in
+			// use. Refuse rather than queue — the client sees EOF.
+			c.Close()
+		}
+	}
+}
+
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Shutdown drains gracefully: stop accepting, half-close every
+// connection's read side so in-flight pipelines finish and their
+// responses flush, then wait for all handlers to exit.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.CloseRead()
+		} else {
+			c.Close()
+		}
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// handle runs one connection: the reader executes ops with this
+// connection's tid and hands encoded responses to the writer over resp.
+func (s *Server) handle(c net.Conn, tid int) {
+	defer s.wg.Done()
+	defer func() { s.tids <- tid }()
+	defer s.untrack(c)
+	defer c.Close()
+
+	resp := make(chan []byte, 256)
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		bw := bufio.NewWriterSize(c, 64<<10)
+		for frame := range resp {
+			bw.Write(frame)
+			if len(resp) == 0 {
+				bw.Flush() // pipeline idle — push responses out
+			}
+		}
+		bw.Flush()
+	}()
+
+	br := bufio.NewReaderSize(c, 64<<10)
+	var buf []byte
+	for {
+		payload, err := readFrame(br, buf)
+		if err != nil {
+			break // EOF, half-close, or framing error
+		}
+		buf = payload
+		resp <- s.execute(tid, payload)
+	}
+	close(resp)
+	wwg.Wait()
+}
+
+// execute runs one request and returns the encoded response frame.
+func (s *Server) execute(tid int, req []byte) []byte {
+	out := make([]byte, 0, 32)
+	op := req[0]
+	switch op {
+	case OpGet:
+		key, ok := getU64(req, 1)
+		if !ok {
+			return errFrame(out, "short GET")
+		}
+		v, found, err := s.st.Get(tid, key)
+		if err != nil {
+			return errFrame(out, err.Error())
+		}
+		if !found {
+			return appendFrame(out, []byte{StatusNotFound})
+		}
+		p := []byte{StatusOK}
+		p = appendU64(p, v)
+		return appendFrame(out, p)
+	case OpPut:
+		key, ok1 := getU64(req, 1)
+		val, ok2 := getU64(req, 9)
+		if !ok1 || !ok2 {
+			return errFrame(out, "short PUT")
+		}
+		ins, err := s.st.Put(tid, key, val)
+		if err != nil {
+			return errFrame(out, err.Error())
+		}
+		b := uint8(0)
+		if ins {
+			b = 1
+		}
+		return appendFrame(out, []byte{StatusOK, b})
+	case OpDel:
+		key, ok := getU64(req, 1)
+		if !ok {
+			return errFrame(out, "short DEL")
+		}
+		found, err := s.st.Del(tid, key)
+		if err != nil {
+			return errFrame(out, err.Error())
+		}
+		if !found {
+			return appendFrame(out, []byte{StatusNotFound})
+		}
+		return appendFrame(out, []byte{StatusOK})
+	case OpScan:
+		from, ok1 := getU64(req, 1)
+		limit, ok2 := getU32(req, 9)
+		if !ok1 || !ok2 {
+			return errFrame(out, "short SCAN")
+		}
+		if limit > MaxScanLimit {
+			limit = MaxScanLimit
+		}
+		pairs, err := s.st.Scan(tid, from, int(limit))
+		if err != nil {
+			return errFrame(out, err.Error())
+		}
+		p := []byte{StatusOK}
+		p = appendU32(p, uint32(len(pairs)/2))
+		for _, w := range pairs {
+			p = appendU64(p, w)
+		}
+		return appendFrame(out, p)
+	case OpStats:
+		js, err := json.Marshal(s.st.Stats())
+		if err != nil {
+			return errFrame(out, err.Error())
+		}
+		return appendFrame(out, append([]byte{StatusOK}, js...))
+	case OpDrain:
+		js, err := json.Marshal(s.st.DrainAndCheck(tid))
+		if err != nil {
+			return errFrame(out, err.Error())
+		}
+		return appendFrame(out, append([]byte{StatusOK}, js...))
+	default:
+		return errFrame(out, fmt.Sprintf("unknown op %d", op))
+	}
+}
+
+func errFrame(dst []byte, msg string) []byte {
+	return appendFrame(dst, append([]byte{StatusErr}, msg...))
+}
+
+// ListenAndServe is the cmd/kvserver entry point: listen on addr and
+// serve until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}

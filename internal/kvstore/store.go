@@ -1,0 +1,262 @@
+// Package kvstore is orcstore: a sharded in-memory key/value store
+// whose shards are the repo's lock-free maps, generic over reclamation
+// scheme. Each shard pairs a hash map (point ops: Get/Put/Del) with a
+// skip list (ordered Scan); both indexes hold the same key→value pairs.
+// The store exists to put every reclamation scheme under real traffic —
+// long-lived connections, pipelined mixed workloads, range scans that
+// pin epochs — rather than the closed-loop microbenchmark shape.
+//
+// Scheme wiring per mode:
+//
+//	orcgc        OrcMap + CRF skip list (fully automatic)
+//	ebr, none    ManualMap(s) + HS skip list(s)
+//	hp, ptb,     ManualMap(s) + HS skip list under EBR — the HS list's
+//	ptp, he, ibr wait-free traversal walks through removed nodes with no
+//	             per-pointer validation window, so pointer-based schemes
+//	             cannot protect it (the paper's §2 second obstacle); the
+//	             scan index falls back to epochs while the point index
+//	             runs the requested scheme.
+package kvstore
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ds/hashmap"
+	"repro/internal/ds/skiplist"
+	"repro/internal/reclaim"
+)
+
+// MinKey and MaxKey bound the valid key space; 0 and ^uint64(0) are the
+// skip-list head/tail sentinels.
+const (
+	MinKey = uint64(1)
+	MaxKey = ^uint64(0) - 1
+)
+
+// Config sizes a Store.
+type Config struct {
+	Scheme     string // "orcgc" or any reclaim scheme name/alias
+	Shards     int    // power of two; default 8
+	Buckets    int    // hash buckets per shard; default 1024
+	MaxThreads int    // tid space shared by every index; default 64
+}
+
+func (c *Config) defaults() error {
+	if c.Scheme == "" {
+		c.Scheme = "orcgc"
+	}
+	if c.Scheme != "orcgc" {
+		canon, ok := reclaim.Canonical(c.Scheme)
+		if !ok || canon == "unsafe" {
+			return fmt.Errorf("kvstore: unknown scheme %q", c.Scheme)
+		}
+		c.Scheme = canon
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Shards&(c.Shards-1) != 0 {
+		return fmt.Errorf("kvstore: shards must be a power of two, got %d", c.Shards)
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 1024
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 64
+	}
+	return nil
+}
+
+// pointIndex is the hash-map face of a shard.
+type pointIndex interface {
+	Put(tid int, key, val uint64) bool
+	Get(tid int, key uint64) (uint64, bool)
+	Remove(tid int, key uint64) bool
+}
+
+// scanIndex is the skip-list face of a shard.
+type scanIndex interface {
+	Put(tid int, key, val uint64) bool
+	Remove(tid int, key uint64) bool
+	Scan(tid int, from uint64, limit int, emit func(k, v uint64) bool) int
+}
+
+type shard struct {
+	point pointIndex
+	scan  scanIndex
+}
+
+// Store is the sharded KV store. All methods are safe for concurrent
+// use; the tid identifies the calling thread to the reclamation layer
+// and must be unique among concurrently operating callers.
+type Store struct {
+	cfg       Config
+	shardMask uint64
+	shards    []shard
+	stats     func() []SideStats // per-index stats collectors
+	flush     func(tid int)      // one best-effort drain round over every index
+	baseline  int64              // total arena Live right after New
+}
+
+// Modes lists every scheme a Store can be built with.
+func Modes() []string {
+	return append([]string{"orcgc"}, reclaim.Names()...)
+}
+
+// New builds a Store. tid 0 is used for construction.
+func New(cfg Config) (*Store, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	st := &Store{cfg: cfg, shardMask: uint64(cfg.Shards - 1)}
+	st.shards = make([]shard, cfg.Shards)
+
+	var collect []func() SideStats
+	var flushers []func(tid int)
+	for i := range st.shards {
+		sh := &st.shards[i]
+		label := fmt.Sprintf("shard%d", i)
+		switch cfg.Scheme {
+		case "orcgc":
+			m := hashmap.NewOrc(0, cfg.Buckets, core.DomainConfig{MaxThreads: cfg.MaxThreads})
+			s := skiplist.NewCRFOrc(0, core.DomainConfig{MaxThreads: cfg.MaxThreads})
+			sh.point, sh.scan = m, s
+			collect = append(collect,
+				orcSide(label+"/map", "orcgc", m.Domain().Arena().Stats),
+				orcSide(label+"/skip", "orcgc", s.Domain().Arena().Stats))
+			flushers = append(flushers,
+				func(int) { m.Domain().FlushAll() },
+				func(int) { s.Domain().FlushAll() })
+		default:
+			m := hashmap.NewManual(cfg.Scheme, cfg.Buckets, reclaim.Config{MaxThreads: cfg.MaxThreads})
+			scanScheme := cfg.Scheme
+			if scanScheme != "ebr" && scanScheme != "none" {
+				scanScheme = "ebr" // §2 fallback, see package comment
+			}
+			s := skiplist.NewHSManual(scanScheme, reclaim.Config{MaxThreads: cfg.MaxThreads})
+			sh.point, sh.scan = m, s
+			collect = append(collect,
+				manualSide(label+"/map", cfg.Scheme, m.Arena().Stats, m.Scheme(), cfg.MaxThreads),
+				manualSide(label+"/skip", scanScheme, s.Arena().Stats, s.Scheme(), cfg.MaxThreads))
+			flushers = append(flushers,
+				func(tid int) { m.Scheme().ClearAll(tid); m.Scheme().Flush(tid) },
+				func(tid int) { s.Scheme().ClearAll(tid); s.Scheme().Flush(tid) })
+		}
+	}
+	st.stats = func() []SideStats {
+		out := make([]SideStats, len(collect))
+		for i, f := range collect {
+			out[i] = f()
+		}
+		return out
+	}
+	st.flush = func(tid int) {
+		for _, f := range flushers {
+			f(tid)
+		}
+	}
+	st.baseline = st.live()
+	return st, nil
+}
+
+// Scheme reports the canonical scheme the store was built with.
+func (st *Store) Scheme() string { return st.cfg.Scheme }
+
+// MaxThreads reports the tid capacity.
+func (st *Store) MaxThreads() int { return st.cfg.MaxThreads }
+
+// shardOf spreads keys across shards by Fibonacci hashing so adjacent
+// keys land on different shards (scans then merge across all shards).
+func (st *Store) shardOf(key uint64) *shard {
+	return &st.shards[(key*0x9e3779b97f4a7c15)>>32&st.shardMask]
+}
+
+func validKey(key uint64) bool { return key >= MinKey && key <= MaxKey }
+
+// Put inserts or updates key; true when newly inserted. The two indexes
+// are each linearizable but updated point-index-first, so a concurrent
+// Scan may trail a Put/Del by one operation.
+func (st *Store) Put(tid int, key, val uint64) (bool, error) {
+	if !validKey(key) {
+		return false, fmt.Errorf("kvstore: key %d out of range", key)
+	}
+	sh := st.shardOf(key)
+	ins := sh.point.Put(tid, key, val)
+	sh.scan.Put(tid, key, val)
+	return ins, nil
+}
+
+// Get returns the value under key.
+func (st *Store) Get(tid int, key uint64) (uint64, bool, error) {
+	if !validKey(key) {
+		return 0, false, fmt.Errorf("kvstore: key %d out of range", key)
+	}
+	v, ok := st.shardOf(key).point.Get(tid, key)
+	return v, ok, nil
+}
+
+// Del removes key; true if it was present.
+func (st *Store) Del(tid int, key uint64) (bool, error) {
+	if !validKey(key) {
+		return false, fmt.Errorf("kvstore: key %d out of range", key)
+	}
+	sh := st.shardOf(key)
+	ok := sh.point.Remove(tid, key)
+	sh.scan.Remove(tid, key)
+	return ok, nil
+}
+
+// Scan emits up to limit pairs with key ≥ from in ascending key order,
+// k-way-merging the per-shard ordered scans. Each shard scan runs once,
+// bounded by limit, inside its own protection bracket.
+func (st *Store) Scan(tid int, from uint64, limit int) ([]uint64, error) {
+	if from < MinKey {
+		from = MinKey
+	}
+	if limit <= 0 {
+		return nil, nil
+	}
+	type cursor struct {
+		pairs []uint64 // k,v interleaved, ascending
+		pos   int
+	}
+	curs := make([]cursor, len(st.shards))
+	for i := range st.shards {
+		c := &curs[i]
+		st.shards[i].scan.Scan(tid, from, limit, func(k, v uint64) bool {
+			c.pairs = append(c.pairs, k, v)
+			return true
+		})
+	}
+	out := make([]uint64, 0, 2*limit)
+	for len(out) < 2*limit {
+		best := -1
+		var bestKey uint64
+		for i := range curs {
+			c := &curs[i]
+			if c.pos >= len(c.pairs) {
+				continue
+			}
+			if best < 0 || c.pairs[c.pos] < bestKey {
+				best, bestKey = i, c.pairs[c.pos]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := &curs[best]
+		out = append(out, c.pairs[c.pos], c.pairs[c.pos+1])
+		c.pos += 2
+	}
+	return out, nil
+}
+
+// live sums arena Live over every index.
+func (st *Store) live() int64 {
+	var n int64
+	for _, s := range st.stats() {
+		n += s.Live
+	}
+	return n
+}

@@ -1,0 +1,85 @@
+package kvstore
+
+import (
+	"testing"
+)
+
+func TestStoreAllModes(t *testing.T) {
+	for _, mode := range Modes() {
+		t.Run(mode, func(t *testing.T) {
+			st, err := New(Config{Scheme: mode, Shards: 4, Buckets: 64, MaxThreads: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ins, _ := st.Put(0, 5, 50); !ins {
+				t.Fatal("first put should insert")
+			}
+			if ins, _ := st.Put(0, 5, 55); ins {
+				t.Fatal("second put should update")
+			}
+			for k := uint64(1); k <= 20; k++ {
+				st.Put(0, k*3, k)
+			}
+			if v, ok, _ := st.Get(0, 5); !ok || v != 55 {
+				t.Fatalf("get(5) = %d,%v", v, ok)
+			}
+			if _, ok, _ := st.Get(0, 4); ok {
+				t.Fatal("get(4) on absent key")
+			}
+			pairs, _ := st.Scan(0, 1, 100)
+			last := uint64(0)
+			for i := 0; i < len(pairs); i += 2 {
+				if pairs[i] <= last {
+					t.Fatalf("scan not strictly ascending at %v", pairs)
+				}
+				last = pairs[i]
+			}
+			if len(pairs)/2 != 21 {
+				t.Fatalf("scan found %d keys, want 21", len(pairs)/2)
+			}
+			// Bounded scan across the shard merge.
+			pairs, _ = st.Scan(0, 10, 5)
+			if len(pairs)/2 != 5 || pairs[0] < 10 {
+				t.Fatalf("bounded scan = %v", pairs)
+			}
+			if ok, _ := st.Del(0, 5); !ok {
+				t.Fatal("del(5)")
+			}
+			if _, ok, _ := st.Get(0, 5); ok {
+				t.Fatal("get after del")
+			}
+			if _, err := st.Put(0, 0, 1); err == nil {
+				t.Fatal("key 0 must be rejected")
+			}
+			rep := st.DrainAndCheck(0)
+			if !rep.LeakOK {
+				t.Fatalf("drain leak check failed: %+v", rep)
+			}
+			if rep.Deleted != 20 {
+				t.Fatalf("drain deleted %d keys, want 20", rep.Deleted)
+			}
+		})
+	}
+}
+
+func TestStoreRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Scheme: "bogus"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := New(Config{Scheme: "unsafe"}); err == nil {
+		t.Fatal("unsafe scheme accepted")
+	}
+	if _, err := New(Config{Shards: 3}); err == nil {
+		t.Fatal("non-power-of-two shards accepted")
+	}
+}
+
+func TestStoreAliases(t *testing.T) {
+	st, err := New(Config{Scheme: "leak", Shards: 1, MaxThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scheme() != "none" {
+		t.Fatalf("leak alias resolved to %q", st.Scheme())
+	}
+}

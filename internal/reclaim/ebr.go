@@ -122,6 +122,9 @@ func (e *EBR) reap(tid int) {
 	e.limbo[tid] = keep
 }
 
+// RetireDepth reports the length of tid's limbo list.
+func (e *EBR) RetireDepth(tid int) int { return len(e.limbo[tid]) }
+
 // Flush attempts an advance and a reap.
 func (e *EBR) Flush(tid int) {
 	e.tryAdvance()

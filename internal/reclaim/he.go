@@ -143,5 +143,8 @@ func intervalReserved(eras []uint64, birth, retire uint64) bool {
 // Flush scans unconditionally.
 func (h *HE) Flush(tid int) { h.scan(tid) }
 
+// RetireDepth reports the length of tid's retired list.
+func (h *HE) RetireDepth(tid int) int { return len(h.retired[tid]) }
+
 // Stats reports counters.
 func (h *HE) Stats() Stats { return h.snapshot() }

@@ -136,6 +136,9 @@ func (h *HP) Retire(tid int, v arena.Handle) {
 // Flush runs a scan unconditionally.
 func (h *HP) Flush(tid int) { h.scan(tid) }
 
+// RetireDepth reports the length of tid's retired list.
+func (h *HP) RetireDepth(tid int) int { return len(h.retired[tid]) }
+
 func (h *HP) scan(tid int) {
 	published := make(map[arena.Handle]struct{}, h.cfg.MaxThreads*h.cfg.MaxHPs)
 	for t := 0; t < h.cfg.MaxThreads; t++ {

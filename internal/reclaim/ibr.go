@@ -150,5 +150,8 @@ func (i *IBR) scan(tid int) {
 // Flush scans unconditionally.
 func (i *IBR) Flush(tid int) { i.scan(tid) }
 
+// RetireDepth reports the length of tid's retired list.
+func (i *IBR) RetireDepth(tid int) int { return len(i.retired[tid]) }
+
 // Stats reports counters.
 func (i *IBR) Stats() Stats { return i.snapshot() }

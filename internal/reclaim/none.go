@@ -49,6 +49,10 @@ func (*None) OnAlloc(arena.Handle) {}
 // Flush is a no-op.
 func (*None) Flush(int) {}
 
+// RetireDepth is 0: None keeps no retire list (the leak is global and
+// visible as Stats().RetiredNotFreed).
+func (*None) RetireDepth(int) int { return 0 }
+
 // Stats reports the leak count in RetiredNotFreed.
 func (n *None) Stats() Stats { return n.snapshot() }
 
@@ -100,6 +104,9 @@ func (*Unsafe) OnAlloc(arena.Handle) {}
 
 // Flush is a no-op.
 func (*Unsafe) Flush(int) {}
+
+// RetireDepth is 0: Unsafe frees eagerly and defers nothing.
+func (*Unsafe) RetireDepth(int) int { return 0 }
 
 // Stats reports counters.
 func (u *Unsafe) Stats() Stats { return u.snapshot() }

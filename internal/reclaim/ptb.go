@@ -125,6 +125,9 @@ func (p *PTB) findGuard(v arena.Handle) (t, idx int, ok bool) {
 	return 0, 0, false
 }
 
+// RetireDepth reports the length of tid's pending list.
+func (p *PTB) RetireDepth(tid int) int { return len(p.pending[tid]) }
+
 // Flush reruns Liberate on the pending list.
 func (p *PTB) Flush(tid int) {
 	if len(p.pending[tid]) > 0 {

@@ -123,6 +123,19 @@ func (p *PTP) handoverOrDelete(tid int, ptr arena.Handle, start int) {
 	p.onFree()
 }
 
+// RetireDepth reports how many objects are parked in tid's handover
+// slots (PTP keeps no thread-local retired list; parked objects are its
+// only deferred state).
+func (p *PTP) RetireDepth(tid int) int {
+	n := 0
+	for idx := 0; idx < p.cfg.MaxHPs; idx++ {
+		if p.handovers[tid][idx].Load() != 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // Flush drains the thread's own handover slots.
 func (p *PTP) Flush(tid int) {
 	for idx := 0; idx < p.cfg.MaxHPs; idx++ {

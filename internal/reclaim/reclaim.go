@@ -84,6 +84,12 @@ type Scheme interface {
 	// Flush makes a best effort to drain this thread's deferred frees;
 	// tests call it at quiescent points.
 	Flush(tid int)
+	// RetireDepth reports how many retired-but-not-yet-freed objects the
+	// scheme currently holds on behalf of tid (thread-local retired/limbo
+	// list length, or parked handover slots for the list-free schemes).
+	// Zero for schemes that keep no per-thread state; the global pending
+	// count is Stats().RetiredNotFreed.
+	RetireDepth(tid int) int
 	Stats() Stats
 }
 
@@ -125,10 +131,33 @@ func Names() []string {
 	return []string{"none", "hp", "ptb", "ptp", "ebr", "he", "ibr"}
 }
 
-// New constructs a scheme by name.
-func New(name string, env Env, cfg Config) Scheme {
+// Canonical resolves a scheme name or alias ("leak"→"none",
+// "2geibr"→"ibr") to its canonical form, reporting whether the name is
+// known. It is the single scheme-by-name resolver shared by the bench
+// registry, cmd flag parsing, and the kv service.
+func Canonical(name string) (string, bool) {
 	switch name {
 	case "none", "leak":
+		return "none", true
+	case "hp", "ptb", "ptp", "ebr", "he":
+		return name, true
+	case "ibr", "2geibr":
+		return "ibr", true
+	case "unsafe":
+		return "unsafe", true
+	default:
+		return "", false
+	}
+}
+
+// New constructs a scheme by name (aliases accepted, see Canonical).
+func New(name string, env Env, cfg Config) Scheme {
+	canon, ok := Canonical(name)
+	if !ok {
+		panic(fmt.Sprintf("reclaim: unknown scheme %q", name))
+	}
+	switch canon {
+	case "none":
 		return NewNone(env, cfg)
 	case "hp":
 		return NewHP(env, cfg)
@@ -140,11 +169,9 @@ func New(name string, env Env, cfg Config) Scheme {
 		return NewEBR(env, cfg)
 	case "he":
 		return NewHE(env, cfg)
-	case "ibr", "2geibr":
+	case "ibr":
 		return NewIBR(env, cfg)
-	case "unsafe":
-		return NewUnsafe(env, cfg)
 	default:
-		panic(fmt.Sprintf("reclaim: unknown scheme %q", name))
+		return NewUnsafe(env, cfg)
 	}
 }
