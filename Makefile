@@ -1,11 +1,12 @@
 GO ?= go
 
 # Packages whose concurrency hot paths warrant a race-detector pass on
-# every check: the allocator, the OrcGC core, the manual schemes, and
-# the networked KV service (pipelined connections over both).
-RACE_PKGS = ./internal/arena/ ./internal/core/ ./internal/reclaim/ ./internal/kvstore/
+# every check: the allocator, the OrcGC core, the manual schemes, the
+# networked KV service (pipelined connections over both), and the
+# lock-free metrics registry all of them report into.
+RACE_PKGS = ./internal/arena/ ./internal/core/ ./internal/reclaim/ ./internal/kvstore/ ./internal/obs/
 
-.PHONY: check vet build test race bench-alloc serve load smoke bench-kv clean
+.PHONY: check vet build test race bench-alloc serve load smoke metrics-smoke bench-kv clean
 
 check: vet build test race
 
@@ -27,11 +28,13 @@ bench-alloc:
 	ALLOC_BENCH=1 $(GO) test ./internal/arena/ -run TestAllocBenchReport -count=1 -v
 
 # orcstore: run the KV server (RECLAIM selects the scheme) and drive it.
+# The metrics endpoint comes up alongside: curl $(METRICS)/metrics.
 RECLAIM ?= orcgc
 ADDR    ?= 127.0.0.1:7070
+METRICS ?= 127.0.0.1:7071
 
 serve:
-	$(GO) run ./cmd/kvserver -addr $(ADDR) -reclaim $(RECLAIM)
+	$(GO) run ./cmd/kvserver -addr $(ADDR) -reclaim $(RECLAIM) -metrics $(METRICS)
 
 load:
 	$(GO) run ./cmd/kvload -addr $(ADDR) -conns 8 -duration 5s
@@ -46,6 +49,27 @@ smoke:
 	./bin/kvload -addr 127.0.0.1:7199 -conns 4 -duration 2s -warmup 500ms \
 	  -dist uniform -keys 10000 -out '' || { kill $$pid; exit 1; }; \
 	kill -INT $$pid; wait $$pid
+
+# Observability smoke: serve with -metrics, put load through, scrape
+# /metrics (text and JSON) and assert the per-scheme reclamation gauges
+# and op counters are present, then SIGINT and require a clean drain.
+metrics-smoke:
+	$(GO) build -o bin/kvserver ./cmd/kvserver
+	$(GO) build -o bin/kvload ./cmd/kvload
+	./bin/kvserver -addr 127.0.0.1:7199 -reclaim hp -metrics 127.0.0.1:7198 & \
+	pid=$$!; sleep 1; \
+	./bin/kvload -addr 127.0.0.1:7199 -conns 4 -duration 2s -warmup 200ms \
+	  -dist uniform -keys 10000 -out '' || { kill $$pid; exit 1; }; \
+	curl -fsS http://127.0.0.1:7198/metrics > /tmp/metrics.txt || { kill $$pid; exit 1; }; \
+	curl -fsS 'http://127.0.0.1:7198/metrics?format=json' > /tmp/metrics.json || { kill $$pid; exit 1; }; \
+	for key in 'reclaim/shard0/map/retired' 'reclaim/shard0/map/freed' \
+	           'reclaim/shard0/map/retire_depth' 'kv/arena/live' \
+	           'kv/arena/occupancy_bp' 'kv/server/ops/get' \
+	           'kv/server/lat/get_ns' 'sampled/backlog'; do \
+	  grep -q "$$key" /tmp/metrics.txt || { echo "metrics-smoke: missing $$key"; kill $$pid; exit 1; }; \
+	done; \
+	kill -INT $$pid; wait $$pid
+	@echo "metrics-smoke: OK"
 
 # Sweep every reclamation scheme through the loopback service and
 # refresh BENCH_kv.json (throughput + latency percentiles + drain leak

@@ -254,7 +254,7 @@ func BenchmarkAblationPTPClearDrain(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			threads := benchThreads()
-			q := msqueue.NewManual("ptp", reclaim.Config{MaxThreads: threads})
+			q := msqueue.NewManual("ptp", reclaim.Options{MaxThreads: threads})
 			q.Scheme().(*reclaim.PTP).DrainOnClear = drain
 			per := b.N/threads + 1
 			b.ResetTimer()

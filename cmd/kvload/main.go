@@ -81,11 +81,11 @@ type connResult struct {
 // runConn drives one connection until deadline. Sends and receives run
 // in separate goroutines (the client's pipelining contract), coupled by
 // the inflight queue.
-func runConn(addr string, id int, seed int64, deadline time.Time, warmupUntil time.Time,
+func runConn(addr string, opts kvstore.Options, id int, seed int64, deadline time.Time, warmupUntil time.Time,
 	m mix, dist string, theta float64, keys uint64, scanLen uint32,
 	interval time.Duration, pipeline int) (connResult, error) {
 
-	cl, err := kvstore.Dial(addr)
+	cl, err := kvstore.DialWith(addr, opts)
 	if err != nil {
 		return connResult{}, err
 	}
@@ -236,6 +236,9 @@ func main() {
 	label := flag.String("label", "", "result key in -out (default: server scheme)")
 	out := flag.String("out", "BENCH_kv.json", "merge results into this JSON file ('' = stdout only)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "TCP connect timeout")
+	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "per-read/per-flush timeout (0 = none)")
+	dialRetries := flag.Int("dial-retries", 3, "extra connect attempts (covers a server still starting)")
 	flag.Parse()
 
 	m, err := parseMix(*mixFlag)
@@ -248,7 +251,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctl, err := kvstore.Dial(*addr)
+	opts := kvstore.Options{
+		DialTimeout:  *dialTimeout,
+		ReadTimeout:  *ioTimeout,
+		WriteTimeout: *ioTimeout,
+		Pipeline:     *pipeline,
+		DialRetries:  *dialRetries,
+	}
+	ctl, err := kvstore.DialWith(*addr, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kvload: %v\n", err)
 		os.Exit(1)
@@ -293,7 +303,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = runConn(*addr, i, *seed+int64(i)*7919, deadline, warmupUntil,
+			results[i], errs[i] = runConn(*addr, opts, i, *seed+int64(i)*7919, deadline, warmupUntil,
 				m, *dist, *theta, *keys, uint32(*scanLen), interval, *pipeline)
 		}(i)
 	}

@@ -4,6 +4,14 @@
 //
 //	kvserver -addr :7070 -reclaim orcgc
 //	kvserver -reclaim hp -shards 16 -max-conns 32
+//	kvserver -metrics :7071            # text/JSON scrape on /metrics
+//
+// With -metrics set, a second HTTP listener exposes the observability
+// registry: /metrics (text, ?format=json for JSON), /debug/reclaim (the
+// retire-path trace ring, populated only under -trace), and /debug/vars
+// (expvar-compatible). A background sampler records the reclamation
+// backlog every -sample so scrape-time gauges also carry a
+// between-scrapes high-water mark ("sampled/backlog").
 //
 // SIGINT/SIGTERM triggers a graceful drain: stop accepting, let
 // in-flight pipelines complete, empty the store, and print the leak
@@ -15,12 +23,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/kvstore"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,19 +41,46 @@ func main() {
 	shards := flag.Int("shards", 8, "shard count (power of two)")
 	buckets := flag.Int("buckets", 1024, "hash buckets per shard")
 	maxConns := flag.Int("max-conns", 63, "max concurrent connections (each holds a reclamation tid)")
+	metricsAddr := flag.String("metrics", "", "metrics listen address, e.g. :7071 ('' = disabled)")
+	sample := flag.Duration("sample", 100*time.Millisecond, "backlog sampler period (with -metrics)")
+	trace := flag.Bool("trace", false, "record retire-path events into the /debug/reclaim ring")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
 
 	st, err := kvstore.New(kvstore.Config{
 		Scheme:     *scheme,
 		Shards:     *shards,
 		Buckets:    *buckets,
 		MaxThreads: *maxConns + 1, // tid 0 is the server's own
+		Metrics:    reg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kvserver: %v\n", err)
 		os.Exit(2)
 	}
 	srv := kvstore.NewServer(st)
+
+	var sampler *obs.Sampler
+	if reg != nil {
+		srv.Instrument(reg)
+		obs.Trace.SetEnabled(*trace)
+		sampler = obs.NewSampler(reg, *sample)
+		sampler.Register("backlog", st.RetiredNotFreed)
+		sampler.Register("live", func() int64 { return st.Stats().Live })
+		sampler.Start()
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvserver: metrics listener: %v\n", err)
+			os.Exit(2)
+		}
+		go http.Serve(mln, obs.Mux(reg))
+		defer mln.Close()
+		fmt.Fprintf(os.Stderr, "kvserver: metrics on http://%s/metrics\n", mln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -61,6 +100,9 @@ func main() {
 	}
 	<-done
 
+	if sampler != nil {
+		sampler.Stop() // quiesce before drain so gauges settle
+	}
 	rep := st.DrainAndCheck(0)
 	js, _ := json.MarshalIndent(rep, "", "  ")
 	fmt.Printf("%s\n", js)

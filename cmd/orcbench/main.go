@@ -26,6 +26,7 @@ func main() {
 	keysList := flag.Uint64("keys-list", 1000, "key range for the list figures (paper: 1e3)")
 	keysBig := flag.Uint64("keys-big", 100000, "key range for tree/skip figures (paper: 1e6)")
 	out := flag.String("out", "", "directory for TSV data files (optional)")
+	sample := flag.Duration("sample", time.Millisecond, "table1 backlog sampler period")
 	flag.Parse()
 
 	tc, err := bench.ParseThreads(*threads)
@@ -40,6 +41,8 @@ func main() {
 		KeysList: *keysList,
 		KeysBig:  *keysBig,
 		DataDir:  *out,
+
+		SamplePeriod: *sample,
 	}
 
 	ids := []string{*fig}

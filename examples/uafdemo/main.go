@@ -25,8 +25,8 @@ type node struct{ payload uint64 }
 
 func interleave(scheme string) (faults, freed uint64, intact uint64) {
 	a := arena.New[node](arena.WithFaultMode(arena.Count))
-	s := reclaim.New(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header},
-		reclaim.Config{MaxThreads: 2, MaxHPs: 2})
+	s := reclaim.MustNew(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header},
+		reclaim.Options{MaxThreads: 2, MaxHPs: 2})
 
 	var slot atomic.Uint64
 	h, p := a.Alloc()

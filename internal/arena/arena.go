@@ -91,6 +91,38 @@ type Stats struct {
 	MaxLive int64  // upper bound on the high-water mark of Live
 	Faults  uint64 // stale dereferences observed (Count mode)
 	Slots   uint64 // slots ever carved out of chunks
+
+	// Magazine traffic, counted only on the cold paths (a magazine hit
+	// touches none of these): MagRefills is how many times an empty
+	// magazine went to the shared pool, MagSpills how many times a full
+	// one pushed a batch back, MagSteals how many refills had to rob a
+	// sibling shard after the home shard ran dry. The magazine hit rate
+	// is 1 - MagRefills·magBatch/Allocs to first order.
+	MagRefills uint64
+	MagSpills  uint64
+	MagSteals  uint64
+}
+
+// Occupancy reports Live over the slots carved so far — the fraction of
+// arena capacity holding live objects (0 when nothing was ever carved).
+func (s Stats) Occupancy() float64 {
+	if s.Slots == 0 {
+		return 0
+	}
+	return float64(s.Live) / float64(s.Slots)
+}
+
+// MagHitRate estimates the AllocT fast-path rate: the fraction of
+// allocations served from a magazine without touching the shared pool.
+func (s Stats) MagHitRate() float64 {
+	if s.Allocs == 0 {
+		return 0
+	}
+	missed := s.MagRefills * magBatch
+	if missed >= s.Allocs {
+		return 0
+	}
+	return 1 - float64(missed)/float64(s.Allocs)
 }
 
 // Arena is a chunked slab allocator for values of type T.
@@ -116,6 +148,12 @@ type Arena[T any] struct {
 	sharedAllocs atomic.Uint64
 	sharedFrees  atomic.Uint64
 	faults       atomic.Uint64
+
+	// Magazine cold-path counters (see Stats); bumped in refill/spill
+	// only, never on a magazine hit.
+	magRefills atomic.Uint64
+	magSpills  atomic.Uint64
+	magSteals  atomic.Uint64
 
 	zombie Slot[T] // target of stale derefs in Count mode
 
@@ -299,10 +337,13 @@ func (a *Arena[T]) Valid(h Handle) bool {
 // see the Stats type for the MaxLive approximation.
 func (a *Arena[T]) Stats() Stats {
 	st := Stats{
-		Allocs: a.sharedAllocs.Load(),
-		Frees:  a.sharedFrees.Load(),
-		Faults: a.faults.Load(),
-		Slots:  a.next.Load() - 1,
+		Allocs:     a.sharedAllocs.Load(),
+		Frees:      a.sharedFrees.Load(),
+		Faults:     a.faults.Load(),
+		Slots:      a.next.Load() - 1,
+		MagRefills: a.magRefills.Load(),
+		MagSpills:  a.magSpills.Load(),
+		MagSteals:  a.magSteals.Load(),
 	}
 	for i := range a.mags {
 		if m := a.mags[i].Load(); m != nil {

@@ -128,6 +128,7 @@ func (a *Arena[T]) magazineFor(tid int) *magazine {
 // carved off the bump pointer. Every acquired slot enters the stripe
 // census here, so magazine hits need no accounting of their own.
 func (a *Arena[T]) refill(m *magazine, home uint32) {
+	a.magRefills.Add(1) // cold path: the magazine is empty
 	for m.n < magBatch {
 		idx := a.popShard(home)
 		if idx == idxNone {
@@ -153,6 +154,7 @@ func (a *Arena[T]) refill(m *magazine, home uint32) {
 			m.n++
 		}
 		if m.n > 0 {
+			a.magSteals.Add(1)
 			return
 		}
 	}
@@ -171,6 +173,7 @@ func (a *Arena[T]) refill(m *magazine, home uint32) {
 // shard as one pre-linked chain (a single CAS on the shard head), keeping
 // the hottest half cached. The spilled slots leave the stripe census.
 func (a *Arena[T]) spill(m *magazine, home uint32) {
+	a.magSpills.Add(1) // cold path: the magazine is full
 	for i := 0; i < magBatch-1; i++ {
 		a.slotAt(m.slots[i]).freeNext.Store(m.slots[i+1])
 	}

@@ -1,56 +1,34 @@
 package bench
 
 import (
-	"math/bits"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// Hist is an HDR-style latency histogram: log-bucketed with histSubBits
-// bits of sub-bucket resolution per octave, giving a bounded ~3%
-// relative error at every magnitude while covering the full uint64
-// nanosecond range in a few KB. A Hist is single-writer (one per
-// goroutine); Merge combines per-goroutine histograms at quiescence,
-// which is how both the kv load generator and the bench harness
-// aggregate across worker goroutines without sharing cache lines on the
-// hot path.
+// Hist is an HDR-style latency histogram: log-bucketed with
+// obs.HistSubBits bits of sub-bucket resolution per octave, giving a
+// bounded ~3% relative error at every magnitude while covering the full
+// uint64 nanosecond range in a few KB. The bucket geometry lives in
+// internal/obs (shared with the concurrent obs.Hist the service
+// scrapes); this variant is single-writer (one per goroutine) — Merge
+// combines per-goroutine histograms at quiescence, which is how both
+// the kv load generator and the bench harness aggregate across worker
+// goroutines without sharing cache lines on the hot path.
 type Hist struct {
-	counts [histNBuckets]uint64
+	counts [obs.HistBuckets]uint64
 	total  uint64
 	sum    uint64
 	max    uint64
 	min    uint64
 }
 
-const (
-	histSubBits  = 5 // 32 sub-buckets per octave → ≤3.1% relative error
-	histSubCount = 1 << histSubBits
-	// Buckets: one linear region below 2^histSubBits, then one region of
-	// histSubCount buckets per remaining octave of a 64-bit value (the
-	// highest region index is 64-histSubBits, inclusive).
-	histNBuckets = (64 - histSubBits + 1) * histSubCount
-)
-
-// bucketOfDur maps a nanosecond value to its bucket index.
-func bucketOfDur(v uint64) int {
-	if v < histSubCount {
-		return int(v)
-	}
-	k := bits.Len64(v)             // position of the highest set bit, > histSubBits
-	shift := k - histSubBits - 1   // ≥ 0
-	sub := (v >> uint(shift)) - histSubCount
-	return (shift+1)<<histSubBits + int(sub)
-}
+// bucketOfDur maps a nanosecond value to its bucket index (shared
+// geometry, see obs.HistBucketOf).
+func bucketOfDur(v uint64) int { return obs.HistBucketOf(v) }
 
 // bucketMid returns a representative (midpoint) value for bucket idx.
-func bucketMid(idx int) uint64 {
-	if idx < histSubCount {
-		return uint64(idx)
-	}
-	shift := idx>>histSubBits - 1
-	sub := uint64(idx & (histSubCount - 1))
-	lo := (histSubCount + sub) << uint(shift)
-	return lo + (uint64(1)<<uint(shift))/2
-}
+func bucketMid(idx int) uint64 { return obs.HistBucketMid(idx) }
 
 // Record adds one nanosecond observation.
 func (h *Hist) Record(ns uint64) {

@@ -5,12 +5,14 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestHistBucketRoundTrip(t *testing.T) {
 	// Every bucket's representative value must map back to that bucket,
 	// and bucket indices must be monotone in the value.
-	for idx := 0; idx < histNBuckets; idx++ {
+	for idx := 0; idx < obs.HistBuckets; idx++ {
 		mid := bucketMid(idx)
 		if got := bucketOfDur(mid); got != idx {
 			t.Fatalf("bucketOfDur(bucketMid(%d)=%d) = %d", idx, mid, got)
@@ -22,7 +24,7 @@ func TestHistBucketRoundTrip(t *testing.T) {
 		if idx < prev {
 			t.Fatalf("bucket index not monotone at %d: %d < %d", v, idx, prev)
 		}
-		if idx >= histNBuckets {
+		if idx >= obs.HistBuckets {
 			t.Fatalf("bucket index %d out of range for %d", idx, v)
 		}
 		prev = idx

@@ -22,11 +22,11 @@ func domCfg(threads int) core.DomainConfig {
 	return core.DomainConfig{MaxThreads: threads}
 }
 
-func recCfg(threads int) reclaim.Config {
+func recCfg(threads int) reclaim.Options {
 	if threads < 1 {
 		threads = 1
 	}
-	return reclaim.Config{MaxThreads: threads}
+	return reclaim.Options{MaxThreads: threads}
 }
 
 // QueueNames lists the queue subjects of Figures 1–2: each algorithm

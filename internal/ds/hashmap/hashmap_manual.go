@@ -27,14 +27,14 @@ type ManualMap struct {
 }
 
 // NewManual builds a map reclaimed by scheme name.
-func NewManual(scheme string, nbuckets int, cfg reclaim.Config) *ManualMap {
+func NewManual(scheme string, nbuckets int, cfg reclaim.Options) *ManualMap {
 	if nbuckets <= 0 {
 		nbuckets = 64
 	}
 	a := arena.New[MNode]()
 	cfg.MaxHPs = HPsNeeded
 	m := &ManualMap{a: a, buckets: make([]atomic.Uint64, nbuckets)}
-	m.s = reclaim.New(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
+	m.s = reclaim.MustNew(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
 	return m
 }
 

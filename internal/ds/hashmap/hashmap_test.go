@@ -21,7 +21,7 @@ func maps(threads int) map[string]set {
 		"orc": NewOrc(0, 16, core.DomainConfig{MaxThreads: threads}),
 	}
 	for _, scheme := range reclaim.Names() {
-		out["manual-"+scheme] = NewManual(scheme, 16, reclaim.Config{MaxThreads: threads})
+		out["manual-"+scheme] = NewManual(scheme, 16, reclaim.Options{MaxThreads: threads})
 	}
 	return out
 }
@@ -188,7 +188,7 @@ func TestOrcMapNoLeak(t *testing.T) {
 func TestManualMapReclaims(t *testing.T) {
 	for _, scheme := range []string{"hp", "ptb", "ptp", "ebr", "he", "ibr"} {
 		t.Run(scheme, func(t *testing.T) {
-			m := NewManual(scheme, 8, reclaim.Config{MaxThreads: 2})
+			m := NewManual(scheme, 8, reclaim.Options{MaxThreads: 2})
 			for round := 0; round < 10; round++ {
 				for k := uint64(1); k <= 200; k++ {
 					m.Insert(0, k)

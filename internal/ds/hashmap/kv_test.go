@@ -20,7 +20,7 @@ func kvVariants(threads int) map[string]kvMap {
 		"orc": NewOrc(0, 64, core.DomainConfig{MaxThreads: threads}),
 	}
 	for _, s := range []string{"hp", "ebr", "ptp", "none"} {
-		out["manual-"+s] = NewManual(s, 64, reclaim.Config{MaxThreads: threads})
+		out["manual-"+s] = NewManual(s, 64, reclaim.Options{MaxThreads: threads})
 	}
 	return out
 }

@@ -18,7 +18,7 @@ func makeSets(tb testing.TB, threads int) map[string]Set {
 		"hs-orc":      NewHSOrc(0, core.DomainConfig{MaxThreads: threads}),
 	}
 	for _, scheme := range []string{"none", "hp", "ptb", "ptp", "ebr", "he", "ibr"} {
-		sets["manual-"+scheme] = NewManual(scheme, reclaim.Config{MaxThreads: threads})
+		sets["manual-"+scheme] = NewManual(scheme, reclaim.Options{MaxThreads: threads})
 	}
 	return sets
 }
@@ -86,7 +86,7 @@ func TestAgainstModel(t *testing.T) {
 }
 
 func TestSortedOrderMaintained(t *testing.T) {
-	l := NewManual("hp", reclaim.Config{MaxThreads: 2})
+	l := NewManual("hp", reclaim.Options{MaxThreads: 2})
 	for _, k := range []uint64{50, 10, 30, 20, 40} {
 		l.Insert(0, k)
 	}
@@ -210,7 +210,7 @@ func TestOrcListNoLeak(t *testing.T) {
 func TestManualListReclaims(t *testing.T) {
 	for _, scheme := range []string{"hp", "ptb", "ptp", "ebr", "he", "ibr"} {
 		t.Run(scheme, func(t *testing.T) {
-			l := NewManual(scheme, reclaim.Config{MaxThreads: 2})
+			l := NewManual(scheme, reclaim.Options{MaxThreads: 2})
 			for round := 0; round < 10; round++ {
 				for k := uint64(1); k <= 300; k++ {
 					l.Insert(0, k)

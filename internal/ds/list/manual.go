@@ -29,11 +29,11 @@ type ManualList struct {
 }
 
 // NewManual builds an empty list reclaimed by scheme name.
-func NewManual(scheme string, cfg reclaim.Config) *ManualList {
+func NewManual(scheme string, cfg reclaim.Options) *ManualList {
 	a := arena.New[MNode]()
 	cfg.MaxHPs = HPsNeeded
 	l := &ManualList{a: a}
-	l.s = reclaim.New(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
+	l.s = reclaim.MustNew(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
 
 	th, tn := a.Alloc()
 	tn.key = tailKey

@@ -30,11 +30,11 @@ const HPsNeeded = 2
 
 // NewManual builds a queue whose nodes are reclaimed by scheme name
 // (see reclaim.Names).
-func NewManual(scheme string, cfg reclaim.Config) *ManualQueue {
+func NewManual(scheme string, cfg reclaim.Options) *ManualQueue {
 	a := arena.New[MNode]()
 	cfg.MaxHPs = HPsNeeded
 	q := &ManualQueue{a: a}
-	q.s = reclaim.New(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
+	q.s = reclaim.MustNew(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
 	h, _ := a.Alloc() // sentinel
 	q.s.OnAlloc(h)
 	q.head.Store(uint64(h))

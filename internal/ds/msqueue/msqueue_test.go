@@ -154,7 +154,7 @@ func TestOrcPerProducerOrder(t *testing.T) {
 func TestManualSequential(t *testing.T) {
 	for _, scheme := range reclaim.Names() {
 		t.Run(scheme, func(t *testing.T) {
-			q := NewManual(scheme, reclaim.Config{MaxThreads: 2})
+			q := NewManual(scheme, reclaim.Options{MaxThreads: 2})
 			for i := uint64(1); i <= 64; i++ {
 				q.Enqueue(0, i)
 			}
@@ -180,7 +180,7 @@ func TestManualConcurrent(t *testing.T) {
 			t.Parallel()
 			const workers = 6
 			const iters = 8000
-			q := NewManual(scheme, reclaim.Config{MaxThreads: workers})
+			q := NewManual(scheme, reclaim.Options{MaxThreads: workers})
 			var wg sync.WaitGroup
 			var sumIn, sumOut rt64
 			for w := 0; w < workers; w++ {
@@ -221,7 +221,7 @@ func TestManualConcurrent(t *testing.T) {
 func TestManualReclaims(t *testing.T) {
 	for _, scheme := range []string{"hp", "ptb", "ptp", "ebr", "he", "ibr"} {
 		t.Run(scheme, func(t *testing.T) {
-			q := NewManual(scheme, reclaim.Config{MaxThreads: 2})
+			q := NewManual(scheme, reclaim.Options{MaxThreads: 2})
 			for r := 0; r < 20; r++ {
 				for i := uint64(0); i < 200; i++ {
 					q.Enqueue(0, i)

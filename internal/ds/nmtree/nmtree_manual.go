@@ -38,14 +38,14 @@ type mseek struct {
 }
 
 // NewManual builds a tree with scheme "ebr" or "none".
-func NewManual(scheme string, cfg reclaim.Config) *ManualTree {
+func NewManual(scheme string, cfg reclaim.Options) *ManualTree {
 	if scheme != "ebr" && scheme != "none" {
 		panic(fmt.Sprintf("nmtree: scheme %q cannot reclaim the NM tree (only ebr/none)", scheme))
 	}
 	a := arena.New[MNode]()
 	t := &ManualTree{a: a}
 	cfg.MaxHPs = 1
-	t.s = reclaim.New(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
+	t.s = reclaim.MustNew(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
 
 	alloc := func(key uint64, leaf bool) arena.Handle {
 		h, n := a.Alloc()

@@ -18,8 +18,8 @@ type set interface {
 func trees(threads int) map[string]set {
 	return map[string]set{
 		"orc":  NewOrc(0, core.DomainConfig{MaxThreads: threads}),
-		"ebr":  NewManual("ebr", reclaim.Config{MaxThreads: threads}),
-		"none": NewManual("none", reclaim.Config{MaxThreads: threads}),
+		"ebr":  NewManual("ebr", reclaim.Options{MaxThreads: threads}),
+		"none": NewManual("none", reclaim.Options{MaxThreads: threads}),
 	}
 }
 
@@ -197,7 +197,7 @@ func TestOrcTreeNoLeak(t *testing.T) {
 
 // TestEBRTreeReclaims: the epoch variant must actually free memory.
 func TestEBRTreeReclaims(t *testing.T) {
-	tr := NewManual("ebr", reclaim.Config{MaxThreads: 2})
+	tr := NewManual("ebr", reclaim.Options{MaxThreads: 2})
 	for round := 0; round < 10; round++ {
 		for k := uint64(1); k <= 200; k++ {
 			tr.Insert(0, k)
@@ -222,7 +222,7 @@ func TestManualRejectsPointerSchemes(t *testing.T) {
 					t.Fatalf("NewManual(%q) did not panic", scheme)
 				}
 			}()
-			NewManual(scheme, reclaim.Config{})
+			NewManual(scheme, reclaim.Options{})
 		}()
 	}
 }

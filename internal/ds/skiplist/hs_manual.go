@@ -37,14 +37,14 @@ type mseek struct {
 }
 
 // NewHSManual builds a skip list with scheme "ebr" or "none".
-func NewHSManual(scheme string, cfg reclaim.Config) *HSManual {
+func NewHSManual(scheme string, cfg reclaim.Options) *HSManual {
 	if scheme != "ebr" && scheme != "none" {
 		panic(fmt.Sprintf("skiplist: scheme %q cannot reclaim the HS skip list (only ebr/none)", scheme))
 	}
 	a := arena.New[MNode]()
 	cfg.MaxHPs = 1
 	s := &HSManual{a: a, rng: newLevelRNG(max(cfg.MaxThreads, 1))}
-	s.s = reclaim.New(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
+	s.s = reclaim.MustNew(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header}, cfg)
 
 	th, tn := a.Alloc()
 	tn.key, tn.topLevel = tailKey, MaxLevels-1

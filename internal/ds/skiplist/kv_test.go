@@ -19,8 +19,8 @@ type kvSkip interface {
 func kvSkipVariants(threads int) map[string]kvSkip {
 	return map[string]kvSkip{
 		"crf-orc": NewCRFOrc(0, core.DomainConfig{MaxThreads: threads}),
-		"hs-ebr":  NewHSManual("ebr", reclaim.Config{MaxThreads: threads}),
-		"hs-none": NewHSManual("none", reclaim.Config{MaxThreads: threads}),
+		"hs-ebr":  NewHSManual("ebr", reclaim.Options{MaxThreads: threads}),
+		"hs-none": NewHSManual("none", reclaim.Options{MaxThreads: threads}),
 	}
 }
 

@@ -19,8 +19,8 @@ func lists(threads int) map[string]set {
 	return map[string]set{
 		"hs-orc":  NewHSOrc(0, core.DomainConfig{MaxThreads: threads}),
 		"crf-orc": NewCRFOrc(0, core.DomainConfig{MaxThreads: threads}),
-		"hs-ebr":  NewHSManual("ebr", reclaim.Config{MaxThreads: threads}),
-		"hs-none": NewHSManual("none", reclaim.Config{MaxThreads: threads}),
+		"hs-ebr":  NewHSManual("ebr", reclaim.Options{MaxThreads: threads}),
+		"hs-none": NewHSManual("none", reclaim.Options{MaxThreads: threads}),
 	}
 }
 

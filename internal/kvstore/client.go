@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"time"
 )
 
 // Client speaks the wire protocol over one connection. It supports
@@ -16,25 +17,87 @@ import (
 // (Get/Put/Del/Scan/Stats/Drain) each do a full round trip and must not
 // be mixed with outstanding pipelined requests.
 type Client struct {
-	c  net.Conn
-	bw *bufio.Writer
-	br *bufio.Reader
+	c    net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	opts Options
 
 	wbuf []byte
 	rbuf []byte
 }
 
-// Dial connects to a kvstore server.
-func Dial(addr string) (*Client, error) {
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+// Options configures a Client connection. The zero value reproduces the
+// historical Dial behavior: no timeouts, no retries, 64 KiB buffers.
+type Options struct {
+	// DialTimeout bounds the TCP connect (0 = OS default).
+	DialTimeout time.Duration
+	// ReadTimeout bounds each response read; 0 disables. A pipelined
+	// receiver under a stalled server fails with a timeout error
+	// instead of hanging forever.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each Flush; 0 disables.
+	WriteTimeout time.Duration
+	// Pipeline is the expected number of in-flight requests; it sizes
+	// the connection buffers (~32 bytes per queued frame, min 4 KiB,
+	// default 64 KiB).
+	Pipeline int
+	// DialRetries is how many extra connect attempts to make after a
+	// failure (0 = fail on the first error).
+	DialRetries int
+	// DialBackoff is the wait before the first retry, doubling per
+	// attempt (default 50ms when DialRetries > 0).
+	DialBackoff time.Duration
+}
+
+func (o *Options) bufSize() int {
+	if o.Pipeline <= 0 {
+		return 64 << 10
 	}
+	n := o.Pipeline * 32
+	if n < 4<<10 {
+		n = 4 << 10
+	}
+	if n > 1<<20 {
+		n = 1 << 20
+	}
+	return n
+}
+
+// DialWith connects to a kvstore server with explicit connection
+// options.
+func DialWith(addr string, opts Options) (*Client, error) {
+	backoff := opts.DialBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var c net.Conn
+	var err error
+	for attempt := 0; ; attempt++ {
+		c, err = net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err == nil {
+			break
+		}
+		if attempt >= opts.DialRetries {
+			return nil, err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	size := opts.bufSize()
 	return &Client{
-		c:  c,
-		bw: bufio.NewWriterSize(c, 64<<10),
-		br: bufio.NewReaderSize(c, 64<<10),
+		c:    c,
+		bw:   bufio.NewWriterSize(c, size),
+		br:   bufio.NewReaderSize(c, size),
+		opts: opts,
 	}, nil
+}
+
+// Dial connects to a kvstore server.
+//
+// Deprecated: use DialWith, which exposes timeouts, pipeline sizing and
+// dial retries. Dial(addr) is exactly DialWith(addr, Options{}).
+func Dial(addr string) (*Client, error) {
+	return DialWith(addr, Options{})
 }
 
 // Close tears the connection down.
@@ -88,10 +151,20 @@ func (cl *Client) SendStats() { cl.send([]byte{OpStats}) }
 func (cl *Client) SendDrain() { cl.send([]byte{OpDrain}) }
 
 // Flush pushes all queued requests to the wire.
-func (cl *Client) Flush() error { return cl.bw.Flush() }
+func (cl *Client) Flush() error {
+	if cl.opts.WriteTimeout > 0 {
+		cl.c.SetWriteDeadline(time.Now().Add(cl.opts.WriteTimeout))
+		defer cl.c.SetWriteDeadline(time.Time{})
+	}
+	return cl.bw.Flush()
+}
 
 // recv reads one response payload (status byte first).
 func (cl *Client) recv() ([]byte, error) {
+	if cl.opts.ReadTimeout > 0 {
+		cl.c.SetReadDeadline(time.Now().Add(cl.opts.ReadTimeout))
+		defer cl.c.SetReadDeadline(time.Time{})
+	}
 	p, err := readFrame(cl.br, cl.rbuf)
 	if err != nil {
 		return nil, err

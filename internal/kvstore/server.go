@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Server serves the wire protocol over TCP. Each accepted connection
@@ -23,11 +26,52 @@ type Server struct {
 	tids chan int // pool of tids 1..MaxThreads-1; tid 0 belongs to New/drain
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connState
 	closed bool
+
+	m *srvMetrics // nil unless Instrument was called
 
 	wg sync.WaitGroup
 }
+
+// connState is what the server tracks per live connection; the response
+// channel is kept so the queue-depth gauge can sum backlogs.
+type connState struct {
+	resp chan []byte
+}
+
+// srvMetrics is the optional request-path instrumentation: one striped
+// counter and one sampled latency histogram per op kind, keyed by the
+// connection's tid so concurrent handlers never contend on a stripe.
+type srvMetrics struct {
+	ops [opMax]*obs.Counter
+	lat [opMax]*obs.Hist
+}
+
+const opMax = OpDrain + 1
+
+func opName(op byte) string {
+	switch op {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDel:
+		return "del"
+	case OpScan:
+		return "scan"
+	case OpStats:
+		return "stats"
+	case OpDrain:
+		return "drain"
+	default:
+		return "other"
+	}
+}
+
+// latSampleMask selects which requests get timed: 1 in 64, cheap enough
+// to leave on in production scrapes.
+const latSampleMask = 63
 
 // NewServer wraps st; the caller keeps ownership of st (for
 // DrainAndCheck after Shutdown).
@@ -35,12 +79,42 @@ func NewServer(st *Store) *Server {
 	s := &Server{
 		st:    st,
 		tids:  make(chan int, st.MaxThreads()-1),
-		conns: make(map[net.Conn]struct{}),
+		conns: make(map[net.Conn]*connState),
 	}
 	for t := 1; t < st.MaxThreads(); t++ {
 		s.tids <- t
 	}
 	return s
+}
+
+// Instrument registers the server's request metrics with reg: per-op
+// throughput counters ("kv/server/ops/get"), 1-in-64-sampled per-op
+// latency histograms ("kv/server/lat/get_ns"), and gauges for active
+// connections and summed response-queue depth. Call before Serve.
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &srvMetrics{}
+	for op := byte(OpGet); op < opMax; op++ {
+		m.ops[op] = reg.Counter("kv/server/ops/" + opName(op))
+		m.lat[op] = reg.Hist("kv/server/lat/" + opName(op) + "_ns")
+	}
+	s.m = m
+	reg.GaugeFunc("kv/server/conns", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.conns))
+	})
+	reg.GaugeFunc("kv/server/queue_depth", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var d int64
+		for _, cs := range s.conns {
+			d += int64(len(cs.resp))
+		}
+		return d
+	})
 }
 
 // Serve accepts connections on ln until Shutdown closes it. It returns
@@ -66,13 +140,14 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		select {
 		case tid := <-s.tids:
-			if !s.track(c) {
+			cs, ok := s.track(c)
+			if !ok {
 				s.tids <- tid
 				c.Close()
 				return nil
 			}
 			s.wg.Add(1)
-			go s.handle(c, tid)
+			go s.handle(c, cs, tid)
 		default:
 			// Tid pool exhausted: every reclamation thread slot is in
 			// use. Refuse rather than queue — the client sees EOF.
@@ -81,14 +156,15 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-func (s *Server) track(c net.Conn) bool {
+func (s *Server) track(c net.Conn) (*connState, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return false
+		return nil, false
 	}
-	s.conns[c] = struct{}{}
-	return true
+	cs := &connState{resp: make(chan []byte, 256)}
+	s.conns[c] = cs
+	return cs, true
 }
 
 func (s *Server) untrack(c net.Conn) {
@@ -123,14 +199,15 @@ func (s *Server) Shutdown() {
 }
 
 // handle runs one connection: the reader executes ops with this
-// connection's tid and hands encoded responses to the writer over resp.
-func (s *Server) handle(c net.Conn, tid int) {
+// connection's tid and hands encoded responses to the writer over the
+// tracked response channel.
+func (s *Server) handle(c net.Conn, cs *connState, tid int) {
 	defer s.wg.Done()
 	defer func() { s.tids <- tid }()
 	defer s.untrack(c)
 	defer c.Close()
 
-	resp := make(chan []byte, 256)
+	resp := cs.resp
 	var wwg sync.WaitGroup
 	wwg.Add(1)
 	go func() {
@@ -147,13 +224,31 @@ func (s *Server) handle(c net.Conn, tid int) {
 
 	br := bufio.NewReaderSize(c, 64<<10)
 	var buf []byte
+	m := s.m
+	var nops uint64
 	for {
 		payload, err := readFrame(br, buf)
 		if err != nil {
 			break // EOF, half-close, or framing error
 		}
 		buf = payload
-		resp <- s.execute(tid, payload)
+		if m == nil {
+			resp <- s.execute(tid, payload)
+			continue
+		}
+		op := payload[0]
+		if op < opMax {
+			m.ops[op].Inc(tid)
+		}
+		if nops&latSampleMask == 0 && op < opMax {
+			t0 := time.Now()
+			frame := s.execute(tid, payload)
+			m.lat[op].Observe(uint64(time.Since(t0)))
+			resp <- frame
+		} else {
+			resp <- s.execute(tid, payload)
+		}
+		nops++
 	}
 	close(resp)
 	wwg.Wait()

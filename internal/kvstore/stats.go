@@ -13,6 +13,8 @@ type SideStats struct {
 	Frees           uint64 `json:"frees"`
 	Live            int64  `json:"live"`
 	MaxLive         int64  `json:"max_live"`
+	Slots           uint64 `json:"slots"`       // arena capacity carved so far
+	MagRefills      uint64 `json:"mag_refills"` // magazine cold-path entries
 	RetiredNotFreed int64  `json:"retired_not_freed"`
 	RetireDepth     int    `json:"retire_depth"` // sum of per-tid retired-list lengths
 }
@@ -38,6 +40,7 @@ func orcSide(index, scheme string, ar func() arena.Stats) func() SideStats {
 		return SideStats{
 			Index: index, Scheme: scheme,
 			Allocs: a.Allocs, Frees: a.Frees, Live: a.Live, MaxLive: a.MaxLive,
+			Slots: a.Slots, MagRefills: a.MagRefills,
 		}
 	}
 }
@@ -53,6 +56,7 @@ func manualSide(index, scheme string, ar func() arena.Stats, s reclaim.Scheme, m
 		return SideStats{
 			Index: index, Scheme: scheme,
 			Allocs: a.Allocs, Frees: a.Frees, Live: a.Live, MaxLive: a.MaxLive,
+			Slots: a.Slots, MagRefills: a.MagRefills,
 			RetiredNotFreed: rs.RetiredNotFreed,
 			RetireDepth:     depth,
 		}

@@ -21,9 +21,11 @@ package kvstore
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/ds/hashmap"
 	"repro/internal/ds/skiplist"
+	"repro/internal/obs"
 	"repro/internal/reclaim"
 )
 
@@ -40,6 +42,13 @@ type Config struct {
 	Shards     int    // power of two; default 8
 	Buckets    int    // hash buckets per shard; default 1024
 	MaxThreads int    // tid space shared by every index; default 64
+
+	// Metrics, when non-nil, registers the store's gauges ("kv/live",
+	// "kv/occupancy_bp", "kv/mag_hit_rate_bp", …) and threads per-index
+	// labels ("shardN/map") into the reclamation layer so every manual
+	// scheme instance reports under its own prefix. Nil (the default)
+	// costs the data path nothing.
+	Metrics *obs.Registry
 }
 
 func (c *Config) defaults() error {
@@ -114,6 +123,7 @@ func New(cfg Config) (*Store, error) {
 
 	var collect []func() SideStats
 	var flushers []func(tid int)
+	var arenas []func() arena.Stats
 	for i := range st.shards {
 		sh := &st.shards[i]
 		label := fmt.Sprintf("shard%d", i)
@@ -125,20 +135,24 @@ func New(cfg Config) (*Store, error) {
 			collect = append(collect,
 				orcSide(label+"/map", "orcgc", m.Domain().Arena().Stats),
 				orcSide(label+"/skip", "orcgc", s.Domain().Arena().Stats))
+			arenas = append(arenas, m.Domain().Arena().Stats, s.Domain().Arena().Stats)
 			flushers = append(flushers,
 				func(int) { m.Domain().FlushAll() },
 				func(int) { s.Domain().FlushAll() })
 		default:
-			m := hashmap.NewManual(cfg.Scheme, cfg.Buckets, reclaim.Config{MaxThreads: cfg.MaxThreads})
+			m := hashmap.NewManual(cfg.Scheme, cfg.Buckets, reclaim.Options{
+				MaxThreads: cfg.MaxThreads, Label: label + "/map", Metrics: cfg.Metrics})
 			scanScheme := cfg.Scheme
 			if scanScheme != "ebr" && scanScheme != "none" {
 				scanScheme = "ebr" // §2 fallback, see package comment
 			}
-			s := skiplist.NewHSManual(scanScheme, reclaim.Config{MaxThreads: cfg.MaxThreads})
+			s := skiplist.NewHSManual(scanScheme, reclaim.Options{
+				MaxThreads: cfg.MaxThreads, Label: label + "/skip", Metrics: cfg.Metrics})
 			sh.point, sh.scan = m, s
 			collect = append(collect,
 				manualSide(label+"/map", cfg.Scheme, m.Arena().Stats, m.Scheme(), cfg.MaxThreads),
 				manualSide(label+"/skip", scanScheme, s.Arena().Stats, s.Scheme(), cfg.MaxThreads))
+			arenas = append(arenas, m.Arena().Stats, s.Arena().Stats)
 			flushers = append(flushers,
 				func(tid int) { m.Scheme().ClearAll(tid); m.Scheme().Flush(tid) },
 				func(tid int) { s.Scheme().ClearAll(tid); s.Scheme().Flush(tid) })
@@ -157,7 +171,59 @@ func New(cfg Config) (*Store, error) {
 		}
 	}
 	st.baseline = st.live()
+	st.instrument(arenas)
 	return st, nil
+}
+
+// arenaStats sums arena counters over every index — evaluated at scrape
+// time only (each call walks the per-tid magazine counters).
+func sumArenaStats(arenas []func() arena.Stats) arena.Stats {
+	var sum arena.Stats
+	for _, f := range arenas {
+		a := f()
+		sum.Allocs += a.Allocs
+		sum.Frees += a.Frees
+		sum.Live += a.Live
+		sum.MaxLive += a.MaxLive
+		sum.Faults += a.Faults
+		sum.Slots += a.Slots
+		sum.MagRefills += a.MagRefills
+		sum.MagSpills += a.MagSpills
+		sum.MagSteals += a.MagSteals
+	}
+	return sum
+}
+
+// instrument registers the store-wide gauge funcs. All figures are
+// computed at scrape time from state the store maintains anyway; the
+// data path is untouched, which is how the instrumented store stays
+// within the <2% overhead budget.
+func (st *Store) instrument(arenas []func() arena.Stats) {
+	reg := st.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("kv/live", func() int64 { return st.live() })
+	reg.GaugeFunc("kv/baseline", func() int64 { return st.baseline })
+	reg.GaugeFunc("kv/retired_not_freed", func() int64 { return st.RetiredNotFreed() })
+	reg.GaugeFunc("kv/retire_depth", func() int64 {
+		var d int64
+		for _, s := range st.stats() {
+			d += int64(s.RetireDepth)
+		}
+		return d
+	})
+	reg.GaugeFunc("kv/arena/live", func() int64 { return sumArenaStats(arenas).Live })
+	reg.GaugeFunc("kv/arena/slots", func() int64 { return int64(sumArenaStats(arenas).Slots) })
+	// Ratios land as basis points (×10⁴) so they fit integer gauges.
+	reg.GaugeFunc("kv/arena/occupancy_bp", func() int64 {
+		return int64(sumArenaStats(arenas).Occupancy() * 1e4)
+	})
+	reg.GaugeFunc("kv/arena/mag_hit_rate_bp", func() int64 {
+		return int64(sumArenaStats(arenas).MagHitRate() * 1e4)
+	})
+	reg.GaugeFunc("kv/arena/mag_refills", func() int64 { return int64(sumArenaStats(arenas).MagRefills) })
+	reg.GaugeFunc("kv/arena/mag_steals", func() int64 { return int64(sumArenaStats(arenas).MagSteals) })
 }
 
 // Scheme reports the canonical scheme the store was built with.

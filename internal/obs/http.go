@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Handler serves the registry at a single endpoint:
+//
+//	GET /metrics              line-oriented text (name value)
+//	GET /metrics?format=json  expvar-compatible flat JSON
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// TraceHandler serves the retire-path trace ring:
+//
+//	GET  /debug/reclaim              {"enabled":…,"recorded":…,"events":[…]}
+//	GET  /debug/reclaim?n=512        limit the dump
+//	POST /debug/reclaim?trace=on|off toggle recording
+func TraceHandler() http.Handler { return RingHandler(Trace) }
+
+// RingHandler serves an arbitrary ring (tests use private rings).
+func RingHandler(r *Ring) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if t := req.URL.Query().Get("trace"); t != "" {
+			if req.Method != http.MethodPost {
+				http.Error(w, "toggling requires POST", http.StatusMethodNotAllowed)
+				return
+			}
+			r.SetEnabled(t == "on" || t == "1" || t == "true")
+		}
+		n := 256
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"enabled":  r.Enabled(),
+			"recorded": r.Len(),
+			"events":   r.Dump(n),
+		})
+	})
+}
+
+var expvarOnce sync.Once
+
+// Mux mounts the full debug surface for a registry:
+//
+//	/metrics        text + JSON metrics (Handler)
+//	/debug/reclaim  trace ring (TraceHandler)
+//	/debug/vars     standard expvar page, with the registry published
+//	                under "orcstore" so stock expvar tooling sees it
+func Mux(reg *Registry) *http.ServeMux {
+	expvarOnce.Do(func() {
+		expvar.Publish("orcstore", expvar.Func(func() any {
+			flat := map[string]any{}
+			for _, m := range reg.Snapshot() {
+				if m.Kind == "hist" {
+					flat[m.Name] = m.Hist
+				} else {
+					flat[m.Name] = m.Value
+				}
+			}
+			return flat
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/reclaim", TraceHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -1,0 +1,35 @@
+// Package obs is the reclamation observatory: a low-overhead metrics and
+// tracing layer threaded through the allocator, the reclamation schemes,
+// and the orcstore service. It makes the paper's central quantity — the
+// bound on retired-but-unreclaimed objects — observable *live*, per
+// scheme and per thread, instead of only post-mortem via Stats()
+// snapshots and the drain check.
+//
+// Design constraints, in order:
+//
+//  1. No-op by default. Every hot-path handle (*Counter, *Gauge, *Hist)
+//     is nil-safe: when a component is built without a Registry the
+//     handles stay nil and the instrumented call sites compile down to a
+//     nil check. The sampled retire→free latency path and the trace ring
+//     add, respectively, one branch on an existing counter and one
+//     atomic bool load when disabled.
+//  2. Lock-free on the hot path. Counters are shard-striped (tid-hashed
+//     cache-line-padded cells), gauges are single atomics with CAS
+//     high-water tracking, and histograms use the same log-bucketed
+//     layout as internal/bench with atomic bucket cells. Registration is
+//     mutex-guarded but happens only at construction time.
+//  3. Pull, don't push. Expensive figures (per-tid RetireDepth sums,
+//     arena occupancy, magazine hit rate) are registered as gauge
+//     *functions* evaluated at scrape or by the background Sampler, so
+//     steady-state cost is zero when nobody is looking.
+//
+// The HTTP surface (Registry.Handler, TraceHandler, Mux) serves
+// /metrics in an expvar-compatible flat JSON form and a line-oriented
+// text form, plus /debug/reclaim for the retire-path trace ring.
+package obs
+
+// Default is the process-wide registry used by the cmd binaries. Library
+// code never touches it implicitly: components are instrumented only
+// when a *Registry is passed to them explicitly, so importing obs does
+// not by itself add any overhead.
+var Default = NewRegistry()

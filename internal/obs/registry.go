@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry is a named collection of metrics. Lookups during construction
+// take a mutex; the returned handles are lock-free (see metrics.go). A
+// nil *Registry is valid everywhere and hands out nil handles, which is
+// the package's no-op default.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() int64
+	hists    map[string]*Hist
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		funcs:    map[string]func() int64{},
+		hists:    map[string]*Hist{},
+	}
+}
+
+// Counter returns (creating on first use) the named counter. Repeated
+// calls with one name share the metric; a nil registry returns nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named settable gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback evaluated at scrape time under the
+// given name. Re-registering a name replaces the callback (fresh store
+// instances in tests reuse registries). The callback must be safe to
+// invoke from any goroutine.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// Hist returns (creating on first use) the named histogram.
+func (r *Registry) Hist(name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Hist{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Metric is one scraped value. Exactly one of the value fields is
+// meaningful, selected by Kind: "counter" and "func" use Value,
+// "gauge" uses Value+Max, "hist" uses Hist.
+type Metric struct {
+	Name  string       `json:"name"`
+	Kind  string       `json:"kind"`
+	Value int64        `json:"value"`
+	Max   int64        `json:"max,omitempty"`
+	Hist  *HistSummary `json:"hist,omitempty"`
+}
+
+// Snapshot evaluates every metric (including gauge funcs) and returns
+// them sorted by name.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.hists))
+	var fns []struct {
+		name string
+		fn   func() int64
+	}
+	for n, c := range r.counters {
+		out = append(out, Metric{Name: n, Kind: "counter", Value: int64(c.Value())})
+	}
+	for n, g := range r.gauges {
+		out = append(out, Metric{Name: n, Kind: "gauge", Value: g.Value(), Max: g.Max()})
+	}
+	for n, h := range r.hists {
+		s := h.Summary()
+		out = append(out, Metric{Name: n, Kind: "hist", Value: int64(s.Count), Hist: &s})
+	}
+	for n, fn := range r.funcs {
+		fns = append(fns, struct {
+			name string
+			fn   func() int64
+		}{n, fn})
+	}
+	r.mu.RUnlock()
+	// Gauge funcs run outside the registry lock: they may themselves
+	// walk stores or arenas, and must not deadlock against registration.
+	for _, f := range fns {
+		out = append(out, Metric{Name: f.name, Kind: "func", Value: f.fn()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteText renders the snapshot one metric per line:
+//
+//	name value            (counters, gauges, funcs)
+//	name.max value        (gauge high-water marks)
+//	name.p99_us value     (histogram digests)
+func (r *Registry) WriteText(w io.Writer) {
+	for _, m := range r.Snapshot() {
+		switch m.Kind {
+		case "hist":
+			h := m.Hist
+			fmt.Fprintf(w, "%s.count %d\n", m.Name, h.Count)
+			fmt.Fprintf(w, "%s.mean_us %.3f\n", m.Name, h.MeanUs)
+			fmt.Fprintf(w, "%s.p50_us %.3f\n", m.Name, h.P50Us)
+			fmt.Fprintf(w, "%s.p90_us %.3f\n", m.Name, h.P90Us)
+			fmt.Fprintf(w, "%s.p99_us %.3f\n", m.Name, h.P99Us)
+			fmt.Fprintf(w, "%s.p999_us %.3f\n", m.Name, h.P999Us)
+			fmt.Fprintf(w, "%s.max_us %.3f\n", m.Name, h.MaxUs)
+		case "gauge":
+			fmt.Fprintf(w, "%s %d\n", m.Name, m.Value)
+			fmt.Fprintf(w, "%s.max %d\n", m.Name, m.Max)
+		default:
+			fmt.Fprintf(w, "%s %d\n", m.Name, m.Value)
+		}
+	}
+}
+
+// WriteJSON renders the snapshot as an expvar-compatible flat object:
+// metric names map to numbers, histograms to summary objects, gauges to
+// {value, max} objects.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	flat := map[string]any{}
+	for _, m := range r.Snapshot() {
+		switch m.Kind {
+		case "hist":
+			flat[m.Name] = m.Hist
+		case "gauge":
+			flat[m.Name] = map[string]int64{"value": m.Value, "max": m.Max}
+		default:
+			flat[m.Name] = m.Value
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(flat)
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Retire-path trace ring: a fixed, overwriting, lock-free event buffer
+// for debugging ABA and leak reports. Off by default — when disabled the
+// instrumented call sites pay one atomic bool load. Events are handle
+// lifecycle transitions (retire, free, protect-handover) tagged with the
+// scheme instance that saw them.
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	KindRetire Kind = 1 + iota
+	KindFree
+	KindHandover
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRetire:
+		return "retire"
+	case KindFree:
+		return "free"
+	case KindHandover:
+		return "handover"
+	default:
+		return "?"
+	}
+}
+
+// Trace label interning: scheme instances register a label once at
+// construction and record its small id per event, keeping ring slots
+// fixed-size and allocation-free.
+var (
+	labelMu  sync.Mutex
+	labelTab atomic.Pointer[[]string]
+)
+
+// TraceLabel interns name and returns its id for Ring.Record.
+func TraceLabel(name string) uint16 {
+	labelMu.Lock()
+	defer labelMu.Unlock()
+	var cur []string
+	if p := labelTab.Load(); p != nil {
+		cur = *p
+	}
+	for i, l := range cur {
+		if l == name {
+			return uint16(i)
+		}
+	}
+	next := make([]string, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = name
+	labelTab.Store(&next)
+	return uint16(len(cur))
+}
+
+func labelName(id uint16) string {
+	if p := labelTab.Load(); p != nil && int(id) < len(*p) {
+		return (*p)[id]
+	}
+	return "?"
+}
+
+// Event is one decoded ring entry.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	NS     int64  `json:"ns"` // UnixNano at record time
+	Kind   string `json:"kind"`
+	Scheme string `json:"scheme"`
+	Tid    int    `json:"tid"`
+	Handle uint64 `json:"handle"`
+}
+
+// Ring is the lock-free overwrite buffer. Writers claim a slot with one
+// fetch-add and publish via the slot's meta word; a torn read (reader
+// overlapping a wrapping writer) is detected by re-reading meta and the
+// event is dropped from the dump rather than shown corrupted.
+type Ring struct {
+	on   atomic.Bool
+	mask uint64
+	pos  atomic.Uint64
+	ns   []atomic.Int64
+	hnd  []atomic.Uint64
+	meta []atomic.Uint64 // kind(4) | label(12) | tid(16) | seq+1(32)
+}
+
+// NewRing creates a ring holding size events (rounded up to a power of
+// two, minimum 64).
+func NewRing(size int) *Ring {
+	n := 64
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{
+		mask: uint64(n - 1),
+		ns:   make([]atomic.Int64, n),
+		hnd:  make([]atomic.Uint64, n),
+		meta: make([]atomic.Uint64, n),
+	}
+}
+
+// Trace is the process-wide ring the reclamation schemes record into.
+var Trace = NewRing(1 << 12)
+
+// TraceOn reports whether the global ring is recording — the one load
+// instrumented hot paths pay when tracing is off.
+func TraceOn() bool { return Trace.Enabled() }
+
+// Enabled reports whether the ring is recording.
+func (r *Ring) Enabled() bool { return r.on.Load() }
+
+// SetEnabled turns recording on or off.
+func (r *Ring) SetEnabled(v bool) { r.on.Store(v) }
+
+func packMeta(kind Kind, label uint16, tid int, seq uint64) uint64 {
+	return (uint64(kind)&0xf)<<60 |
+		(uint64(label)&0xfff)<<48 |
+		uint64(uint16(tid))<<32 |
+		(seq+1)&0xffffffff
+}
+
+// Record appends one event if the ring is enabled.
+func (r *Ring) Record(kind Kind, label uint16, tid int, handle uint64) {
+	if !r.on.Load() {
+		return
+	}
+	seq := r.pos.Add(1) - 1
+	i := seq & r.mask
+	r.meta[i].Store(0) // invalidate while the payload is torn
+	r.ns[i].Store(time.Now().UnixNano())
+	r.hnd[i].Store(handle)
+	r.meta[i].Store(packMeta(kind, label, tid, seq))
+}
+
+// Dump decodes up to max of the most recent events, oldest first. Slots
+// being overwritten mid-read are skipped.
+func (r *Ring) Dump(max int) []Event {
+	n := int(r.mask) + 1
+	if max <= 0 || max > n {
+		max = n
+	}
+	head := r.pos.Load()
+	lo := uint64(0)
+	if head > uint64(max) {
+		lo = head - uint64(max)
+	}
+	out := make([]Event, 0, max)
+	for seq := lo; seq < head; seq++ {
+		i := seq & r.mask
+		m := r.meta[i].Load()
+		if m == 0 || m&0xffffffff != (seq+1)&0xffffffff {
+			continue // overwritten past this seq, or mid-write
+		}
+		ns := r.ns[i].Load()
+		h := r.hnd[i].Load()
+		if r.meta[i].Load() != m {
+			continue // torn: a writer wrapped while we read
+		}
+		out = append(out, Event{
+			Seq:    seq,
+			NS:     ns,
+			Kind:   Kind(m >> 60 & 0xf).String(),
+			Scheme: labelName(uint16(m >> 48 & 0xfff)),
+			Tid:    int(int16(m >> 32 & 0xffff)),
+			Handle: h,
+		})
+	}
+	return out
+}
+
+// Len reports how many events have ever been recorded (monotonic; the
+// ring retains the most recent capacity of them).
+func (r *Ring) Len() uint64 { return r.pos.Load() }

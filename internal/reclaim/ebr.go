@@ -31,8 +31,17 @@ type EBR struct {
 	ops          []int // per-thread retire counter for amortized advance
 }
 
-// NewEBR builds an epoch-based-reclamation instance.
-func NewEBR(env Env, cfg Config) *EBR {
+func init() {
+	Register(Registration{
+		Name:  "ebr",
+		Rank:  4,
+		Build: func(env Env, opts Options) Scheme { return newEBR(env, opts) },
+	})
+}
+
+// newEBR builds an epoch-based-reclamation instance; construct via
+// New("ebr", …).
+func newEBR(env Env, cfg Options) *EBR {
 	cfg.defaults()
 	e := &EBR{
 		env:          env,
@@ -82,7 +91,7 @@ func (*EBR) OnAlloc(arena.Handle) {}
 // Retire stamps the object with the current epoch and occasionally tries
 // to advance the epoch and reap the limbo list.
 func (e *EBR) Retire(tid int, v arena.Handle) {
-	e.onRetire()
+	e.onRetire(tid, v)
 	e.limbo[tid] = append(e.limbo[tid], ebrItem{h: v.Unmarked(), epoch: e.global.Load()})
 	e.ops[tid]++
 	if e.ops[tid]%32 == 0 {
@@ -114,7 +123,7 @@ func (e *EBR) reap(tid int) {
 	for _, it := range e.limbo[tid] {
 		if it.epoch+2 <= g {
 			e.env.Free(tid, it.h)
-			e.onFree()
+			e.onFree(tid, it.h)
 		} else {
 			keep = append(keep, it)
 		}

@@ -29,8 +29,16 @@ type heItem struct {
 	retire uint64
 }
 
-// NewHE builds a hazard-eras instance.
-func NewHE(env Env, cfg Config) *HE {
+func init() {
+	Register(Registration{
+		Name:  "he",
+		Rank:  5,
+		Build: func(env Env, opts Options) Scheme { return newHE(env, opts) },
+	})
+}
+
+// newHE builds a hazard-eras instance; construct via New("he", …).
+func newHE(env Env, cfg Options) *HE {
 	cfg.defaults()
 	h := &HE{
 		env:     env,
@@ -97,7 +105,7 @@ func (h *HE) ClearAll(tid int) {
 // Retire stamps the retire era, bumps the era clock, and scans when the
 // thread's retired list is long enough.
 func (h *HE) Retire(tid int, v arena.Handle) {
-	h.onRetire()
+	h.onRetire(tid, v)
 	v = v.Unmarked()
 	birth, retire := h.env.Hdr(v)
 	e := h.clock.Load()
@@ -126,7 +134,7 @@ func (h *HE) scan(tid int) {
 			continue
 		}
 		h.env.Free(tid, it.h)
-		h.onFree()
+		h.onFree(tid, it.h)
 	}
 	h.retired[tid] = keep
 }

@@ -81,8 +81,16 @@ type HP struct {
 	threshold int
 }
 
-// NewHP builds a hazard-pointers instance.
-func NewHP(env Env, cfg Config) *HP {
+func init() {
+	Register(Registration{
+		Name:  "hp",
+		Rank:  1,
+		Build: func(env Env, opts Options) Scheme { return newHP(env, opts) },
+	})
+}
+
+// newHP builds a hazard-pointers instance; construct via New("hp", …).
+func newHP(env Env, cfg Options) *HP {
 	cfg.defaults()
 	h := &HP{
 		env:       env,
@@ -126,7 +134,7 @@ func (*HP) OnAlloc(arena.Handle) {}
 // Retire appends to the thread's retired list and scans when the list
 // reaches the threshold.
 func (h *HP) Retire(tid int, v arena.Handle) {
-	h.onRetire()
+	h.onRetire(tid, v)
 	h.retired[tid] = append(h.retired[tid], v.Unmarked())
 	if len(h.retired[tid]) >= h.threshold {
 		h.scan(tid)
@@ -155,7 +163,7 @@ func (h *HP) scan(tid int) {
 			continue
 		}
 		h.env.Free(tid, v)
-		h.onFree()
+		h.onFree(tid, v)
 	}
 	h.retired[tid] = keep
 }

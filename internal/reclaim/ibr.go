@@ -28,8 +28,17 @@ type IBR struct {
 	thresh  int
 }
 
-// NewIBR builds a 2GEIBR instance.
-func NewIBR(env Env, cfg Config) *IBR {
+func init() {
+	Register(Registration{
+		Name:    "ibr",
+		Aliases: []string{"2geibr"},
+		Rank:    6,
+		Build:   func(env Env, opts Options) Scheme { return newIBR(env, opts) },
+	})
+}
+
+// newIBR builds a 2GEIBR instance; construct via New("ibr", …).
+func newIBR(env Env, cfg Options) *IBR {
 	cfg.defaults()
 	i := &IBR{
 		env:     env,
@@ -103,7 +112,7 @@ func (*IBR) ClearAll(int) {}
 
 // Retire stamps the retire era and scans when the list is long enough.
 func (i *IBR) Retire(tid int, v arena.Handle) {
-	i.onRetire()
+	i.onRetire(tid, v)
 	v = v.Unmarked()
 	birth, retire := i.env.Hdr(v)
 	e := i.clock.Load()
@@ -142,7 +151,7 @@ func (i *IBR) scan(tid int) {
 			continue
 		}
 		i.env.Free(tid, it.h)
-		i.onFree()
+		i.onFree(tid, it.h)
 	}
 	i.retired[tid] = keep
 }

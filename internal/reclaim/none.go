@@ -13,8 +13,22 @@ type None struct {
 	counters
 }
 
-// NewNone builds the leaking baseline scheme.
-func NewNone(Env, Config) *None { return &None{} }
+func init() {
+	Register(Registration{
+		Name:    "none",
+		Aliases: []string{"leak"},
+		Rank:    0,
+		Build:   func(env Env, opts Options) Scheme { return newNone(env, opts) },
+	})
+	Register(Registration{
+		Name:   "unsafe",
+		Hidden: true, // constructible for the UAF demo, not benchmarked
+		Build:  func(env Env, opts Options) Scheme { return newUnsafe(env, opts) },
+	})
+}
+
+// newNone builds the leaking baseline scheme.
+func newNone(Env, Options) *None { return &None{} }
 
 // Name returns "none".
 func (*None) Name() string { return "none" }
@@ -41,7 +55,7 @@ func (*None) Clear(int, int) {}
 func (*None) ClearAll(int) {}
 
 // Retire leaks the object, counting it as permanently unreclaimed.
-func (n *None) Retire(_ int, _ arena.Handle) { n.onRetire() }
+func (n *None) Retire(tid int, h arena.Handle) { n.onRetire(tid, h) }
 
 // OnAlloc is a no-op.
 func (*None) OnAlloc(arena.Handle) {}
@@ -66,8 +80,8 @@ type Unsafe struct {
 	env Env
 }
 
-// NewUnsafe builds the deliberately broken scheme.
-func NewUnsafe(env Env, _ Config) *Unsafe { return &Unsafe{env: env} }
+// newUnsafe builds the deliberately broken scheme.
+func newUnsafe(env Env, _ Options) *Unsafe { return &Unsafe{env: env} }
 
 // Name returns "unsafe".
 func (*Unsafe) Name() string { return "unsafe" }
@@ -94,9 +108,9 @@ func (*Unsafe) ClearAll(int) {}
 
 // Retire frees immediately, regardless of concurrent readers.
 func (u *Unsafe) Retire(tid int, h arena.Handle) {
-	u.onRetire()
+	u.onRetire(tid, h)
 	u.env.Free(tid, h.Unmarked())
-	u.onFree()
+	u.onFree(tid, h)
 }
 
 // OnAlloc is a no-op.

@@ -28,8 +28,16 @@ type PTB struct {
 	pending [][]arena.Handle
 }
 
-// NewPTB builds a pass-the-buck instance.
-func NewPTB(env Env, cfg Config) *PTB {
+func init() {
+	Register(Registration{
+		Name:  "ptb",
+		Rank:  2,
+		Build: func(env Env, opts Options) Scheme { return newPTB(env, opts) },
+	})
+}
+
+// newPTB builds a pass-the-buck instance; construct via New("ptb", …).
+func newPTB(env Env, cfg Options) *PTB {
 	cfg.defaults()
 	p := &PTB{
 		env:     env,
@@ -83,7 +91,7 @@ func (*PTB) OnAlloc(arena.Handle) {}
 
 // Retire adds the value to the caller's set and runs Liberate.
 func (p *PTB) Retire(tid int, v arena.Handle) {
-	p.onRetire()
+	p.onRetire(tid, v)
 	p.pending[tid] = append(p.pending[tid], v.Unmarked())
 	p.liberate(tid)
 }
@@ -104,7 +112,7 @@ func (p *PTB) liberate(tid int) {
 		g, gi, guarded := p.findGuard(v)
 		if !guarded {
 			p.env.Free(tid, v)
-			p.onFree()
+			p.onFree(tid, v)
 			continue
 		}
 		old := arena.Handle(p.boxes[g][gi].Swap(uint64(v)))

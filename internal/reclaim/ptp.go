@@ -33,8 +33,16 @@ type PTP struct {
 	DrainOnClear bool
 }
 
-// NewPTP builds a pass-the-pointer instance.
-func NewPTP(env Env, cfg Config) *PTP {
+func init() {
+	Register(Registration{
+		Name:  "ptp",
+		Rank:  3,
+		Build: func(env Env, opts Options) Scheme { return newPTP(env, opts) },
+	})
+}
+
+// newPTP builds a pass-the-pointer instance; construct via New("ptp", …).
+func newPTP(env Env, cfg Options) *PTP {
 	cfg.defaults()
 	p := &PTP{
 		env:          env,
@@ -93,7 +101,7 @@ func (*PTP) OnAlloc(arena.Handle) {}
 
 // Retire implements Algorithm 2 line 22.
 func (p *PTP) Retire(tid int, v arena.Handle) {
-	p.onRetire()
+	p.onRetire(tid, v)
 	p.handoverOrDelete(tid, v.Unmarked(), 0)
 }
 
@@ -120,7 +128,7 @@ func (p *PTP) handoverOrDelete(tid int, ptr arena.Handle, start int) {
 		}
 	}
 	p.env.Free(tid, ptr)
-	p.onFree()
+	p.onFree(tid, ptr)
 }
 
 // RetireDepth reports how many objects are parked in tid's handover

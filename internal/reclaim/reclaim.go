@@ -10,13 +10,26 @@
 // on a scheme follows the classic manual protocol: GetProtected before
 // dereferencing a shared link, Retire once a node is unreachable,
 // ClearAll when an operation finishes.
+//
+// Schemes are constructed through the factory: New(name, env, opts)
+// resolves a name or alias against a self-registering registry (each
+// scheme file Registers itself in init), so adding a scheme never means
+// touching a switch statement in the callers. The "Pointer Life Cycle
+// Types" line of work argues protocol misuse is reclamation's chronic
+// failure mode; a single factory entry point with an error return (and
+// MustNew for static names) is this package's answer on the
+// construction side.
 package reclaim
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/arena"
+	"repro/internal/obs"
 )
 
 // Env binds a scheme to the arena holding its objects.
@@ -33,13 +46,31 @@ type Env struct {
 	Hdr func(arena.Handle) (*atomic.Uint64, *atomic.Uint64)
 }
 
-// Config sizes a scheme's per-thread structures.
-type Config struct {
+// Options sizes a scheme's per-thread structures and, optionally, wires
+// the instance into the observability layer.
+type Options struct {
 	MaxThreads int // capacity of the tid space
 	MaxHPs     int // H: hazardous pointers per thread the structure needs
+
+	// Label namespaces this instance's metrics (e.g. "shard0/map");
+	// empty defaults to the scheme name. Ignored when Metrics is nil.
+	Label string
+	// Metrics, when non-nil, registers this instance's reclamation
+	// pressure under "reclaim/<Label>/..." (retired, freed, pending,
+	// retire_depth gauges — evaluated at scrape, costing the hot path
+	// nothing) and enables the sampled retire→free latency histogram
+	// and the trace-ring hooks. Nil (the default) leaves every hot
+	// path uninstrumented.
+	Metrics *obs.Registry
 }
 
-func (c *Config) defaults() {
+// Config is the former name of Options.
+//
+// Deprecated: use Options. Kept as an alias so pre-factory call sites
+// keep compiling for one PR.
+type Config = Options
+
+func (c *Options) defaults() {
 	if c.MaxThreads <= 0 {
 		c.MaxThreads = 64
 	}
@@ -93,28 +124,222 @@ type Scheme interface {
 	Stats() Stats
 }
 
+// ---------------------------------------------------------------------
+// Scheme registry
+
+// Builder constructs one scheme instance. opts arrives with defaults
+// applied.
+type Builder func(env Env, opts Options) Scheme
+
+// Registration describes a scheme to the factory.
+type Registration struct {
+	Name    string   // canonical name
+	Aliases []string // accepted synonyms ("leak" → "none")
+	Rank    int      // position in Names() — the paper's presentation order
+	Hidden  bool     // constructible but absent from Names() ("unsafe")
+	Build   Builder
+}
+
+var (
+	regMu   sync.RWMutex
+	schemes = map[string]Registration{}
+	aliases = map[string]string{}
+)
+
+// Register adds a scheme to the factory. Each scheme file calls it from
+// init, so the registry is complete before any New. Registering a
+// duplicate name or alias panics — it is a programming error, caught at
+// process start.
+func Register(r Registration) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if r.Name == "" || r.Build == nil {
+		panic("reclaim: Register needs a name and a builder")
+	}
+	if _, dup := schemes[r.Name]; dup {
+		panic(fmt.Sprintf("reclaim: scheme %q registered twice", r.Name))
+	}
+	if _, dup := aliases[r.Name]; dup {
+		panic(fmt.Sprintf("reclaim: scheme %q collides with an alias", r.Name))
+	}
+	schemes[r.Name] = r
+	for _, a := range r.Aliases {
+		if _, dup := aliases[a]; dup {
+			panic(fmt.Sprintf("reclaim: alias %q registered twice", a))
+		}
+		if _, dup := schemes[a]; dup {
+			panic(fmt.Sprintf("reclaim: alias %q collides with a scheme", a))
+		}
+		aliases[a] = r.Name
+	}
+}
+
+// Names lists every registered, non-hidden scheme in presentation order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	regs := make([]Registration, 0, len(schemes))
+	for _, r := range schemes {
+		if !r.Hidden {
+			regs = append(regs, r)
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Rank < regs[j].Rank })
+	out := make([]string, len(regs))
+	for i, r := range regs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// Canonical resolves a scheme name or alias ("leak"→"none",
+// "2geibr"→"ibr") to its canonical form, reporting whether the name is
+// known. It is the single scheme-by-name resolver shared by the bench
+// registry, cmd flag parsing, and the kv service.
+func Canonical(name string) (string, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if _, ok := schemes[name]; ok {
+		return name, true
+	}
+	if c, ok := aliases[name]; ok {
+		return c, true
+	}
+	return "", false
+}
+
+func lookup(name string) (Registration, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if c, ok := aliases[name]; ok {
+		name = c
+	}
+	r, ok := schemes[name]
+	return r, ok
+}
+
+// New constructs a scheme by name (aliases accepted, see Canonical). An
+// unknown name is an error, not a panic: scheme names arrive from flags
+// and network config, and the factory is where they are validated.
+func New(name string, env Env, opts Options) (Scheme, error) {
+	reg, ok := lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("reclaim: unknown scheme %q (have %v)", name, Names())
+	}
+	opts.defaults()
+	s := reg.Build(env, opts)
+	if opts.Metrics != nil {
+		instrument(s, reg.Name, opts)
+	}
+	return s, nil
+}
+
+// MustNew is New for statically known names; it panics on error.
+// Data-structure constructors that take a scheme name from a trusted
+// caller use it.
+func MustNew(name string, env Env, opts Options) Scheme {
+	s, err := New(name, env, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Shared counters + instrumentation
+
+// spanSlots sizes the sampled retire→free latency table; spanSampleMask
+// selects which retires start a span (1 in 64).
+const (
+	spanSlots      = 512
+	spanSampleMask = 63
+)
+
+type spanSlot struct {
+	h  atomic.Uint64
+	ns atomic.Int64
+}
+
+// spanTable tracks a sampled subset of in-flight retirements so the
+// free path can report how long objects sit on retired lists. Start
+// claims an empty hash slot (occupied slots drop the sample — sampling
+// is best-effort by design); end adopts the slot with one CAS.
+type spanTable struct {
+	slots [spanSlots]spanSlot
+}
+
+func spanHash(h uint64) uint64 { return (h * 0x9e3779b97f4a7c15) >> 32 }
+
+func (t *spanTable) start(h uint64, ns int64) {
+	s := &t.slots[spanHash(h)&(spanSlots-1)]
+	if s.h.Load() != 0 {
+		return
+	}
+	s.ns.Store(ns)
+	s.h.CompareAndSwap(0, h)
+}
+
+func (t *spanTable) end(h uint64) (int64, bool) {
+	s := &t.slots[spanHash(h)&(spanSlots-1)]
+	if s.h.Load() != h || !s.h.CompareAndSwap(h, 0) {
+		return 0, false
+	}
+	return s.ns.Load(), true
+}
+
+// instr is the optional per-instance observability state hanging off
+// counters. All hot-path uses are guarded by a single nil check.
+type instr struct {
+	label uint16    // trace-ring label id
+	lat   *obs.Hist // sampled retire→free latency (ns)
+	spans spanTable
+}
+
 // counters implements the shared Stats bookkeeping.
 type counters struct {
 	retired atomic.Uint64
 	freed   atomic.Uint64
 	pending atomic.Int64
 	maxPend atomic.Int64
+	inst    *instr // nil unless Options.Metrics was set
 }
 
-func (c *counters) onRetire() {
-	c.retired.Add(1)
+// hooks exposes the embedded counters to the factory's instrumentation;
+// it is promoted through embedding on every scheme.
+func (c *counters) hooks() *counters { return c }
+
+func (c *counters) onRetire(tid int, h arena.Handle) {
+	n := c.retired.Add(1)
 	p := c.pending.Add(1)
 	for {
 		m := c.maxPend.Load()
 		if p <= m || c.maxPend.CompareAndSwap(m, p) {
-			return
+			break
+		}
+	}
+	if in := c.inst; in != nil {
+		if obs.TraceOn() {
+			obs.Trace.Record(obs.KindRetire, in.label, tid, uint64(h.Unmarked()))
+		}
+		if n&spanSampleMask == 0 {
+			in.spans.start(uint64(h.Unmarked()), time.Now().UnixNano())
 		}
 	}
 }
 
-func (c *counters) onFree() {
+func (c *counters) onFree(tid int, h arena.Handle) {
 	c.freed.Add(1)
 	c.pending.Add(-1)
+	if in := c.inst; in != nil {
+		if obs.TraceOn() {
+			obs.Trace.Record(obs.KindFree, in.label, tid, uint64(h.Unmarked()))
+		}
+		if ns, ok := in.spans.end(uint64(h.Unmarked())); ok {
+			if d := time.Now().UnixNano() - ns; d >= 0 {
+				in.lat.Observe(uint64(d))
+			}
+		}
+	}
 }
 
 func (c *counters) snapshot() Stats {
@@ -126,52 +351,36 @@ func (c *counters) snapshot() Stats {
 	}
 }
 
-// Names lists every scheme constructible by New, in presentation order.
-func Names() []string {
-	return []string{"none", "hp", "ptb", "ptp", "ebr", "he", "ibr"}
-}
-
-// Canonical resolves a scheme name or alias ("leak"→"none",
-// "2geibr"→"ibr") to its canonical form, reporting whether the name is
-// known. It is the single scheme-by-name resolver shared by the bench
-// registry, cmd flag parsing, and the kv service.
-func Canonical(name string) (string, bool) {
-	switch name {
-	case "none", "leak":
-		return "none", true
-	case "hp", "ptb", "ptp", "ebr", "he":
-		return name, true
-	case "ibr", "2geibr":
-		return "ibr", true
-	case "unsafe":
-		return "unsafe", true
-	default:
-		return "", false
-	}
-}
-
-// New constructs a scheme by name (aliases accepted, see Canonical).
-func New(name string, env Env, cfg Config) Scheme {
-	canon, ok := Canonical(name)
+// instrument wires one constructed scheme into opts.Metrics under
+// "reclaim/<label>/...". The retired/freed/pending/retire_depth figures
+// are gauge funcs over state the scheme maintains anyway, so the hot
+// path pays only for the latency sampling and (when enabled) the trace
+// ring.
+func instrument(s Scheme, canonical string, opts Options) {
+	h, ok := s.(interface{ hooks() *counters })
 	if !ok {
-		panic(fmt.Sprintf("reclaim: unknown scheme %q", name))
+		return
 	}
-	switch canon {
-	case "none":
-		return NewNone(env, cfg)
-	case "hp":
-		return NewHP(env, cfg)
-	case "ptb":
-		return NewPTB(env, cfg)
-	case "ptp":
-		return NewPTP(env, cfg)
-	case "ebr":
-		return NewEBR(env, cfg)
-	case "he":
-		return NewHE(env, cfg)
-	case "ibr":
-		return NewIBR(env, cfg)
-	default:
-		return NewUnsafe(env, cfg)
+	label := opts.Label
+	if label == "" {
+		label = canonical
 	}
+	prefix := "reclaim/" + label
+	c := h.hooks()
+	c.inst = &instr{
+		label: obs.TraceLabel(label),
+		lat:   opts.Metrics.Hist(prefix + "/free_lat_ns"),
+	}
+	opts.Metrics.GaugeFunc(prefix+"/retired", func() int64 { return int64(c.retired.Load()) })
+	opts.Metrics.GaugeFunc(prefix+"/freed", func() int64 { return int64(c.freed.Load()) })
+	opts.Metrics.GaugeFunc(prefix+"/pending", func() int64 { return c.pending.Load() })
+	opts.Metrics.GaugeFunc(prefix+"/pending_max", func() int64 { return c.maxPend.Load() })
+	maxThreads := opts.MaxThreads
+	opts.Metrics.GaugeFunc(prefix+"/retire_depth", func() int64 {
+		var d int64
+		for t := 0; t < maxThreads; t++ {
+			d += int64(s.RetireDepth(t))
+		}
+		return d
+	})
 }

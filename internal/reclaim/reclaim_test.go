@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/arena"
+	"repro/internal/obs"
 )
 
 type tnode struct {
@@ -39,7 +40,7 @@ func TestProtectPreventsFree(t *testing.T) {
 	for _, name := range lockfreeSchemes() {
 		t.Run(name, func(t *testing.T) {
 			a, env := testEnv(t, arena.Strict)
-			s := New(name, env, Config{MaxThreads: 2, MaxHPs: 4})
+			s := MustNew(name, env, Options{MaxThreads: 2, MaxHPs: 4})
 
 			var slot atomic.Uint64
 			h := allocNode(a, s)
@@ -80,7 +81,7 @@ func TestRetireUnprotectedFrees(t *testing.T) {
 	for _, name := range lockfreeSchemes() {
 		t.Run(name, func(t *testing.T) {
 			a, env := testEnv(t, arena.Strict)
-			s := New(name, env, Config{MaxThreads: 2, MaxHPs: 4})
+			s := MustNew(name, env, Options{MaxThreads: 2, MaxHPs: 4})
 			h := allocNode(a, s)
 			s.Retire(0, h)
 			s.Flush(0)
@@ -99,7 +100,7 @@ func TestRetireUnprotectedFrees(t *testing.T) {
 // itself — no thread-local retired list, no Flush needed.
 func TestPTPImmediateFree(t *testing.T) {
 	a, env := testEnv(t, arena.Strict)
-	s := NewPTP(env, Config{MaxThreads: 4, MaxHPs: 4})
+	s := newPTP(env, Options{MaxThreads: 4, MaxHPs: 4})
 	h := allocNode(a, s)
 	s.Retire(0, h)
 	if a.Valid(h) {
@@ -112,7 +113,7 @@ func TestPTPImmediateFree(t *testing.T) {
 // frees it.
 func TestPTPHandover(t *testing.T) {
 	a, env := testEnv(t, arena.Strict)
-	s := NewPTP(env, Config{MaxThreads: 4, MaxHPs: 4})
+	s := newPTP(env, Options{MaxThreads: 4, MaxHPs: 4})
 
 	var slot atomic.Uint64
 	h := allocNode(a, s)
@@ -137,7 +138,7 @@ func TestPTPHandover(t *testing.T) {
 // passes the displaced object onward (Alg. 2 line 28-31).
 func TestPTPHandoverDisplacement(t *testing.T) {
 	a, env := testEnv(t, arena.Strict)
-	s := NewPTP(env, Config{MaxThreads: 4, MaxHPs: 4})
+	s := newPTP(env, Options{MaxThreads: 4, MaxHPs: 4})
 
 	var s1, s2 atomic.Uint64
 	h1 := allocNode(a, s)
@@ -175,7 +176,7 @@ func TestPTPBoundInvariant(t *testing.T) {
 	const threads = 8
 	const hps = 4
 	a, env := testEnv(t, arena.Strict)
-	s := NewPTP(env, Config{MaxThreads: threads, MaxHPs: hps})
+	s := newPTP(env, Options{MaxThreads: threads, MaxHPs: hps})
 
 	slots := make([]atomic.Uint64, 64)
 	for i := range slots {
@@ -244,7 +245,7 @@ func TestPTPBoundInvariant(t *testing.T) {
 // may be freed early and the bound must still hold.
 func TestPTPNoDrainStillCorrect(t *testing.T) {
 	a, env := testEnv(t, arena.Strict)
-	s := NewPTP(env, Config{MaxThreads: 2, MaxHPs: 2})
+	s := newPTP(env, Options{MaxThreads: 2, MaxHPs: 2})
 	s.DrainOnClear = false
 
 	var slot atomic.Uint64
@@ -283,7 +284,7 @@ func TestSchemeStress(t *testing.T) {
 			const threads = 6
 			const hps = 3
 			a, env := testEnv(t, arena.Strict)
-			s := New(name, env, Config{MaxThreads: threads, MaxHPs: hps})
+			s := MustNew(name, env, Options{MaxThreads: threads, MaxHPs: hps})
 
 			slots := make([]atomic.Uint64, 32)
 			for i := range slots {
@@ -347,7 +348,7 @@ func TestSchemeStress(t *testing.T) {
 // detectable use-after-free under the counting arena.
 func TestUnsafeSchemeCaught(t *testing.T) {
 	a, env := testEnv(t, arena.Count)
-	s := NewUnsafe(env, Config{})
+	s := newUnsafe(env, Options{})
 	var slot atomic.Uint64
 	h := allocNode(a, s)
 	slot.Store(uint64(h))
@@ -365,7 +366,7 @@ func TestUnsafeSchemeCaught(t *testing.T) {
 // TestEBRStalledReaderBlocksReclamation: the Table 1 "blocking" row.
 func TestEBRStalledReaderBlocksReclamation(t *testing.T) {
 	a, env := testEnv(t, arena.Strict)
-	s := NewEBR(env, Config{MaxThreads: 2, MaxHPs: 1})
+	s := newEBR(env, Options{MaxThreads: 2, MaxHPs: 1})
 
 	s.BeginOp(0) // reader enters and never leaves
 
@@ -391,7 +392,7 @@ func TestEBRStalledReaderBlocksReclamation(t *testing.T) {
 // TestHEEraStamping: birth/retire eras land in the header words.
 func TestHEEraStamping(t *testing.T) {
 	a, env := testEnv(t, arena.Strict)
-	s := NewHE(env, Config{MaxThreads: 2, MaxHPs: 2})
+	s := newHE(env, Options{MaxThreads: 2, MaxHPs: 2})
 	h := allocNode(a, s)
 	birth, retire := a.Header(h)
 	if birth.Load() == 0 {
@@ -414,7 +415,7 @@ func TestHEEraStamping(t *testing.T) {
 // includes a published era must not be freed.
 func TestHEProtectionHoldsInterval(t *testing.T) {
 	a, env := testEnv(t, arena.Strict)
-	s := NewHE(env, Config{MaxThreads: 2, MaxHPs: 2})
+	s := newHE(env, Options{MaxThreads: 2, MaxHPs: 2})
 	var slot atomic.Uint64
 	h := allocNode(a, s)
 	slot.Store(uint64(h))
@@ -440,7 +441,7 @@ func TestHEProtectionHoldsInterval(t *testing.T) {
 // reservations.
 func TestIBRIntervalProtection(t *testing.T) {
 	a, env := testEnv(t, arena.Strict)
-	s := NewIBR(env, Config{MaxThreads: 2, MaxHPs: 2})
+	s := newIBR(env, Options{MaxThreads: 2, MaxHPs: 2})
 	var slot atomic.Uint64
 	h := allocNode(a, s)
 	slot.Store(uint64(h))
@@ -466,7 +467,7 @@ func TestIBRIntervalProtection(t *testing.T) {
 // TestNoneLeaks: the baseline must never free.
 func TestNoneLeaks(t *testing.T) {
 	a, env := testEnv(t, arena.Strict)
-	s := NewNone(env, Config{})
+	s := newNone(env, Options{})
 	h := allocNode(a, s)
 	s.Retire(0, h)
 	s.Flush(0)
@@ -478,23 +479,62 @@ func TestNoneLeaks(t *testing.T) {
 	}
 }
 
-// TestNewUnknownPanics guards the factory.
-func TestNewUnknownPanics(t *testing.T) {
+// TestNewUnknownErrors guards the factory: unknown names are an error
+// (names arrive from flags and network config), and MustNew converts
+// that error to a panic for statically known names.
+func TestNewUnknownErrors(t *testing.T) {
+	if s, err := New("bogus", Env{}, Options{}); err == nil || s != nil {
+		t.Fatalf("New(bogus) = %v, %v; want nil, error", s, err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic for unknown scheme")
+			t.Fatal("MustNew must panic for unknown scheme")
 		}
 	}()
-	New("bogus", Env{}, Config{})
+	MustNew("bogus", Env{}, Options{})
 }
 
-// TestNamesConstructible: every advertised name must construct.
+// TestNamesConstructible: every advertised name must construct, in the
+// paper's presentation order, and Name() must round-trip.
 func TestNamesConstructible(t *testing.T) {
+	want := []string{"none", "hp", "ptb", "ptp", "ebr", "he", "ibr"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
 	_, env := testEnv(t, arena.Strict)
 	for _, n := range Names() {
-		if s := New(n, env, Config{MaxThreads: 2, MaxHPs: 2}); s == nil {
-			t.Fatalf("New(%q) returned nil", n)
+		s, err := New(n, env, Options{MaxThreads: 2, MaxHPs: 2})
+		if err != nil || s == nil {
+			t.Fatalf("New(%q) = %v, %v", n, s, err)
 		}
+		if s.Name() != n {
+			t.Fatalf("New(%q).Name() = %q", n, s.Name())
+		}
+	}
+}
+
+// TestAliasesResolve: aliases construct the canonical scheme and
+// Canonical reports them.
+func TestAliasesResolve(t *testing.T) {
+	_, env := testEnv(t, arena.Strict)
+	for alias, canon := range map[string]string{
+		"leak": "none", "2geibr": "ibr", "unsafe": "unsafe", "hp": "hp",
+	} {
+		if c, ok := Canonical(alias); !ok || c != canon {
+			t.Fatalf("Canonical(%q) = %q, %v; want %q", alias, c, ok, canon)
+		}
+		if s := MustNew(alias, env, Options{MaxThreads: 2, MaxHPs: 2}); s.Name() != canon {
+			t.Fatalf("MustNew(%q).Name() = %q, want %q", alias, s.Name(), canon)
+		}
+	}
+	if _, ok := Canonical("nope"); ok {
+		t.Fatal("Canonical must reject unknown names")
 	}
 }
 
@@ -504,7 +544,7 @@ func TestMarkedHandleRetire(t *testing.T) {
 	for _, name := range lockfreeSchemes() {
 		t.Run(name, func(t *testing.T) {
 			a, env := testEnv(t, arena.Strict)
-			s := New(name, env, Config{MaxThreads: 2, MaxHPs: 2})
+			s := MustNew(name, env, Options{MaxThreads: 2, MaxHPs: 2})
 			h := allocNode(a, s)
 			s.Retire(0, h.WithMark())
 			s.Flush(0)
@@ -522,7 +562,7 @@ func TestGetProtectedTracksMovingTarget(t *testing.T) {
 	for _, name := range []string{"hp", "ptb", "ptp"} {
 		t.Run(name, func(t *testing.T) {
 			a, env := testEnv(t, arena.Strict)
-			s := New(name, env, Config{MaxThreads: 4, MaxHPs: 2})
+			s := MustNew(name, env, Options{MaxThreads: 4, MaxHPs: 2})
 			var slot atomic.Uint64
 			h0 := allocNode(a, s)
 			slot.Store(uint64(h0))
@@ -549,4 +589,50 @@ func TestGetProtectedTracksMovingTarget(t *testing.T) {
 			<-done
 		})
 	}
+}
+
+// TestMetricsInstrumentation: constructing with Options.Metrics must
+// expose gauge funcs that track the scheme's counters, and the sampled
+// free-latency histogram must record under churn.
+func TestMetricsInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	a, env := testEnv(t, arena.Strict)
+	s := MustNew("hp", env, Options{MaxThreads: 2, MaxHPs: 2, Label: "t/hp", Metrics: reg})
+
+	const n = 500
+	for i := 0; i < n; i++ {
+		s.Retire(0, allocNode(a, s))
+	}
+	s.Flush(0)
+
+	snap := map[string]int64{}
+	for _, m := range reg.Snapshot() {
+		snap[m.Name] = m.Value
+	}
+	st := s.Stats()
+	if snap["reclaim/t/hp/retired"] != int64(st.Retired) || snap["reclaim/t/hp/freed"] != int64(st.Freed) {
+		t.Fatalf("gauges %v disagree with Stats %+v", snap, st)
+	}
+	if snap["reclaim/t/hp/pending"] != st.RetiredNotFreed {
+		t.Fatalf("pending gauge %d != %d", snap["reclaim/t/hp/pending"], st.RetiredNotFreed)
+	}
+	if snap["reclaim/t/hp/retire_depth"] != int64(s.RetireDepth(0)+s.RetireDepth(1)) {
+		t.Fatal("retire_depth gauge disagrees with RetireDepth")
+	}
+	// 1-in-64 sampling over 500 retires must have landed some spans.
+	if reg.Hist("reclaim/t/hp/free_lat_ns").Count() == 0 {
+		t.Fatal("free-latency histogram recorded nothing")
+	}
+}
+
+// TestUninstrumentedNoMetrics: the default (nil Metrics) must leave the
+// instrumentation pointer nil — the no-op fast path.
+func TestUninstrumentedNoMetrics(t *testing.T) {
+	a, env := testEnv(t, arena.Strict)
+	s := newHP(env, Options{MaxThreads: 2, MaxHPs: 2})
+	if s.inst != nil {
+		t.Fatal("uninstrumented scheme has instrumentation state")
+	}
+	s.Retire(0, allocNode(a, s))
+	s.Flush(0)
 }
