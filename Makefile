@@ -4,9 +4,9 @@ GO ?= go
 # every check: the allocator, the OrcGC core, the manual schemes, the
 # networked KV service (pipelined connections over both), and the
 # lock-free metrics registry all of them report into.
-RACE_PKGS = ./internal/arena/ ./internal/core/ ./internal/reclaim/ ./internal/kvstore/ ./internal/obs/
+RACE_PKGS = ./internal/arena/ ./internal/core/ ./internal/reclaim/ ./internal/kvstore/ ./internal/obs/ ./internal/torture/
 
-.PHONY: check vet build test race bench-alloc serve load smoke metrics-smoke bench-kv clean
+.PHONY: check vet build test race bench-alloc serve load smoke metrics-smoke torture-smoke bench-kv clean
 
 check: vet build test race
 
@@ -70,6 +70,15 @@ metrics-smoke:
 	done; \
 	kill -INT $$pid; wait $$pid
 	@echo "metrics-smoke: OK"
+
+# Torture smoke: a short seeded run of every reclamation scheme ×
+# data-structure subject (49 pairings) under the race detector, with one
+# stalled reader parked inside the protection loop. Deterministic per
+# seed: on any failure orctorture prints the reproducing command line
+# (seed, threads, ops) to stderr and exits non-zero.
+TORTURE_SEED ?= 1
+torture-smoke:
+	$(GO) run -race ./cmd/orctorture -seed $(TORTURE_SEED) -threads 4 -ops 600 -stalls 1
 
 # Sweep every reclamation scheme through the loopback service and
 # refresh BENCH_kv.json (throughput + latency percentiles + drain leak

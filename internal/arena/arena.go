@@ -63,6 +63,12 @@ const (
 // exactly while its object is live — one atomic load validates both
 // identity and liveness, and no separate state word is needed on the
 // alloc/free path.
+//
+// The counter is a full 32-bit value while handles pack only genBits of
+// it, so validity checks compare modulo 1<<genBits (masking keeps the
+// parity bit). When the masked value would wrap to 0 — the virgin
+// sentinel — the free path skips ahead by 2, preserving both parity and
+// the "masked 0 means never allocated" invariant.
 type Slot[T any] struct {
 	gen      atomic.Uint32
 	freeNext atomic.Uint32 // free-list link, valid only while free
@@ -132,7 +138,8 @@ func (s Stats) MagHitRate() float64 {
 // stacks (work-stealing between them) behind per-tid magazine caches that
 // make the AllocT/FreeT common case entirely CAS-free on shared memory.
 type Arena[T any] struct {
-	mode       FaultMode
+	mode       atomic.Int32 // FaultMode; atomic so SetFaultMode can flip it on a live arena
+	faultHook  atomic.Pointer[func(Handle)]
 	chunkSize  uint32
 	chunkShift uint32
 	chunkMask  uint32
@@ -236,7 +243,6 @@ func New[T any](opts ...Option) *Arena[T] {
 	cs := ceilPow2(cfg.chunkSize)
 	ns := ceilPow2(cfg.shards)
 	a := &Arena[T]{
-		mode:       cfg.mode,
 		chunkSize:  cs,
 		chunkShift: uint32(bits.TrailingZeros32(cs)),
 		chunkMask:  cs - 1,
@@ -247,7 +253,38 @@ func New[T any](opts ...Option) *Arena[T] {
 		a.shards[i].head.Store(packFree(0, idxNone))
 	}
 	a.next.Store(1) // slot 0 reserved so no valid handle is ever 0
+	a.mode.Store(int32(cfg.mode))
 	return a
+}
+
+// SetFaultMode flips the use-after-free reaction on a live arena. The
+// torture harness uses it to switch subjects built by ordinary
+// constructors (which default to Strict) into Count mode so a run can
+// measure faults instead of dying on the first one.
+func (a *Arena[T]) SetFaultMode(m FaultMode) { a.mode.Store(int32(m)) }
+
+// FaultMode returns the current use-after-free reaction.
+func (a *Arena[T]) FaultMode() FaultMode { return FaultMode(a.mode.Load()) }
+
+// SetFaultHook installs f to be called on every generation-check fault,
+// in both modes, with the offending handle (nil uninstalls). Hooks run
+// on the faulting goroutine before Strict mode panics; the torture
+// harness uses one to attribute faults to the op that tripped them.
+func (a *Arena[T]) SetFaultHook(f func(Handle)) {
+	if f == nil {
+		a.faultHook.Store(nil)
+		return
+	}
+	a.faultHook.Store(&f)
+}
+
+// recordFault is the shared Count-mode accounting: bump the counter and
+// fire the fault hook.
+func (a *Arena[T]) recordFault(h Handle) {
+	a.faults.Add(1)
+	if f := a.faultHook.Load(); f != nil {
+		(*f)(h)
+	}
 }
 
 func packFree(aba uint32, idx uint32) uint64 { return uint64(aba)<<32 | uint64(idx) }
@@ -283,8 +320,8 @@ func (a *Arena[T]) ensureChunk(c uint32) *chunkOf[T] {
 func (a *Arena[T]) Get(h Handle) *T {
 	p, ok := a.TryGet(h)
 	if !ok {
-		a.faults.Add(1)
-		if a.mode == Strict {
+		a.recordFault(h)
+		if FaultMode(a.mode.Load()) == Strict {
 			panic(fmt.Sprintf("arena: use-after-free dereferencing %v", h.Unmarked()))
 		}
 		return &a.zombie.Val
@@ -303,20 +340,26 @@ func (a *Arena[T]) TryGet(h Handle) (*T, bool) {
 		return nil, false
 	}
 	s := a.slotAt(idx)
-	if s == nil || h.Gen()&1 == 0 || s.gen.Load() != h.Gen() {
+	if s == nil || h.Gen()&1 == 0 || s.gen.Load()&genValMask != h.Gen() {
 		return nil, false
 	}
 	return &s.Val, true
 }
 
 // Header returns the scheme header words of the (live or retired, but not
-// yet freed) object named by h. Panics on a stale handle.
+// yet freed) object named by h. A stale handle panics in Strict mode; in
+// Count mode the fault is recorded and the zombie's header words come
+// back so a limping run keeps limping instead of dying inside a scheme.
 func (a *Arena[T]) Header(h Handle) (*atomic.Uint64, *atomic.Uint64) {
 	h = h.Unmarked()
 	idx := h.Index()
 	s := a.slotAt(idx)
-	if s == nil || h.Gen()&1 == 0 || s.gen.Load() != h.Gen() {
-		panic(fmt.Sprintf("arena: use-after-free header access %v", h))
+	if s == nil || h.Gen()&1 == 0 || s.gen.Load()&genValMask != h.Gen() {
+		a.recordFault(h)
+		if FaultMode(a.mode.Load()) == Strict {
+			panic(fmt.Sprintf("arena: use-after-free header access %v", h))
+		}
+		return &a.zombie.HdrA, &a.zombie.HdrB
 	}
 	return &s.HdrA, &s.HdrB
 }

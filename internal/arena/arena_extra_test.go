@@ -41,9 +41,9 @@ func TestValidRejectsWrongGeneration(t *testing.T) {
 	}
 }
 
-// TestGenerationWrap: the 30-bit generation wraps to 0 at the top of its
-// range, preserving the parity invariant (even = free), and the next
-// alloc hands out generation 1 again.
+// TestGenerationWrap: at the top of the 30-bit handle range the masked
+// generation wraps, skipping the virgin value 0 — the freed slot lands
+// on masked 2 (parity even) and the next alloc hands out generation 3.
 func TestGenerationWrap(t *testing.T) {
 	a := New[node]()
 	h, _ := a.Alloc()
@@ -57,12 +57,18 @@ func TestGenerationWrap(t *testing.T) {
 		t.Fatalf("gen %d", h2.Gen())
 	}
 	a.Free(h2)
-	if g := s.gen.Load(); g != 0 {
-		t.Fatalf("generation wrapped to %d, want 0", g)
+	if g := s.gen.Load() & genValMask; g != 2 {
+		t.Fatalf("generation wrapped to masked %d, want 2 (virgin 0 skipped)", g)
+	}
+	if a.Valid(h2) {
+		t.Fatal("freed handle still valid across the wrap")
 	}
 	h3, _ := a.Alloc()
-	if h3.Gen() != 1 {
-		t.Fatalf("post-wrap gen %d, want 1", h3.Gen())
+	if h3.Gen() != 3 {
+		t.Fatalf("post-wrap gen %d, want 3", h3.Gen())
+	}
+	if !a.Valid(h3) {
+		t.Fatal("post-wrap handle invalid")
 	}
 }
 

@@ -1,0 +1,184 @@
+package arena
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// These are the generation-width regression tests: slot generation
+// counters are full 32-bit values while handles pack only genBits (30)
+// of them. Before the masked comparisons, a hot slot whose raw counter
+// crossed 1<<genBits spuriously faulted on every dereference forever.
+// Driving 2^30 real alloc/free cycles is minutes of work, so the tests
+// inject the raw counter state directly.
+
+// TestGenWidthMaskedCompare: a live handle must stay valid when the
+// slot's raw generation carries bits above genBits (the state a
+// full-width counter reaches after 2^30 alloc/free cycles). Fails on
+// the pre-fix arena, whose checks compared the raw counter against the
+// masked handle generation.
+func TestGenWidthMaskedCompare(t *testing.T) {
+	a := New[node]()
+	h, p := a.Alloc()
+	p.Key = 42
+	s := a.slotAt(h.Index())
+
+	// Simulate the counter having crossed 2^30: same masked value, raw
+	// bits above genBits set.
+	s.gen.Store(s.gen.Load() + 1<<genBits)
+
+	if !a.Valid(h) {
+		t.Fatal("live handle rejected once the raw generation crossed 2^30")
+	}
+	if q, ok := a.TryGet(h); !ok || q.Key != 42 {
+		t.Fatalf("TryGet ok=%v on a live high-generation slot", ok)
+	}
+	if hdr, _ := a.Header(h); hdr == nil {
+		t.Fatal("Header rejected a live high-generation slot")
+	}
+	if st := a.Stats(); st.Faults != 0 {
+		t.Fatalf("spurious faults recorded: %d", st.Faults)
+	}
+
+	// The free path must also compare masked, or the slot is stuck.
+	a.Free(h)
+	if a.Valid(h) {
+		t.Fatal("freed handle still valid")
+	}
+	h2, _ := a.Alloc()
+	if h2.Index() != h.Index() {
+		t.Fatalf("slot not recycled: %v vs %v", h2, h)
+	}
+	if h2.Gen()&1 != 1 {
+		t.Fatalf("post-2^30 handle generation %d is not odd", h2.Gen())
+	}
+	if !a.Valid(h2) {
+		t.Fatal("recycled high-generation handle invalid")
+	}
+}
+
+// TestGenWrapCycles drives one slot through the masked wrap boundary
+// with real alloc/free cycles (raw counter injected just below the
+// boundary), checking at every step that the live handle validates, the
+// freed handle faults, and the masked counter never revisits the virgin
+// value 0.
+func TestGenWrapCycles(t *testing.T) {
+	a := New[node]()
+	h, _ := a.Alloc()
+	s := a.slotAt(h.Index())
+	a.Free(h)
+
+	// Park the raw counter a little below the masked wrap.
+	s.gen.Store((1 << genBits) - 64)
+	var prev Handle
+	for i := 0; i < 4096; i++ {
+		nh, _ := a.Alloc()
+		if !a.Valid(nh) {
+			t.Fatalf("cycle %d: live handle invalid (gen %d)", i, nh.Gen())
+		}
+		if !prev.IsNil() && a.Valid(prev) {
+			t.Fatalf("cycle %d: stale handle from previous cycle still valid", i)
+		}
+		if g := s.gen.Load() & genValMask; g == 0 {
+			t.Fatalf("cycle %d: masked generation hit the virgin value while live", i)
+		}
+		a.Free(nh)
+		if g := s.gen.Load() & genValMask; g == 0 {
+			t.Fatalf("cycle %d: masked generation hit the virgin value after free", i)
+		}
+		if a.Valid(nh) {
+			t.Fatalf("cycle %d: freed handle still valid", i)
+		}
+		prev = nh
+	}
+}
+
+// TestCountModeHeaderFault: in Count mode a stale Header access is
+// recorded and answered with the zombie's header words instead of a
+// panic, so a torture run can keep going and report the total.
+func TestCountModeHeaderFault(t *testing.T) {
+	a := New[node](WithFaultMode(Count))
+	h, _ := a.Alloc()
+	a.Free(h)
+	hdrA, hdrB := a.Header(h)
+	if hdrA == nil || hdrB == nil {
+		t.Fatal("Count-mode Header returned nil words")
+	}
+	if hdrA != &a.zombie.HdrA || hdrB != &a.zombie.HdrB {
+		t.Fatal("Count-mode Header did not return the zombie words")
+	}
+	if st := a.Stats(); st.Faults != 1 {
+		t.Fatalf("Faults=%d want 1", st.Faults)
+	}
+}
+
+// TestSetFaultModeAndHook: flipping a Strict arena to Count on the fly
+// suppresses the panic, and the fault hook sees the offending handle.
+func TestSetFaultModeAndHook(t *testing.T) {
+	a := New[node]()
+	var seen []Handle
+	a.SetFaultHook(func(h Handle) { seen = append(seen, h) })
+	a.SetFaultMode(Count)
+	h, _ := a.Alloc()
+	a.Free(h)
+	_ = a.Get(h) // would panic under Strict
+	if len(seen) != 1 || seen[0].Unmarked() != h.Unmarked() {
+		t.Fatalf("fault hook saw %v, want [%v]", seen, h)
+	}
+	if st := a.Stats(); st.Faults != 1 {
+		t.Fatalf("Faults=%d want 1", st.Faults)
+	}
+	a.SetFaultHook(nil)
+	_ = a.Get(h)
+	if len(seen) != 1 {
+		t.Fatal("uninstalled fault hook still firing")
+	}
+}
+
+// TestHomeShardConcurrentAllocFree is the -race witness for the tid-less
+// path: homeShard reads the P id under procPin and releases the pin
+// before the shard stacks are touched. The P index is only a
+// contention-spreading hint, so the post-unpin use is benign — this test
+// documents that by hammering Alloc/Free from more goroutines than Ps
+// while GOMAXPROCS shifts underneath them.
+func TestHomeShardConcurrentAllocFree(t *testing.T) {
+	a := New[node](WithShards(4))
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	const workers = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			var held []Handle
+			for i := 0; i < iters; i++ {
+				if i == iters/2 && seed == 0 {
+					// Shift the P space mid-run so pinned ids go stale.
+					runtime.GOMAXPROCS(2)
+				}
+				h, p := a.Alloc()
+				p.Key = uint64(seed)<<32 | uint64(i)
+				held = append(held, h)
+				if len(held) >= 8 {
+					for _, o := range held {
+						a.Free(o)
+					}
+					held = held[:0]
+				}
+			}
+			for _, o := range held {
+				a.Free(o)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Live != 0 {
+		t.Fatalf("Live=%d after balanced alloc/free", st.Live)
+	}
+	if st.Allocs != workers*iters {
+		t.Fatalf("Allocs=%d want %d", st.Allocs, workers*iters)
+	}
+}

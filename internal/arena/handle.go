@@ -10,10 +10,20 @@
 //
 //	bits 63..62  tag bits (the mark/flag bits lock-free structures keep
 //	             in low pointer bits in C/C++)
-//	bits 61..32  slot generation (bumped on every Alloc and Free; odd
-//	             while the object is live, so a handle — always minted
-//	             with an odd generation — matches only its own lifetime)
+//	bits 61..32  slot generation (the low genBits bits of the slot's
+//	             full-width generation counter, bumped on every Alloc and
+//	             Free; odd while the object is live, so a handle — always
+//	             minted with an odd generation — matches only its own
+//	             lifetime)
 //	bits 31..0   slot index
+//
+// Slot generation counters are wider than the genBits a handle can
+// carry, so every comparison between a stored generation and a handle's
+// generation masks the stored value down to genBits first (see
+// genValMask). Masking preserves parity, so the odd-live/even-free
+// liveness encoding survives the truncation; the masked value 0 is
+// reserved for virgin (never-allocated) slots and is skipped when a
+// counter wraps.
 //
 // Dereferencing a handle whose generation no longer matches the slot is
 // the reproduction's equivalent of the segmentation fault the paper
@@ -39,6 +49,13 @@ const (
 	genShift        = 32
 	genMask  Handle = ((1 << genBits) - 1) << genShift
 	idxMask  Handle = (1 << 32) - 1
+
+	// genValMask truncates a raw (full-width) slot generation to the
+	// genBits a handle packs. Slot generation counters may run wider
+	// than genBits; every stored-vs-handle comparison masks with this
+	// first, or a hot slot would spuriously fault forever once its raw
+	// counter crossed 1<<genBits.
+	genValMask uint32 = (1 << genBits) - 1
 )
 
 // Nil is the null handle.

@@ -6,9 +6,11 @@ import (
 
 // The tid-less Alloc/Free fallback hashes callers to a shard by the P
 // they are running on, the same trick sync.Pool uses to get a
-// contention-free shard hint without a thread id. Pin/unpin immediately:
-// the P index is only a hash, a stale value just picks a suboptimal
-// shard.
+// contention-free shard hint without a thread id. The shard index is
+// computed while pinned (see homeShard) and the pin is dropped before
+// the shard is touched: the index is only a contention hint, so a
+// migration after unpin at worst picks a suboptimal shard, never an
+// incorrect one.
 
 //go:linkname runtime_procPin runtime.procPin
 func runtime_procPin() int

@@ -3,6 +3,8 @@ package arena
 import (
 	"fmt"
 	"runtime"
+
+	"repro/internal/rt"
 )
 
 // This file holds the allocation/free paths over the sharded free-slot
@@ -46,11 +48,17 @@ func (a *Arena[T]) stripeInc(idx uint32) {
 func (a *Arena[T]) stripeDec(idx uint32) { a.stripeFor(idx).live.Add(-1) }
 
 // homeShard picks a shard for a caller without a tid: hash by the P the
-// goroutine happens to run on, so concurrent tid-less callers spread out.
+// goroutine happens to run on, so concurrent tid-less callers spread
+// out. The shard index is computed while still pinned, so the pick is
+// consistent with the P that made it; the pin is dropped before the
+// caller's Treiber-stack CAS loop (popShard yields via runtime.Gosched
+// on a chunk-publication race, which must not run pinned). A migration
+// between unpin and the stack operation is benign: the index is only a
+// contention-spreading hint, and every shard accepts every slot.
 func (a *Arena[T]) homeShard() uint32 {
-	p := runtime_procPin()
+	s := uint32(runtime_procPin()) & a.shardMask
 	runtime_procUnpin()
-	return uint32(p) & a.shardMask
+	return s
 }
 
 // popShard pops one free slot index from shard s; idxNone when empty.
@@ -186,14 +194,17 @@ func (a *Arena[T]) spill(m *magazine, home uint32) {
 }
 
 // finishAlloc transitions a claimed free index to live — the generation
-// goes odd — and returns the handle plus the zeroed payload.
+// goes odd — and returns the handle plus the zeroed payload. The raw
+// counter keeps its full 32-bit width; Pack truncates to the genBits a
+// handle carries, and validity checks compare masked.
 func (a *Arena[T]) finishAlloc(idx uint32) (Handle, *T) {
 	s := a.slotAt(idx)
 	g := s.gen.Load()
 	if g&1 != 0 {
 		panic(fmt.Sprintf("arena: slot %d allocated while live", idx))
 	}
-	g++ // even→odd; never overflows genBits (frees wrap to 0)
+	g++ // even→odd (parity survives the genValMask truncation)
+	rt.Step(rt.SiteAlloc, -1)
 	var zero T
 	s.Val = zero
 	// Header words are usually already zero (fresh chunks are zero-filled
@@ -213,7 +224,11 @@ func (a *Arena[T]) finishAlloc(idx uint32) (Handle, *T) {
 // finishFree validates h, poisons the payload and bumps the generation to
 // even — freeing the slot and invalidating every outstanding handle in
 // one store — returning the now-ownerless index. The caller decides which
-// free pool receives it.
+// free pool receives it. The bump runs on the raw full-width counter (the
+// handle only knows the masked value, so the raw counter is reloaded from
+// the slot); when the masked value would land on 0 — the virgin sentinel
+// — the bump skips ahead by 2, keeping parity even and reserving masked 0
+// for slots that were never allocated.
 func (a *Arena[T]) finishFree(h Handle) uint32 {
 	h = h.Unmarked()
 	if h.IsNil() {
@@ -221,16 +236,21 @@ func (a *Arena[T]) finishFree(h Handle) uint32 {
 	}
 	idx := h.Index()
 	s := a.slotAt(idx)
-	if s == nil || h.Gen()&1 == 0 || s.gen.Load() != h.Gen() {
+	if s == nil {
+		panic(fmt.Sprintf("arena: free of %v in unpublished chunk", h))
+	}
+	g := s.gen.Load()
+	if h.Gen()&1 == 0 || g&genValMask != h.Gen() {
 		panic(fmt.Sprintf("arena: double free or stale free of %v", h))
 	}
 	var zero T
 	s.Val = zero // poison: stale readers see a zeroed husk
-	g := h.Gen() + 1
-	if g == 1<<genBits {
-		g = 0
+	g++
+	if g&genValMask == 0 {
+		g += 2 // skip the virgin value; parity stays even
 	}
 	s.gen.Store(g)
+	rt.Step(rt.SiteFree, -1)
 	return idx
 }
 

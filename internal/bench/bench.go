@@ -14,6 +14,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/arena"
+	"repro/internal/reclaim"
 	"repro/internal/rt"
 )
 
@@ -37,16 +39,60 @@ type MemStats struct {
 	RetiredNotFreed int64 // scheme-side pending count (manual schemes)
 }
 
+// Admin bundles the control hooks the torture harness uses to inject
+// faults into a subject and audit its reclamation afterwards. The
+// benchmark runners never touch it; registry constructors fill it in so
+// any subject reachable by name can be tortured. Function fields are
+// never nil for registry-built instances.
+type Admin struct {
+	// SetFaultMode flips the subject's arena between Strict (panic on
+	// stale dereference) and Count (record and survive) at runtime.
+	SetFaultMode func(arena.FaultMode)
+	// SetFaultHook installs a callback invoked on every counted fault;
+	// nil uninstalls.
+	SetFaultHook func(func(arena.Handle))
+	// ArenaStats snapshots the subject's allocator counters.
+	ArenaStats func() arena.Stats
+	// SchemeStats snapshots retire/free accounting (synthesized from
+	// Domain counters for OrcGC subjects; zero-valued for leak subjects
+	// that bypass the reclaim layer entirely).
+	SchemeStats func() reclaim.Stats
+	// Quiesce drains pending reclamation: clears every thread's
+	// protections and flushes retired lists to a fixed point. Quiescent
+	// use only — no concurrent subject operations may be in flight.
+	Quiesce func()
+	// Reclaiming reports whether retired objects are eventually freed
+	// (false for the "none" scheme and the leak baselines), i.e. whether
+	// Live is expected back at baseline after Quiesce.
+	Reclaiming bool
+	// ExactPending reports whether SchemeStats counts distinct objects,
+	// making retired == freed + pending an invariant. Manual schemes
+	// qualify; OrcGC does not — its retire counter ticks once per retire
+	// *event*, and ownership re-negotiation (clearBitRetired) or a
+	// handover can route one object through several events.
+	ExactPending bool
+}
+
 // SetInstance bundles a set subject with its accounting hooks.
 type SetInstance struct {
-	Set Set
-	Mem func() MemStats
+	Set   Set
+	Mem   func() MemStats
+	Admin Admin
 }
 
 // QueueInstance bundles a queue subject with its accounting hooks.
 type QueueInstance struct {
 	Queue Queue
 	Mem   func() MemStats
+	Admin Admin
+	// Drain empties the queue and releases its structural roots
+	// (sentinels, per-thread descriptor arrays); quiescent use only.
+	// Nil for subjects without a teardown path (the leak baselines).
+	Drain func(tid int)
+	// DrainDropsRoots reports whether Drain releases every root, so a
+	// reclaiming subject's arena Live is expected at 0 afterwards
+	// rather than at the post-construction baseline.
+	DrainDropsRoots bool
 }
 
 // Mix is an operation mix in percent; the remainder is Contains.

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Property: merging per-goroutine histograms must be indistinguishable
+// from recording every observation into one histogram — for any split of
+// any observation stream. This is what makes the per-thread Hist +
+// Merge-at-quiescence aggregation in RunSet/RunQueuePairs (and the kv
+// load generator) exact rather than approximate.
+func TestHistMergeEqualsConcatenationProperty(t *testing.T) {
+	rng := pcg{s: 0x4157}
+	for trial := 0; trial < 32; trial++ {
+		nway := int(rng.next()%7) + 2
+		parts := make([]Hist, nway)
+		var concat Hist
+		n := int(rng.next()%4096) + 64
+		for i := 0; i < n; i++ {
+			// Shift spreads observations across every magnitude so all
+			// three bucket regions (linear, low octaves, high octaves)
+			// participate in every trial.
+			v := rng.next() >> (rng.next() % 60)
+			parts[rng.next()%uint64(nway)].Record(v)
+			concat.Record(v)
+		}
+		var merged Hist
+		for i := range parts {
+			merged.Merge(&parts[i])
+		}
+		if merged.Summary() != concat.Summary() {
+			t.Fatalf("trial %d (%d-way, %d obs): merged summary %+v != concatenated %+v",
+				trial, nway, n, merged.Summary(), concat.Summary())
+		}
+		if merged.Count() != concat.Count() || merged.Max() != concat.Max() || merged.min != concat.min {
+			t.Fatalf("trial %d: count/max/min diverge: (%d,%d,%d) vs (%d,%d,%d)",
+				trial, merged.Count(), merged.Max(), merged.min,
+				concat.Count(), concat.Max(), concat.min)
+		}
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			if a, b := merged.Quantile(q), concat.Quantile(q); a != b {
+				t.Fatalf("trial %d: Quantile(%.2f) %d != %d", trial, q, a, b)
+			}
+		}
+	}
+}
+
+// Property: the bench histogram and the concurrent obs histogram share
+// one geometry — feeding both the same stream must produce identical
+// quantile digests (the LatSummary/HistSummary structs are field-for-
+// field the same shape by design).
+func TestHistObsBenchGeometryAgreeProperty(t *testing.T) {
+	rng := pcg{s: 0x0b5}
+	var bh Hist
+	var oh obs.Hist
+	for i := 0; i < 8192; i++ {
+		v := rng.next() >> (rng.next() % 52)
+		bh.Record(v)
+		oh.Observe(v)
+	}
+	bs, os := bh.Summary(), oh.Summary()
+	if bs.Count != os.Count || bs.MeanUs != os.MeanUs || bs.P50Us != os.P50Us ||
+		bs.P90Us != os.P90Us || bs.P99Us != os.P99Us || bs.P999Us != os.P999Us ||
+		bs.MaxUs != os.MaxUs {
+		t.Fatalf("geometries diverge:\nbench: %+v\n  obs: %+v", bs, os)
+	}
+}

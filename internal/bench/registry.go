@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/ds/hashmap"
 	"repro/internal/ds/kpqueue"
@@ -29,6 +30,70 @@ func recCfg(threads int) reclaim.Options {
 	return reclaim.Options{MaxThreads: threads}
 }
 
+// orcAdmin builds the torture-control hooks for an OrcGC-backed subject:
+// fault injection goes straight to the domain's arena, scheme accounting
+// is synthesized from the domain's retire/free counters, and Quiesce is
+// the domain's fixed-point drain.
+func orcAdmin[T any](d *core.Domain[T]) Admin {
+	a := d.Arena()
+	return Admin{
+		SetFaultMode: a.SetFaultMode,
+		SetFaultHook: a.SetFaultHook,
+		ArenaStats:   a.Stats,
+		SchemeStats: func() reclaim.Stats {
+			r, f := d.Stats()
+			return reclaim.Stats{Retired: r, Freed: f, RetiredNotFreed: int64(r) - int64(f)}
+		},
+		Quiesce:      d.FlushAll,
+		Reclaiming:   true,
+		ExactPending: false,
+	}
+}
+
+// manualAdmin builds the hooks for a subject running a manual scheme.
+// Quiesce clears every thread's protections and reservations, then
+// flushes each thread's retired list repeatedly — multiple rounds because
+// epoch-style schemes only advance one grace period per flush.
+func manualAdmin[T any](a *arena.Arena[T], s reclaim.Scheme, threads int) Admin {
+	if threads < 1 {
+		threads = 1
+	}
+	name := s.Name()
+	return Admin{
+		SetFaultMode: a.SetFaultMode,
+		SetFaultHook: a.SetFaultHook,
+		ArenaStats:   a.Stats,
+		SchemeStats:  s.Stats,
+		Quiesce: func() {
+			for round := 0; round < 4; round++ {
+				for tid := 0; tid < threads; tid++ {
+					s.ClearAll(tid)
+					s.EndOp(tid)
+				}
+				for tid := 0; tid < threads; tid++ {
+					s.Flush(tid)
+				}
+			}
+		},
+		Reclaiming:   name != "none" && name != "unsafe",
+		ExactPending: true,
+	}
+}
+
+// leakAdmin builds the hooks for a leak baseline that bypasses the
+// reclaim layer entirely: arena control only, zero scheme stats.
+func leakAdmin[T any](a *arena.Arena[T]) Admin {
+	return Admin{
+		SetFaultMode: a.SetFaultMode,
+		SetFaultHook: a.SetFaultHook,
+		ArenaStats:   a.Stats,
+		SchemeStats:  func() reclaim.Stats { return reclaim.Stats{} },
+		Quiesce:      func() {},
+		Reclaiming:   false,
+		ExactPending: true,
+	}
+}
+
 // QueueNames lists the queue subjects of Figures 1–2: each algorithm
 // with OrcGC and with no reclamation (the normalization baseline), plus
 // the MS queue under every manual scheme as an extra comparison.
@@ -41,55 +106,48 @@ func QueueNames() []string {
 	}
 }
 
+func orcQueueInstance[T any](q Queue, d *core.Domain[T], drain func(tid int)) QueueInstance {
+	return QueueInstance{Queue: q, Mem: func() MemStats {
+		st := d.Arena().Stats()
+		return MemStats{Live: st.Live, MaxLive: st.MaxLive}
+	}, Admin: orcAdmin(d), Drain: drain, DrainDropsRoots: true}
+}
+
+func leakQueueInstance[T any](q Queue, a *arena.Arena[T]) QueueInstance {
+	return QueueInstance{Queue: q, Mem: func() MemStats {
+		st := a.Stats()
+		return MemStats{Live: st.Live, MaxLive: st.MaxLive}
+	}, Admin: leakAdmin(a)}
+}
+
 // NewQueue builds a queue subject by name.
 func NewQueue(name string, threads int) QueueInstance {
 	switch name {
 	case "ms-orc":
 		q := msqueue.NewOrc(0, domCfg(threads))
-		return QueueInstance{Queue: q, Mem: func() MemStats {
-			st := q.Domain().Arena().Stats()
-			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
-		}}
+		return orcQueueInstance(q, q.Domain(), q.Drain)
 	case "ms-leak":
 		return manualMSQueue("none", threads)
 	case "ms-hp", "ms-ptb", "ms-ptp", "ms-ebr", "ms-he", "ms-ibr":
 		return manualMSQueue(name[3:], threads)
 	case "lcrq-orc":
 		q := lcrq.NewOrc(0, domCfg(threads))
-		return QueueInstance{Queue: q, Mem: func() MemStats {
-			st := q.Domain().Arena().Stats()
-			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
-		}}
+		return orcQueueInstance(q, q.Domain(), q.Drain)
 	case "lcrq-leak":
 		q := lcrq.NewLeak()
-		return QueueInstance{Queue: q, Mem: func() MemStats {
-			st := q.Arena().Stats()
-			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
-		}}
+		return leakQueueInstance(q, q.Arena())
 	case "kp-orc":
 		q := kpqueue.NewOrc(0, domCfg(threads))
-		return QueueInstance{Queue: q, Mem: func() MemStats {
-			st := q.Domain().Arena().Stats()
-			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
-		}}
+		return orcQueueInstance(q, q.Domain(), q.Drain)
 	case "kp-leak":
 		q := kpqueue.NewLeak(threads)
-		return QueueInstance{Queue: q, Mem: func() MemStats {
-			st := q.Arena().Stats()
-			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
-		}}
+		return leakQueueInstance(q, q.Arena())
 	case "turn-orc":
 		q := turnqueue.NewOrc(0, domCfg(threads))
-		return QueueInstance{Queue: q, Mem: func() MemStats {
-			st := q.Domain().Arena().Stats()
-			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
-		}}
+		return orcQueueInstance(q, q.Domain(), q.Drain)
 	case "turn-leak":
 		q := turnqueue.NewLeak(threads)
-		return QueueInstance{Queue: q, Mem: func() MemStats {
-			st := q.Arena().Stats()
-			return MemStats{Live: st.Live, MaxLive: st.MaxLive}
-		}}
+		return leakQueueInstance(q, q.Arena())
 	default:
 		panic(fmt.Sprintf("bench: unknown queue %q", name))
 	}
@@ -103,7 +161,7 @@ func manualMSQueue(scheme string, threads int) QueueInstance {
 			Live: st.Live, MaxLive: st.MaxLive,
 			RetiredNotFreed: q.Scheme().Stats().RetiredNotFreed,
 		}
-	}}
+	}, Admin: manualAdmin(q.Arena(), q.Scheme(), threads), Drain: q.Drain}
 }
 
 // ListSchemeNames are the Figure 3–4 subjects: the Michael–Harris list
@@ -133,100 +191,62 @@ func TreeSkipNames() []string {
 	}
 }
 
+func orcSetInstance[T any](s Set, d *core.Domain[T]) SetInstance {
+	return SetInstance{Set: s, Mem: func() MemStats {
+		st := d.Arena().Stats()
+		return MemStats{Live: st.Live, MaxLive: st.MaxLive}
+	}, Admin: orcAdmin(d)}
+}
+
+func manualSetInstance[T any](s Set, a *arena.Arena[T], sc reclaim.Scheme, threads int) SetInstance {
+	return SetInstance{Set: s, Mem: func() MemStats {
+		st := a.Stats()
+		return MemStats{
+			Live: st.Live, MaxLive: st.MaxLive,
+			RetiredNotFreed: sc.Stats().RetiredNotFreed,
+		}
+	}, Admin: manualAdmin(a, sc, threads)}
+}
+
 // NewSet builds a set subject by name.
 func NewSet(name string, threads int) SetInstance {
-	orcMem := func(stats func() (live, maxLive int64)) func() MemStats {
-		return func() MemStats {
-			l, m := stats()
-			return MemStats{Live: l, MaxLive: m}
-		}
-	}
 	switch name {
 	case "list-orc", "michael-orc":
 		l := list.NewMichaelOrc(0, domCfg(threads))
-		return SetInstance{Set: l, Mem: orcMem(func() (int64, int64) {
-			st := l.Domain().Arena().Stats()
-			return st.Live, st.MaxLive
-		})}
+		return orcSetInstance(l, l.Domain())
 	case "harris-orc":
 		l := list.NewHarrisOrc(0, domCfg(threads))
-		return SetInstance{Set: l, Mem: orcMem(func() (int64, int64) {
-			st := l.Domain().Arena().Stats()
-			return st.Live, st.MaxLive
-		})}
+		return orcSetInstance(l, l.Domain())
 	case "hs-orc":
 		l := list.NewHSOrc(0, domCfg(threads))
-		return SetInstance{Set: l, Mem: orcMem(func() (int64, int64) {
-			st := l.Domain().Arena().Stats()
-			return st.Live, st.MaxLive
-		})}
+		return orcSetInstance(l, l.Domain())
 	case "tbkp-orc":
 		l := list.NewTBKPOrc(0, domCfg(threads))
-		return SetInstance{Set: l, Mem: orcMem(func() (int64, int64) {
-			st := l.Domain().Arena().Stats()
-			return st.Live, st.MaxLive
-		})}
+		return orcSetInstance(l, l.Domain())
 	case "list-hp", "list-ptb", "list-ptp", "list-ebr", "list-he", "list-ibr", "list-none":
-		scheme := name[5:]
-		l := list.NewManual(scheme, recCfg(threads))
-		return SetInstance{Set: l, Mem: func() MemStats {
-			st := l.Arena().Stats()
-			return MemStats{
-				Live: st.Live, MaxLive: st.MaxLive,
-				RetiredNotFreed: l.Scheme().Stats().RetiredNotFreed,
-			}
-		}}
+		l := list.NewManual(name[5:], recCfg(threads))
+		return manualSetInstance(l, l.Arena(), l.Scheme(), threads)
 	case "tree-orc":
 		t := nmtree.NewOrc(0, domCfg(threads))
-		return SetInstance{Set: t, Mem: orcMem(func() (int64, int64) {
-			st := t.Domain().Arena().Stats()
-			return st.Live, st.MaxLive
-		})}
+		return orcSetInstance(t, t.Domain())
 	case "tree-ebr", "tree-none":
 		t := nmtree.NewManual(name[5:], recCfg(threads))
-		return SetInstance{Set: t, Mem: func() MemStats {
-			st := t.Arena().Stats()
-			return MemStats{
-				Live: st.Live, MaxLive: st.MaxLive,
-				RetiredNotFreed: t.Scheme().Stats().RetiredNotFreed,
-			}
-		}}
+		return manualSetInstance(t, t.Arena(), t.Scheme(), threads)
 	case "hsskip-orc":
 		s := skiplist.NewHSOrc(0, domCfg(threads))
-		return SetInstance{Set: s, Mem: orcMem(func() (int64, int64) {
-			st := s.Domain().Arena().Stats()
-			return st.Live, st.MaxLive
-		})}
+		return orcSetInstance(s, s.Domain())
 	case "hsskip-ebr", "hsskip-none":
 		s := skiplist.NewHSManual(name[7:], recCfg(threads))
-		return SetInstance{Set: s, Mem: func() MemStats {
-			st := s.Arena().Stats()
-			return MemStats{
-				Live: st.Live, MaxLive: st.MaxLive,
-				RetiredNotFreed: s.Scheme().Stats().RetiredNotFreed,
-			}
-		}}
+		return manualSetInstance(s, s.Arena(), s.Scheme(), threads)
 	case "hmap-orc":
 		m := hashmap.NewOrc(0, 256, domCfg(threads))
-		return SetInstance{Set: m, Mem: orcMem(func() (int64, int64) {
-			st := m.Domain().Arena().Stats()
-			return st.Live, st.MaxLive
-		})}
+		return orcSetInstance(m, m.Domain())
 	case "hmap-hp", "hmap-ptb", "hmap-ptp", "hmap-ebr", "hmap-he", "hmap-ibr", "hmap-none":
 		m := hashmap.NewManual(name[5:], 256, recCfg(threads))
-		return SetInstance{Set: m, Mem: func() MemStats {
-			st := m.Arena().Stats()
-			return MemStats{
-				Live: st.Live, MaxLive: st.MaxLive,
-				RetiredNotFreed: m.Scheme().Stats().RetiredNotFreed,
-			}
-		}}
+		return manualSetInstance(m, m.Arena(), m.Scheme(), threads)
 	case "crfskip-orc":
 		s := skiplist.NewCRFOrc(0, domCfg(threads))
-		return SetInstance{Set: s, Mem: orcMem(func() (int64, int64) {
-			st := s.Domain().Arena().Stats()
-			return st.Live, st.MaxLive
-		})}
+		return orcSetInstance(s, s.Domain())
 	default:
 		panic(fmt.Sprintf("bench: unknown set %q", name))
 	}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/arena"
+	"repro/internal/rt"
 )
 
 // Atomic is the Go rendering of the paper's orc_atomic<T*> (Algorithm 4):
@@ -132,6 +133,10 @@ func (d *Domain[T]) getProtected(tid int, idx int32, a *Atomic) arena.Handle {
 		v := arena.Handle(a.v.Load())
 		u := uint64(v.Unmarked())
 		if u == published {
+			// Torture injection point: hp[tid][idx] is published and
+			// validated, so a stall parked here pins the object (and,
+			// transitively, whatever hands over to this slot).
+			rt.Step(rt.SiteProtect, tid)
 			return v
 		}
 		if swap {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/arena"
+	"repro/internal/rt"
 )
 
 // retire is Algorithm 5 lines 92–118. The caller owns the object: it won
@@ -16,6 +17,7 @@ import (
 // recursiveList and processed iteratively, keeping stack depth O(1).
 func (d *Domain[T]) retire(tid int, h arena.Handle) {
 	t := d.tl[tid]
+	rt.Step(rt.SiteRetire, tid)
 	d.retires.Add(1)
 	if t.retireStarted {
 		t.recursive = append(t.recursive, h)
@@ -107,6 +109,7 @@ func (d *Domain[T]) deleteObj(tid int, h arena.Handle) {
 			d.decrementOrc(tid, arena.Handle(a.v.Load()))
 		})
 	}
+	rt.Step(rt.SiteReclaim, tid)
 	d.arena.FreeT(tid, h)
 	d.frees.Add(1)
 }

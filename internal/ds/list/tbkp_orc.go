@@ -18,7 +18,7 @@ type WObj struct {
 	phase   int64
 	op      int32 // 0 idle, 1 remove
 	outcome atomic.Int32
-	node    core.Atomic // unused by removals; kept for symmetry/extensions
+	node    core.Atomic // removal: the bound victim (CAS-once candidate)
 }
 
 const (
@@ -193,29 +193,59 @@ func (l *TBKPOrc) help(tid int, phase int64) {
 	d.Release(tid, &p)
 }
 
-// helpRemove drives one removal descriptor to an outcome. Arbitration:
-// the descriptor that CASes itself into the victim's claim link owns the
-// removal; every helper then marks and unlinks, and reports success only
-// to the owner. Competing removals of the same key find the node claimed
-// (or already gone) and fail.
+// helpRemove drives one removal descriptor to an outcome. Arbitration
+// happens in two CAS-once steps: the descriptor first *binds* the one
+// node it is allowed to remove into its node link, then CASes itself
+// into that node's claim link; the claim owner marks, reports success,
+// and unlinks. Binding is what makes helping safe against reincarnation:
+// a stale helper that resumes after the removal completed (and the key
+// was re-inserted as a fresh node) finds the binding already spent and
+// can only touch the long-unlinked victim — without it, the helper's
+// fresh find() would claim and unlink the reinserted node, silently
+// destroying a successful insert.
 func (l *TBKPOrc) helpRemove(tid int, descH arena.Handle, descP *core.Ptr) {
 	d := l.d
 	desc := d.Get(descH)
 	key := desc.key
-	var prev, cur, next, cl core.Ptr
+	var prev, cur, next, cand, cl core.Ptr
 	defer func() {
 		d.Release(tid, &prev)
 		d.Release(tid, &cur)
 		d.Release(tid, &next)
+		d.Release(tid, &cand)
 		d.Release(tid, &cl)
 	}()
 	for desc.outcome.Load() == wfPending {
-		_, found := l.find(tid, key, &prev, &cur, &next)
-		if !found {
-			desc.outcome.CompareAndSwap(wfPending, wfFailure)
-			return
+		candH := d.Load(tid, &desc.node, &cand)
+		if candH.IsNil() {
+			if candH != arena.Nil {
+				// Tombstoned binding: the outcome is already decided.
+				return
+			}
+			_, found := l.find(tid, key, &prev, &cur, &next)
+			if !found {
+				// Failure must win the binding arbitration too: a
+				// concurrent helper may have bound, claimed, and MARKED
+				// the victim — our find then snips it and misses the
+				// key — while its success CAS is still in flight.
+				// Declaring failure on the raw not-found would beat that
+				// CAS and report false for a node that was just removed.
+				// Only the thread that tombstones the virgin binding
+				// (proving no candidate can ever be claimed) may fail.
+				if d.CAS(tid, &desc.node, arena.Nil, arena.Nil.WithMark()) {
+					desc.outcome.CompareAndSwap(wfPending, wfFailure)
+					return
+				}
+				continue // lost to a real binding: process it
+			}
+			// A marked node is never returned by find, and a node can
+			// only be marked after some descriptor claimed its binding —
+			// so a reinserted successor of a completed removal can never
+			// win this CAS: the binding is already occupied.
+			d.CAS(tid, &desc.node, arena.Nil, cur.H())
+			continue // re-read: another helper may have bound first
 		}
-		node := d.Get(cur.H())
+		node := d.Get(candH)
 		if node.claim.Raw().IsNil() {
 			d.CAS(tid, &node.claim, arena.Nil, descH)
 		}
@@ -230,16 +260,30 @@ func (l *TBKPOrc) helpRemove(tid int, descH arena.Handle, descP *core.Ptr) {
 			nextH = d.Load(tid, &node.next, &next)
 		}
 		if claimH.Unmarked() == descH.Unmarked() {
-			// Our descriptor owns this node: the removal succeeded.
+			// Our descriptor owns its bound node: the removal succeeded.
 			desc.outcome.CompareAndSwap(wfPending, wfSuccess)
 			l.find(tid, key, &prev, &cur, &next) // physical unlink
+			// Tombstone the binding: desc.node→victim and victim.claim→
+			// desc form a hard-link cycle that counting alone cannot
+			// collect. A marked nil drops the victim link (IsNil handles
+			// skip the counter walks) while keeping the raw word nonzero,
+			// so the CAS-once bind above can never succeed again — a
+			// plain nil would let two stale helpers re-bind and then
+			// claim a reinserted node, resurrecting the very race the
+			// binding exists to prevent.
+			d.Store(tid, &desc.node, arena.Nil.WithMark())
 			return
 		}
-		// Claimed by a competing removal: report its success, then
-		// loop — once the node is unlinked our key search fails.
+		// Our bound candidate was claimed by a competing removal first:
+		// that descriptor owns the node. Report its success, help the
+		// unlink along, and fail — this descriptor's one candidate is
+		// spent, and the key is gone once the owner's unlink lands.
 		owner := d.Get(claimH)
 		owner.outcome.CompareAndSwap(wfPending, wfSuccess)
 		l.find(tid, key, &prev, &cur, &next)
+		desc.outcome.CompareAndSwap(wfPending, wfFailure)
+		d.Store(tid, &desc.node, arena.Nil.WithMark())
+		return
 	}
 }
 

@@ -47,6 +47,11 @@ type Options struct {
 	// DialBackoff is the wait before the first retry, doubling per
 	// attempt (default 50ms when DialRetries > 0).
 	DialBackoff time.Duration
+	// DialRetryBudget caps the total wall-clock spent across dial
+	// attempts and backoffs; once spent, DialWith returns the last dial
+	// error without waiting out the remaining retries (default 15s when
+	// DialRetries > 0; negative disables the cap).
+	DialRetryBudget time.Duration
 }
 
 func (o *Options) bufSize() int {
@@ -64,12 +69,20 @@ func (o *Options) bufSize() int {
 }
 
 // DialWith connects to a kvstore server with explicit connection
-// options.
+// options. Failed attempts back off exponentially, but the loop never
+// sleeps after the attempt it already knows to be the last — exhausted
+// retries (by count or by DialRetryBudget) return promptly with the
+// last dial error wrapped (errors.Unwrap recovers the net error).
 func DialWith(addr string, opts Options) (*Client, error) {
 	backoff := opts.DialBackoff
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
 	}
+	budget := opts.DialRetryBudget
+	if budget == 0 {
+		budget = 15 * time.Second
+	}
+	start := time.Now()
 	var c net.Conn
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -78,7 +91,19 @@ func DialWith(addr string, opts Options) (*Client, error) {
 			break
 		}
 		if attempt >= opts.DialRetries {
-			return nil, err
+			if attempt == 0 {
+				return nil, err // plain first-attempt failure, nothing retried
+			}
+			return nil, fmt.Errorf("kvstore: dial %s: %d attempts over %v: %w",
+				addr, attempt+1, time.Since(start).Round(time.Millisecond), err)
+		}
+		// The next attempt only runs after the backoff; if that would
+		// blow the retry budget, this failure is final — return now
+		// rather than sleeping through a wait whose attempt we would
+		// not make.
+		if budget > 0 && time.Since(start)+backoff > budget {
+			return nil, fmt.Errorf("kvstore: dial %s: retry budget %v exhausted after %d attempts: %w",
+				addr, budget, attempt+1, err)
 		}
 		time.Sleep(backoff)
 		backoff *= 2

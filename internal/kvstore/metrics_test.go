@@ -2,9 +2,11 @@ package kvstore
 
 import (
 	"encoding/json"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -246,4 +248,69 @@ func TestDialWithRetry(t *testing.T) {
 		t.Fatalf("put through retried dial: %v %v", ins, err)
 	}
 	cl.Close()
+}
+
+// TestDialRetryBudget: exhausted retries return promptly — the loop
+// neither sleeps after the final failed attempt nor waits out backoffs
+// the budget cannot afford — and the last dial error comes back wrapped
+// so callers can still errors.As their way to the net.OpError.
+func TestDialRetryBudget(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // connection refused from here on
+
+	t0 := time.Now()
+	_, err = DialWith(addr, Options{
+		DialRetries:     1000,
+		DialBackoff:     20 * time.Millisecond,
+		DialRetryBudget: 100 * time.Millisecond,
+	})
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Fatal("DialWith succeeded against a dead address")
+	}
+	// 1000 retries at a doubling 20ms backoff would take minutes; the
+	// budget must cut it off around the 100ms mark (generous ceiling for
+	// slow CI).
+	if elapsed > 2*time.Second {
+		t.Fatalf("exhausted retries took %v, budget was 100ms", elapsed)
+	}
+	var opErr *net.OpError
+	if !errors.As(err, &opErr) {
+		t.Fatalf("wrapped error lost the net.OpError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("error does not name the budget: %v", err)
+	}
+
+	// Exhaustion by count wraps too, and still returns without a
+	// trailing sleep: 2 extra attempts at 10ms/20ms backoff must come
+	// back well before a third (40ms) backoff could have run.
+	t0 = time.Now()
+	_, err = DialWith(addr, Options{DialRetries: 2, DialBackoff: 10 * time.Millisecond})
+	elapsed = time.Since(t0)
+	if err == nil {
+		t.Fatal("DialWith succeeded against a dead address")
+	}
+	if !errors.As(err, &opErr) {
+		t.Fatalf("wrapped error lost the net.OpError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("error does not report the attempt count: %v", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("count-exhausted retries took %v", elapsed)
+	}
+
+	// A zero-retry failure stays a plain net error (no wrapping noise).
+	_, err = DialWith(addr, Options{})
+	if err == nil {
+		t.Fatal("DialWith succeeded against a dead address")
+	}
+	if !errors.As(err, &opErr) {
+		t.Fatalf("first-attempt failure not a net error: %v", err)
+	}
 }

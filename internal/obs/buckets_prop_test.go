@@ -1,0 +1,127 @@
+package obs
+
+import "testing"
+
+// Property tests for the shared HDR bucket geometry. A simple seeded
+// generator sweeps every magnitude rather than relying on hand-picked
+// boundary values.
+
+func propRng(s uint64) func() uint64 {
+	return func() uint64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		x := s
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		return x
+	}
+}
+
+// TestHistBucketRoundTripProperty: for values of every magnitude, the
+// bucket's midpoint must land back in the same bucket, the bucket index
+// must be in range, and the mapping must be monotone in the value.
+func TestHistBucketRoundTripProperty(t *testing.T) {
+	next := propRng(0xb0c4e7)
+	check := func(v uint64) {
+		b := HistBucketOf(v)
+		if b < 0 || b >= HistBuckets {
+			t.Fatalf("HistBucketOf(%d) = %d out of [0,%d)", v, b, HistBuckets)
+		}
+		mid := HistBucketMid(b)
+		if got := HistBucketOf(mid); got != b {
+			t.Fatalf("round trip broken: value %d → bucket %d → mid %d → bucket %d", v, b, mid, got)
+		}
+	}
+	// Edges of every octave plus random values of every bit width.
+	for shift := 0; shift < 64; shift++ {
+		lo := uint64(1) << shift
+		check(lo - 1)
+		check(lo)
+		check(lo + 1)
+		for i := 0; i < 256; i++ {
+			v := lo | next()&(lo-1)
+			check(v)
+		}
+	}
+	check(0)
+	check(^uint64(0))
+
+	// Monotonicity: bucket index never decreases with the value.
+	prev := HistBucketOf(0)
+	v := uint64(0)
+	for i := 0; i < 1<<16; i++ {
+		v += next()%(v/8+3) + 1 // growing strides cover all magnitudes
+		b := HistBucketOf(v)
+		if b < prev {
+			t.Fatalf("not monotone: bucket(%d)=%d < previous %d", v, b, prev)
+		}
+		prev = b
+		if v > 1<<62 {
+			v = uint64(i) // rewind, resample the low range
+			prev = HistBucketOf(v)
+		}
+	}
+}
+
+// TestHistBucketRelativeErrorProperty: above the linear region the
+// midpoint must be within one sub-bucket width of the value — the ≤3.1%
+// relative error the geometry promises (exact below histSubCount).
+func TestHistBucketRelativeErrorProperty(t *testing.T) {
+	next := propRng(0x5eed)
+	for i := 0; i < 1<<16; i++ {
+		v := next() >> (next() % 60)
+		mid := HistBucketMid(HistBucketOf(v))
+		var diff uint64
+		if mid > v {
+			diff = mid - v
+		} else {
+			diff = v - mid
+		}
+		if v < histSubCount {
+			if diff != 0 {
+				t.Fatalf("linear region must be exact: v=%d mid=%d", v, mid)
+			}
+			continue
+		}
+		// Sub-bucket width at magnitude v is v / 2^HistSubBits rounded up.
+		if width := v>>HistSubBits + 1; diff > width {
+			t.Fatalf("relative error: v=%d mid=%d diff=%d > width=%d", v, mid, diff, width)
+		}
+	}
+}
+
+// TestHistSummaryMatchesConcatenation: observing two streams into one
+// concurrent Hist must summarize identically to observing their
+// concatenation — Observe is order-independent and lossless at bucket
+// granularity.
+func TestHistSummaryMatchesConcatenation(t *testing.T) {
+	next := propRng(42)
+	var split, concat Hist
+	var other Hist
+	for i := 0; i < 4096; i++ {
+		v := next() >> (next() % 48)
+		if i%2 == 0 {
+			split.Observe(v)
+		} else {
+			other.Observe(v)
+		}
+		concat.Observe(v)
+	}
+	// Fold other into split the way a scraper would: re-observe midpoints.
+	// The geometry makes this exact at the bucket level: every midpoint
+	// lands back in its own bucket (round-trip property above).
+	for i := range other.counts {
+		for n := other.counts[i].Load(); n > 0; n-- {
+			split.counts[i].Add(1)
+			split.total.Add(1)
+		}
+	}
+	split.sum.Add(other.sum.Load())
+	if m := other.max.Load(); m > split.max.Load() {
+		split.max.Store(m)
+	}
+	a, b := split.Summary(), concat.Summary()
+	if a != b {
+		t.Fatalf("summaries diverge:\n split: %+v\nconcat: %+v", a, b)
+	}
+}

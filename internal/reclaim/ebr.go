@@ -71,8 +71,11 @@ func (e *EBR) EndOp(tid int) {
 }
 
 // GetProtected needs no per-pointer work: the epoch announcement covers
-// every object reachable during the operation.
-func (e *EBR) GetProtected(_, _ int, addr *atomic.Uint64) arena.Handle {
+// every object reachable during the operation. The torture injection
+// point still fires here — a reader stalled inside an operation holds
+// its epoch reservation, which is exactly EBR's unbounded worst case.
+func (e *EBR) GetProtected(tid, _ int, addr *atomic.Uint64) arena.Handle {
+	rt.Step(rt.SiteProtect, tid)
 	return arena.Handle(addr.Load())
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/arena"
+	"repro/internal/rt"
 )
 
 // HE is hazard eras (Ramalhete–Correia, SPAA '17): each object carries a
@@ -80,6 +81,9 @@ func (h *HE) GetProtected(tid, idx int, addr *atomic.Uint64) arena.Handle {
 		v := arena.Handle(addr.Load())
 		era := h.clock.Load()
 		if era == prev {
+			// Torture injection point: the era reservation is stable and
+			// published; a stall here holds it across the hook.
+			rt.Step(rt.SiteProtect, tid)
 			return v
 		}
 		h.eras[tid][idx].Store(era)

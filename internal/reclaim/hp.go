@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/arena"
+	"repro/internal/rt"
 )
 
 // hpArrays is the published hazardous-pointer matrix shared by the
@@ -56,6 +57,10 @@ func (a *hpArrays) getProtected(tid, idx int, addr *atomic.Uint64) arena.Handle 
 	for {
 		v := arena.Handle(addr.Load())
 		if v.Unmarked() == published {
+			// Torture injection point: the caller's hazardous pointer is
+			// published and validated, so a stall parked here pins the
+			// object for as long as the hook blocks.
+			rt.Step(rt.SiteProtect, tid)
 			return v
 		}
 		published = v.Unmarked()

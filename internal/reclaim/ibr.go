@@ -89,6 +89,9 @@ func (i *IBR) GetProtected(tid, _ int, addr *atomic.Uint64) arena.Handle {
 		v := arena.Handle(addr.Load())
 		era := i.clock.Load()
 		if era == prev {
+			// Torture injection point: the interval reservation is
+			// published; a stall here widens it across the hook.
+			rt.Step(rt.SiteProtect, tid)
 			return v
 		}
 		i.upper[tid].Store(era)

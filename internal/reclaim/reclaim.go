@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/obs"
+	"repro/internal/rt"
 )
 
 // Env binds a scheme to the arena holding its objects.
@@ -309,6 +310,7 @@ type counters struct {
 func (c *counters) hooks() *counters { return c }
 
 func (c *counters) onRetire(tid int, h arena.Handle) {
+	rt.Step(rt.SiteRetire, tid)
 	n := c.retired.Add(1)
 	p := c.pending.Add(1)
 	for {
@@ -328,6 +330,7 @@ func (c *counters) onRetire(tid int, h arena.Handle) {
 }
 
 func (c *counters) onFree(tid int, h arena.Handle) {
+	rt.Step(rt.SiteReclaim, tid)
 	c.freed.Add(1)
 	c.pending.Add(-1)
 	if in := c.inst; in != nil {

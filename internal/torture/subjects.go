@@ -1,0 +1,93 @@
+package torture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/kvstore"
+)
+
+// Subject is one scheme × data-structure pairing the harness can run.
+type Subject struct {
+	Name string
+	Kind string // "set", "queue", or "kv"
+}
+
+// Subjects enumerates every pairing: all queue and set subjects from the
+// bench registry (each data structure under OrcGC, under every manual
+// scheme it supports, and the leak baselines), plus one kvstore chaos
+// subject per store scheme.
+func Subjects() []Subject {
+	var out []Subject
+	for _, n := range bench.QueueNames() {
+		out = append(out, Subject{Name: n, Kind: "queue"})
+	}
+	seen := map[string]bool{}
+	for _, group := range [][]string{
+		bench.ListSchemeNames(), bench.OrcListNames(), bench.HashMapNames(), bench.TreeSkipNames(),
+	} {
+		for _, n := range group {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, Subject{Name: n, Kind: "set"})
+			}
+		}
+	}
+	for _, scheme := range kvstore.Modes() {
+		out = append(out, Subject{Name: "kv-" + scheme, Kind: "kv"})
+	}
+	return out
+}
+
+// SubjectNames returns just the names, for flag parsing and usage text.
+func SubjectNames() []string {
+	subs := Subjects()
+	out := make([]string, len(subs))
+	for i, s := range subs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Resolve maps comma-separated subject names (or "all") to subjects.
+func Resolve(spec string) ([]Subject, error) {
+	all := Subjects()
+	if spec == "" || spec == "all" {
+		return all, nil
+	}
+	byName := make(map[string]Subject, len(all))
+	for _, s := range all {
+		byName[s.Name] = s
+	}
+	var out []Subject
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		s, ok := byName[part]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("torture: unknown subject %q (known: %s)", part, strings.Join(known, ", "))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Run dispatches one subject to its runner.
+func Run(s Subject, cfg Config) *Verdict {
+	switch s.Kind {
+	case "set":
+		return RunSet(s.Name, cfg)
+	case "queue":
+		return RunQueue(s.Name, cfg)
+	case "kv":
+		return RunKV(strings.TrimPrefix(s.Name, "kv-"), cfg)
+	default:
+		panic(fmt.Sprintf("torture: unknown subject kind %q", s.Kind))
+	}
+}
