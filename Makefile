@@ -6,7 +6,7 @@ GO ?= go
 # lock-free metrics registry all of them report into.
 RACE_PKGS = ./internal/arena/ ./internal/core/ ./internal/reclaim/ ./internal/kvstore/ ./internal/obs/ ./internal/torture/
 
-.PHONY: check vet build test race bench-alloc serve load smoke metrics-smoke torture-smoke bench-kv clean
+.PHONY: check vet build test race bench-alloc bench-scan serve load smoke metrics-smoke torture-smoke bench-kv clean
 
 check: vet build test race
 
@@ -26,6 +26,12 @@ race:
 # refresh BENCH_alloc.json.
 bench-alloc:
 	ALLOC_BENCH=1 $(GO) test ./internal/arena/ -run TestAllocBenchReport -count=1 -v
+
+# Re-measure the scan engine (reusable sorted snapshot + binary search)
+# against the seed's per-scan map baseline, plus the protection fast
+# path, and refresh BENCH_scan.json.
+bench-scan:
+	SCAN_BENCH=1 $(GO) test ./internal/reclaim/ -run TestScanBenchReport -count=1 -v
 
 # orcstore: run the KV server (RECLAIM selects the scheme) and drive it.
 # The metrics endpoint comes up alongside: curl $(METRICS)/metrics.
@@ -63,7 +69,9 @@ metrics-smoke:
 	curl -fsS http://127.0.0.1:7198/metrics > /tmp/metrics.txt || { kill $$pid; exit 1; }; \
 	curl -fsS 'http://127.0.0.1:7198/metrics?format=json' > /tmp/metrics.json || { kill $$pid; exit 1; }; \
 	for key in 'reclaim/shard0/map/retired' 'reclaim/shard0/map/freed' \
-	           'reclaim/shard0/map/retire_depth' 'kv/arena/live' \
+	           'reclaim/shard0/map/retire_depth' 'reclaim/shard0/map/elisions' \
+	           'reclaim/shard0/map/scan_freed_ratio_bp' 'reclaim/shard0/map/scan_threshold' \
+	           'kv/arena/live' \
 	           'kv/arena/occupancy_bp' 'kv/server/ops/get' \
 	           'kv/server/lat/get_ns' 'sampled/backlog'; do \
 	  grep -q "$$key" /tmp/metrics.txt || { echo "metrics-smoke: missing $$key"; kill $$pid; exit 1; }; \
@@ -72,10 +80,11 @@ metrics-smoke:
 	@echo "metrics-smoke: OK"
 
 # Torture smoke: a short seeded run of every reclamation scheme ×
-# data-structure subject (49 pairings) under the race detector, with one
-# stalled reader parked inside the protection loop. Deterministic per
-# seed: on any failure orctorture prints the reproducing command line
-# (seed, threads, ops) to stderr and exits non-zero.
+# data-structure subject plus the scheme-direct scan/elision subjects
+# (55 pairings) under the race detector, with one stalled reader parked
+# inside the protection loop. Deterministic per seed: on any failure
+# orctorture prints the reproducing command line (seed, threads, ops) to
+# stderr and exits non-zero.
 TORTURE_SEED ?= 1
 torture-smoke:
 	$(GO) run -race ./cmd/orctorture -seed $(TORTURE_SEED) -threads 4 -ops 600 -stalls 1

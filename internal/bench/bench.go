@@ -57,6 +57,10 @@ type Admin struct {
 	// Domain counters for OrcGC subjects; zero-valued for leak subjects
 	// that bypass the reclaim layer entirely).
 	SchemeStats func() reclaim.Stats
+	// ScanStats snapshots the subject's scan-engine and protection
+	// fast-path accounting (adaptive threshold position, elision hits).
+	// Nil for subjects with neither (the leak baselines).
+	ScanStats func() reclaim.ScanStats
 	// Quiesce drains pending reclamation: clears every thread's
 	// protections and flushes retired lists to a fixed point. Quiescent
 	// use only — no concurrent subject operations may be in flight.

@@ -44,6 +44,9 @@ func orcAdmin[T any](d *core.Domain[T]) Admin {
 			r, f := d.Stats()
 			return reclaim.Stats{Retired: r, Freed: f, RetiredNotFreed: int64(r) - int64(f)}
 		},
+		ScanStats: func() reclaim.ScanStats {
+			return reclaim.ScanStats{Elisions: d.Elisions()}
+		},
 		Quiesce:      d.FlushAll,
 		Reclaiming:   true,
 		ExactPending: false,
@@ -59,7 +62,7 @@ func manualAdmin[T any](a *arena.Arena[T], s reclaim.Scheme, threads int) Admin 
 		threads = 1
 	}
 	name := s.Name()
-	return Admin{
+	ad := Admin{
 		SetFaultMode: a.SetFaultMode,
 		SetFaultHook: a.SetFaultHook,
 		ArenaStats:   a.Stats,
@@ -78,6 +81,10 @@ func manualAdmin[T any](a *arena.Arena[T], s reclaim.Scheme, threads int) Admin 
 		Reclaiming:   name != "none" && name != "unsafe",
 		ExactPending: true,
 	}
+	if ss, ok := s.(reclaim.ScanStatser); ok {
+		ad.ScanStats = ss.ScanStats
+	}
+	return ad
 }
 
 // leakAdmin builds the hooks for a leak baseline that bypasses the

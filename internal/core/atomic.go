@@ -49,7 +49,11 @@ func (d *Domain[T]) decrementOrc(tid int, h arena.Handle) {
 		return
 	}
 	h = h.Unmarked()
-	d.tl[tid].hp[0].Store(uint64(h))
+	if t := d.tl[tid]; !t.pub(0, uint64(h)) {
+		// Proposition 1 is satisfied by the existing publication: the
+		// scratch slot has held h since an earlier seq-cst store.
+		t.noteElide()
+	}
 	orc := d.arena.HdrA(h)
 	lorc := orc.Add(seqUnit - 1)
 	if ocnt(lorc) != orcZero {
@@ -124,18 +128,30 @@ func (d *Domain[T]) LoadScratch(tid int, a *Atomic) arena.Handle {
 var PublishWithSwap atomic.Bool
 
 // getProtected is the PTP/HP publication loop over an orc link,
-// publishing the unmarked handle at hp[tid][idx].
+// publishing the unmarked handle at hp[tid][idx]. The loop seeds its
+// published value from the slot's shadow: when the link still holds
+// what the slot already protects — the common case when re-reading a
+// link just traversed — the call validates immediately with no store
+// (the protection fast path). The elision is safe because the slot has
+// continuously published the value since an earlier seq-cst store, so
+// every retire scan ordered after that store sees it; the validating
+// re-read of the link is unchanged.
 func (d *Domain[T]) getProtected(tid int, idx int32, a *Atomic) arena.Handle {
 	t := d.tl[tid]
 	swap := PublishWithSwap.Load()
-	published := ^uint64(0)
+	published := t.shadow[idx]
+	stored := false
 	for {
 		v := arena.Handle(a.v.Load())
 		u := uint64(v.Unmarked())
 		if u == published {
+			if !stored {
+				t.noteElide()
+			}
 			// Torture injection point: hp[tid][idx] is published and
 			// validated, so a stall parked here pins the object (and,
-			// transitively, whatever hands over to this slot).
+			// transitively, whatever hands over to this slot) — on the
+			// elided path the publication predates this call entirely.
 			rt.Step(rt.SiteProtect, tid)
 			return v
 		}
@@ -144,6 +160,8 @@ func (d *Domain[T]) getProtected(tid int, idx int32, a *Atomic) arena.Handle {
 		} else {
 			t.hp[idx].Store(u)
 		}
+		t.shadow[idx] = u
 		published = u
+		stored = true
 	}
 }

@@ -18,11 +18,32 @@ type ForEachLink[T any] func(obj *T, visit func(*Atomic))
 // refcounts, and the recursive-retire state.
 type tlInfo struct {
 	hp            []atomic.Uint64
+	shadow        []uint64 // owner-written mirror of hp (protection fast path)
 	handovers     []atomic.Uint64
 	usedHaz       []int32
 	retireStarted bool
 	recursive     []arena.Handle
+	elides        atomic.Uint64 // elided hp publications, single-writer
 }
+
+// pub publishes u in hp[idx] unless the slot already holds it. The
+// shadow is the owner's record of what the slot publishes, so a match
+// means the store — a seq-cst operation on a cache line every retire
+// scan reads — can be elided without changing the published set: the
+// slot has continuously protected u since the earlier publication
+// (DESIGN.md §1.2). Reports whether it stored.
+func (t *tlInfo) pub(idx int32, u uint64) bool {
+	if t.shadow[idx] == u {
+		return false
+	}
+	t.shadow[idx] = u
+	t.hp[idx].Store(u)
+	return true
+}
+
+// noteElide counts one elided publication (single-writer counter, read
+// concurrently by Domain.Elisions).
+func (t *tlInfo) noteElide() { t.elides.Store(t.elides.Load() + 1) }
 
 // Domain ties OrcGC to one arena of tracked objects: it owns the
 // PassThePointerOrcGC state (Algorithm 3/5/6) for that object type. All
@@ -67,6 +88,7 @@ func NewDomain[T any](a *arena.Arena[T], links ForEachLink[T], cfg DomainConfig)
 	for i := range d.tl {
 		d.tl[i] = &tlInfo{
 			hp:        make([]atomic.Uint64, cfg.MaxHPs),
+			shadow:    make([]uint64, cfg.MaxHPs),
 			handovers: make([]atomic.Uint64, cfg.MaxHPs),
 			usedHaz:   make([]int32, cfg.MaxHPs),
 		}
@@ -91,7 +113,7 @@ func (d *Domain[T]) Make(tid int, init func(*T), p *Ptr) arena.Handle {
 	if init != nil {
 		init(obj)
 	}
-	d.tl[tid].hp[0].Store(uint64(h))
+	d.tl[tid].pub(0, uint64(h))
 	d.assign(tid, p, h, 0)
 	return h
 }
@@ -169,6 +191,16 @@ func (d *Domain[T]) Stats() (retires, frees uint64) {
 	return d.retires.Load(), d.frees.Load()
 }
 
+// Elisions reports how many hazardous-pointer publications the domain's
+// protection fast path elided (slot already held the value).
+func (d *Domain[T]) Elisions() uint64 {
+	var n uint64
+	for _, t := range d.tl {
+		n += t.elides.Load()
+	}
+	return n
+}
+
 // FlushAll drains every thread's hazardous pointers and handover slots.
 // Quiescent use only (benchmark teardown, leak accounting in tests):
 // concurrent domain operations would race with it.
@@ -185,6 +217,7 @@ func (d *Domain[T]) FlushAll() {
 			t := d.tl[tid]
 			for i := int32(0); i < d.capHPs; i++ {
 				t.hp[i].Store(0)
+				t.shadow[i] = 0 // quiescent cross-thread write: keep the mirror true
 				t.usedHaz[i] = 0
 			}
 		}
@@ -203,7 +236,7 @@ func (d *Domain[T]) FlushAll() {
 				// Retires during this drain republish only this
 				// thread's scratch slot (decrementOrc's Proposition-1
 				// store); drop it so the scan cannot re-park on it.
-				t.hp[0].Store(0)
+				t.pub(0, 0)
 				d.retire(tid, h)
 				// Chain collapse: each delete re-parks its dying child
 				// in this thread's scratch handover slot; drain it in
@@ -213,7 +246,7 @@ func (d *Domain[T]) FlushAll() {
 					if h0.IsNil() {
 						break
 					}
-					t.hp[0].Store(0)
+					t.pub(0, 0)
 					d.retire(tid, h0)
 				}
 			}

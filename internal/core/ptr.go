@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/arena"
+	"repro/internal/rt"
 )
 
 // Ptr is the paper's orc_ptr<T*> (Algorithm 7): a local reference to a
@@ -52,7 +53,12 @@ func (d *Domain[T]) assign(tid int, p *Ptr, h arena.Handle, srcIdx int32) {
 		// Unattached Ptr: first fill.
 		if srcIdx == 0 {
 			p.idx = d.getNewIdx(tid, 1)
-			t.hp[p.idx].Store(uint64(h.Unmarked()))
+			if !t.pub(p.idx, uint64(h.Unmarked())) {
+				// Elision fast path: the claimed slot already publishes h
+				// (clear deliberately leaves stale publications behind).
+				t.noteElide()
+				rt.Step(rt.SiteProtect, tid)
+			}
 		} else {
 			d.usingIdx(tid, srcIdx)
 			p.idx = srcIdx
@@ -66,7 +72,13 @@ func (d *Domain[T]) assign(tid int, p *Ptr, h arena.Handle, srcIdx int32) {
 		if !reuse {
 			p.idx = d.getNewIdx(tid, srcIdx+1)
 		}
-		t.hp[p.idx].Store(uint64(h.Unmarked()))
+		if !t.pub(p.idx, uint64(h.Unmarked())) {
+			// Elision fast path: republishing the handle the reused slot
+			// already protects (e.g. `cur = cur->next` loops that land
+			// back on the same node, or retry paths).
+			t.noteElide()
+			rt.Step(rt.SiteProtect, tid)
+		}
 	} else {
 		d.clear(tid, p.h, p.idx, false)
 		d.usingIdx(tid, srcIdx)

@@ -88,14 +88,14 @@ func (d *Domain[T]) tryHandover(h *arena.Handle) bool {
 // object), or 0 if ownership lapsed.
 func (d *Domain[T]) clearBitRetired(tid int, h arena.Handle) uint64 {
 	t := d.tl[tid]
-	t.hp[0].Store(uint64(h))
+	t.pub(0, uint64(h))
 	orc := d.arena.HdrA(h)
 	lorc := orc.Add(^bretired + 1) // fetch_add(-BRETIRED)
 	if ocnt(lorc) == orcZero && orc.CompareAndSwap(lorc, lorc+bretired) {
-		t.hp[0].Store(0)
+		t.pub(0, 0)
 		return lorc + bretired
 	}
-	t.hp[0].Store(0)
+	t.pub(0, 0)
 	return 0
 }
 

@@ -1,0 +1,84 @@
+package kvstore
+
+import (
+	"net"
+	"testing"
+)
+
+func startBenchServer(b *testing.B, scheme string, maxThreads int) string {
+	b.Helper()
+	st, err := New(Config{Scheme: scheme, Shards: 4, Buckets: 256, MaxThreads: maxThreads})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(st)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	b.Cleanup(func() {
+		srv.Shutdown()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+// BenchmarkServerPipeline measures the server's per-op cost on the
+// pipelined TCP path: one connection writing windows of mixed requests
+// and draining the responses. Run with -benchmem to see server-side
+// allocs/op reflected in the process totals (client and server share
+// the process on loopback).
+func BenchmarkServerPipeline(b *testing.B) {
+	addr := startBenchServer(b, "hp", 8)
+	cl, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Warm the store and both ends' buffers.
+	for k := uint64(1); k <= 256; k++ {
+		if _, err := cl.Put(k, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	const window = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		w := window
+		if rem := b.N - n; rem < w {
+			w = rem
+		}
+		for i := 0; i < w; i++ {
+			k := uint64(n+i)%256 + 1
+			switch (n + i) % 4 {
+			case 0:
+				cl.SendPut(k, uint64(n))
+			default:
+				cl.SendGet(k)
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < w; i++ {
+			k := uint64(n+i)%256 + 1
+			switch (n + i) % 4 {
+			case 0:
+				if _, err := cl.RecvPut(); err != nil {
+					b.Fatal(err)
+				}
+			default:
+				if _, _, err := cl.RecvGet(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = k
+		}
+		n += w
+	}
+}

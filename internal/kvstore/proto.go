@@ -71,6 +71,20 @@ func appendFrame(dst, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// beginFrame reserves the length prefix in dst and returns the offset
+// where the payload starts; endFrame back-fills the prefix once the
+// payload is complete. Between the two, the response is encoded directly
+// into the connection's pooled buffer — no intermediate payload slice.
+func beginFrame(dst []byte) ([]byte, int) {
+	dst = append(dst, 0, 0, 0, 0)
+	return dst, len(dst)
+}
+
+func endFrame(dst []byte, start int) []byte {
+	binary.LittleEndian.PutUint32(dst[start-4:], uint32(len(dst)-start))
+	return dst
+}
+
 func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
 func appendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
 

@@ -37,8 +37,16 @@ type Server struct {
 // connState is what the server tracks per live connection; the response
 // channel is kept so the queue-depth gauge can sum backlogs.
 type connState struct {
-	resp chan []byte
+	resp chan *[]byte
 }
+
+// framePool recycles response-frame buffers between each connection's
+// reader goroutine (which encodes a response into one) and writer
+// goroutine (which returns it once the bytes are in the bufio writer) —
+// the arena's magazine style applied to the TCP path. Buffers are
+// passed as *[]byte so Put never allocates a slice header, and a
+// steady-state request makes zero frame allocations.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
 
 // srvMetrics is the optional request-path instrumentation: one striped
 // counter and one sampled latency histogram per op kind, keyed by the
@@ -162,7 +170,7 @@ func (s *Server) track(c net.Conn) (*connState, bool) {
 	if s.closed {
 		return nil, false
 	}
-	cs := &connState{resp: make(chan []byte, 256)}
+	cs := &connState{resp: make(chan *[]byte, 256)}
 	s.conns[c] = cs
 	return cs, true
 }
@@ -213,9 +221,12 @@ func (s *Server) handle(c net.Conn, cs *connState, tid int) {
 	go func() {
 		defer wwg.Done()
 		bw := bufio.NewWriterSize(c, 64<<10)
-		for frame := range resp {
-			bw.Write(frame)
-			if len(resp) == 0 {
+		for bp := range resp {
+			bw.Write(*bp)
+			idle := len(resp) == 0
+			*bp = (*bp)[:0]
+			framePool.Put(bp)
+			if idle {
 				bw.Flush() // pipeline idle — push responses out
 			}
 		}
@@ -232,8 +243,10 @@ func (s *Server) handle(c net.Conn, cs *connState, tid int) {
 			break // EOF, half-close, or framing error
 		}
 		buf = payload
+		bp := framePool.Get().(*[]byte)
 		if m == nil {
-			resp <- s.execute(tid, payload)
+			*bp = s.execute(tid, (*bp)[:0], payload)
+			resp <- bp
 			continue
 		}
 		op := payload[0]
@@ -242,104 +255,112 @@ func (s *Server) handle(c net.Conn, cs *connState, tid int) {
 		}
 		if nops&latSampleMask == 0 && op < opMax {
 			t0 := time.Now()
-			frame := s.execute(tid, payload)
+			*bp = s.execute(tid, (*bp)[:0], payload)
 			m.lat[op].Observe(uint64(time.Since(t0)))
-			resp <- frame
 		} else {
-			resp <- s.execute(tid, payload)
+			*bp = s.execute(tid, (*bp)[:0], payload)
 		}
+		resp <- bp
 		nops++
 	}
 	close(resp)
 	wwg.Wait()
 }
 
-// execute runs one request and returns the encoded response frame.
-func (s *Server) execute(tid int, req []byte) []byte {
-	out := make([]byte, 0, 32)
+// execute runs one request, encoding the response frame directly into
+// dst (a recycled buffer from framePool), and returns the grown slice.
+func (s *Server) execute(tid int, dst, req []byte) []byte {
+	out, fs := beginFrame(dst)
 	op := req[0]
 	switch op {
 	case OpGet:
 		key, ok := getU64(req, 1)
 		if !ok {
-			return errFrame(out, "short GET")
+			return errFrame(out, fs, "short GET")
 		}
 		v, found, err := s.st.Get(tid, key)
 		if err != nil {
-			return errFrame(out, err.Error())
+			return errFrame(out, fs, err.Error())
 		}
 		if !found {
-			return appendFrame(out, []byte{StatusNotFound})
+			return endFrame(append(out, StatusNotFound), fs)
 		}
-		p := []byte{StatusOK}
-		p = appendU64(p, v)
-		return appendFrame(out, p)
+		out = append(out, StatusOK)
+		out = appendU64(out, v)
+		return endFrame(out, fs)
 	case OpPut:
 		key, ok1 := getU64(req, 1)
 		val, ok2 := getU64(req, 9)
 		if !ok1 || !ok2 {
-			return errFrame(out, "short PUT")
+			return errFrame(out, fs, "short PUT")
 		}
 		ins, err := s.st.Put(tid, key, val)
 		if err != nil {
-			return errFrame(out, err.Error())
+			return errFrame(out, fs, err.Error())
 		}
 		b := uint8(0)
 		if ins {
 			b = 1
 		}
-		return appendFrame(out, []byte{StatusOK, b})
+		return endFrame(append(out, StatusOK, b), fs)
 	case OpDel:
 		key, ok := getU64(req, 1)
 		if !ok {
-			return errFrame(out, "short DEL")
+			return errFrame(out, fs, "short DEL")
 		}
 		found, err := s.st.Del(tid, key)
 		if err != nil {
-			return errFrame(out, err.Error())
+			return errFrame(out, fs, err.Error())
 		}
 		if !found {
-			return appendFrame(out, []byte{StatusNotFound})
+			return endFrame(append(out, StatusNotFound), fs)
 		}
-		return appendFrame(out, []byte{StatusOK})
+		return endFrame(append(out, StatusOK), fs)
 	case OpScan:
 		from, ok1 := getU64(req, 1)
 		limit, ok2 := getU32(req, 9)
 		if !ok1 || !ok2 {
-			return errFrame(out, "short SCAN")
+			return errFrame(out, fs, "short SCAN")
 		}
 		if limit > MaxScanLimit {
 			limit = MaxScanLimit
 		}
 		pairs, err := s.st.Scan(tid, from, int(limit))
 		if err != nil {
-			return errFrame(out, err.Error())
+			return errFrame(out, fs, err.Error())
 		}
-		p := []byte{StatusOK}
-		p = appendU32(p, uint32(len(pairs)/2))
+		out = append(out, StatusOK)
+		out = appendU32(out, uint32(len(pairs)/2))
 		for _, w := range pairs {
-			p = appendU64(p, w)
+			out = appendU64(out, w)
 		}
-		return appendFrame(out, p)
+		return endFrame(out, fs)
 	case OpStats:
 		js, err := json.Marshal(s.st.Stats())
 		if err != nil {
-			return errFrame(out, err.Error())
+			return errFrame(out, fs, err.Error())
 		}
-		return appendFrame(out, append([]byte{StatusOK}, js...))
+		out = append(out, StatusOK)
+		return endFrame(append(out, js...), fs)
 	case OpDrain:
 		js, err := json.Marshal(s.st.DrainAndCheck(tid))
 		if err != nil {
-			return errFrame(out, err.Error())
+			return errFrame(out, fs, err.Error())
 		}
-		return appendFrame(out, append([]byte{StatusOK}, js...))
+		out = append(out, StatusOK)
+		return endFrame(append(out, js...), fs)
 	default:
-		return errFrame(out, fmt.Sprintf("unknown op %d", op))
+		return errFrame(out, fs, fmt.Sprintf("unknown op %d", op))
 	}
 }
 
-func errFrame(dst []byte, msg string) []byte {
-	return appendFrame(dst, append([]byte{StatusErr}, msg...))
+// errFrame completes an in-progress frame as an error response. The
+// payload hole is still empty on every error path (errors are detected
+// before any payload bytes are appended).
+func errFrame(out []byte, start int, msg string) []byte {
+	out = append(out, StatusErr)
+	out = append(out, msg...)
+	return endFrame(out, start)
 }
 
 // ListenAndServe is the cmd/kvserver entry point: listen on addr and

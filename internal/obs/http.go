@@ -24,11 +24,43 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-// TraceHandler serves the retire-path trace ring:
+// ScanDebug is the scan-engine surface a reclamation layer plugs into
+// this package (obs must not import reclaim). Info returns a
+// JSON-serializable snapshot of every instrumented scheme's scan state;
+// SetAdaptive/Adaptive expose the global adaptive-threshold switch.
+type ScanDebug struct {
+	Info        func() any
+	SetAdaptive func(bool)
+	Adaptive    func() bool
+}
+
+var scanDebug struct {
+	mu sync.Mutex
+	d  *ScanDebug
+}
+
+// SetScanDebug registers the process-wide scan-engine debug surface.
+// Called once from the reclamation package's init.
+func SetScanDebug(d *ScanDebug) {
+	scanDebug.mu.Lock()
+	scanDebug.d = d
+	scanDebug.mu.Unlock()
+}
+
+func getScanDebug() *ScanDebug {
+	scanDebug.mu.Lock()
+	defer scanDebug.mu.Unlock()
+	return scanDebug.d
+}
+
+// TraceHandler serves the retire-path trace ring and the scan-engine
+// state:
 //
-//	GET  /debug/reclaim              {"enabled":…,"recorded":…,"events":[…]}
-//	GET  /debug/reclaim?n=512        limit the dump
-//	POST /debug/reclaim?trace=on|off toggle recording
+//	GET  /debug/reclaim                 {"enabled":…,"recorded":…,"events":[…],
+//	                                     "scan":{"adaptive":…,"engines":{…}}}
+//	GET  /debug/reclaim?n=512           limit the dump
+//	POST /debug/reclaim?trace=on|off    toggle recording
+//	POST /debug/reclaim?adaptive=on|off toggle adaptive scan thresholds
 func TraceHandler() http.Handler { return RingHandler(Trace) }
 
 // RingHandler serves an arbitrary ring (tests use private rings).
@@ -41,20 +73,37 @@ func RingHandler(r *Ring) http.Handler {
 			}
 			r.SetEnabled(t == "on" || t == "1" || t == "true")
 		}
+		if a := req.URL.Query().Get("adaptive"); a != "" {
+			if req.Method != http.MethodPost {
+				http.Error(w, "toggling requires POST", http.StatusMethodNotAllowed)
+				return
+			}
+			if d := getScanDebug(); d != nil && d.SetAdaptive != nil {
+				d.SetAdaptive(a == "on" || a == "1" || a == "true")
+			}
+		}
 		n := 256
 		if s := req.URL.Query().Get("n"); s != "" {
 			if v, err := strconv.Atoi(s); err == nil {
 				n = v
 			}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(map[string]any{
+		body := map[string]any{
 			"enabled":  r.Enabled(),
 			"recorded": r.Len(),
 			"events":   r.Dump(n),
-		})
+		}
+		if d := getScanDebug(); d != nil && d.Info != nil {
+			scan := map[string]any{"engines": d.Info()}
+			if d.Adaptive != nil {
+				scan["adaptive"] = d.Adaptive()
+			}
+			body["scan"] = scan
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
 	})
 }
 

@@ -27,6 +27,8 @@ type EBR struct {
 
 	global       atomic.Uint64
 	reservations []rt.PaddedUint64
+	shadow       []padWord // owner-written mirror of reservations
+	elide        []rt.PaddedUint64
 	limbo        [][]ebrItem
 	ops          []int // per-thread retire counter for amortized advance
 }
@@ -47,12 +49,15 @@ func newEBR(env Env, cfg Options) *EBR {
 		env:          env,
 		cfg:          cfg,
 		reservations: make([]rt.PaddedUint64, cfg.MaxThreads),
+		shadow:       make([]padWord, cfg.MaxThreads),
+		elide:        make([]rt.PaddedUint64, cfg.MaxThreads),
 		limbo:        make([][]ebrItem, cfg.MaxThreads),
 		ops:          make([]int, cfg.MaxThreads),
 	}
 	e.global.Store(2)
 	for i := range e.reservations {
 		e.reservations[i].Store(ebrIdle)
+		e.shadow[i].v = ebrIdle
 	}
 	return e
 }
@@ -60,13 +65,29 @@ func newEBR(env Env, cfg Options) *EBR {
 // Name returns "ebr".
 func (*EBR) Name() string { return "ebr" }
 
-// BeginOp announces the thread is active in the current epoch.
+// BeginOp announces the thread is active in the current epoch. The
+// announcement store is elided when the slot already publishes the
+// current epoch (repeated BeginOp without an intervening EndOp) — the
+// published reservation is identical either way. EndOp must always
+// store: an elided idle announcement would block epoch advancement.
 func (e *EBR) BeginOp(tid int) {
-	e.reservations[tid].Store(e.global.Load())
+	g := e.global.Load()
+	if e.shadow[tid].v == g {
+		c := &e.elide[tid]
+		c.Store(c.Load() + 1)
+		rt.Step(rt.SiteProtect, tid)
+		return
+	}
+	e.shadow[tid].v = g
+	e.reservations[tid].Store(g)
 }
 
 // EndOp marks the thread quiescent.
 func (e *EBR) EndOp(tid int) {
+	if e.shadow[tid].v == ebrIdle {
+		return
+	}
+	e.shadow[tid].v = ebrIdle
 	e.reservations[tid].Store(ebrIdle)
 }
 
@@ -142,6 +163,16 @@ func (e *EBR) Flush(tid int) {
 	e.tryAdvance()
 	e.tryAdvance()
 	e.reap(tid)
+}
+
+// ScanStats reports EBR's elided epoch announcements (EBR has no scan
+// engine; only the Elisions field is meaningful).
+func (e *EBR) ScanStats() ScanStats {
+	var s ScanStats
+	for i := range e.elide {
+		s.Elisions += e.elide[i].Load()
+	}
+	return s
 }
 
 // Stats reports counters.

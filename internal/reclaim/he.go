@@ -2,6 +2,7 @@ package reclaim
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/arena"
 	"repro/internal/rt"
@@ -13,6 +14,13 @@ import (
 // retired object may be freed once no published era intersects its
 // lifetime interval. Lock-free protect, wait-free retire, bound
 // O(#L·H·t²) — looser than the pointer-based schemes, cheaper protects.
+//
+// Like hpArrays, the published era matrix carries an owner-written
+// shadow: Protect and GetProtected consult it and elide the store when
+// the slot already publishes the current era — the common case between
+// clock ticks, since the era clock only advances on retire. The era
+// reservation the slot holds is unchanged by the elided call, so every
+// concurrent scan still observes it (DESIGN.md §1.2).
 type HE struct {
 	counters
 	env Env
@@ -20,8 +28,9 @@ type HE struct {
 
 	clock   atomic.Uint64
 	eras    [][]atomic.Uint64 // published eras, 0 = none
+	shadow  [][]uint64        // owner-written mirror of eras
 	retired [][]heItem
-	thresh  int
+	eng     *scanEngine
 }
 
 type heItem struct {
@@ -41,19 +50,25 @@ func init() {
 // newHE builds a hazard-eras instance; construct via New("he", …).
 func newHE(env Env, cfg Options) *HE {
 	cfg.defaults()
+	base := cfg.MaxHPs * cfg.MaxThreads
+	if base < 64 {
+		base = 64
+	}
+	if cfg.ScanThreshold > 0 {
+		base = cfg.ScanThreshold
+	}
 	h := &HE{
 		env:     env,
 		cfg:     cfg,
 		eras:    make([][]atomic.Uint64, cfg.MaxThreads),
+		shadow:  make([][]uint64, cfg.MaxThreads),
 		retired: make([][]heItem, cfg.MaxThreads),
-		thresh:  cfg.MaxHPs * cfg.MaxThreads,
+		eng:     newScanEngine(cfg.MaxThreads, cfg.MaxThreads*cfg.MaxHPs, base),
 	}
 	h.clock.Store(1)
 	for i := range h.eras {
 		h.eras[i] = make([]atomic.Uint64, cfg.MaxHPs+8)
-	}
-	if h.thresh < 64 {
-		h.thresh = 64
+		h.shadow[i] = make([]uint64, cfg.MaxHPs+8)
 	}
 	return h
 }
@@ -74,66 +89,86 @@ func (h *HE) OnAlloc(v arena.Handle) {
 }
 
 // GetProtected publishes the current era until the era is stable across
-// the read of addr — the HE protection loop.
+// the read of addr — the HE protection loop. The published era is read
+// from the owner's shadow (no atomic load), and a call that finds the
+// slot already holding the current era performs no store at all.
 func (h *HE) GetProtected(tid, idx int, addr *atomic.Uint64) arena.Handle {
-	prev := h.eras[tid][idx].Load()
+	sh := h.shadow[tid]
+	prev := sh[idx]
+	stored := false
 	for {
 		v := arena.Handle(addr.Load())
 		era := h.clock.Load()
 		if era == prev {
+			if !stored {
+				h.eng.noteElide(tid)
+			}
 			// Torture injection point: the era reservation is stable and
-			// published; a stall here holds it across the hook.
+			// published; a stall here holds it across the hook — on the
+			// elided path the reservation predates this call entirely.
 			rt.Step(rt.SiteProtect, tid)
 			return v
 		}
 		h.eras[tid][idx].Store(era)
+		sh[idx] = era
 		prev = era
+		stored = true
 	}
 }
 
-// Protect publishes the current era in the slot.
+// Protect publishes the current era in the slot, eliding the store when
+// the slot already holds it.
 func (h *HE) Protect(tid, idx int, _ arena.Handle) {
-	h.eras[tid][idx].Store(h.clock.Load())
+	e := h.clock.Load()
+	if h.shadow[tid][idx] == e {
+		h.eng.noteElide(tid)
+		rt.Step(rt.SiteProtect, tid)
+		return
+	}
+	h.shadow[tid][idx] = e
+	h.eras[tid][idx].Store(e)
 }
 
 // Clear resets one era slot.
-func (h *HE) Clear(tid, idx int) { h.eras[tid][idx].Store(0) }
+func (h *HE) Clear(tid, idx int) {
+	if h.shadow[tid][idx] == 0 {
+		return
+	}
+	h.shadow[tid][idx] = 0
+	h.eras[tid][idx].Store(0)
+}
 
 // ClearAll resets every era slot of the thread.
 func (h *HE) ClearAll(tid int) {
 	for i := 0; i < h.cfg.MaxHPs; i++ {
-		h.eras[tid][i].Store(0)
+		h.Clear(tid, i)
 	}
 }
 
 // Retire stamps the retire era, bumps the era clock, and scans when the
-// thread's retired list is long enough.
+// thread's retired list has reached the adaptive threshold. The scan
+// runs before the append, capping list growth (see HP.Retire).
 func (h *HE) Retire(tid int, v arena.Handle) {
 	h.onRetire(tid, v)
 	v = v.Unmarked()
 	birth, retire := h.env.Hdr(v)
 	e := h.clock.Load()
 	retire.Store(e)
-	h.retired[tid] = append(h.retired[tid], heItem{h: v, birth: birth.Load(), retire: e})
-	h.clock.Add(1)
-	if len(h.retired[tid]) >= h.thresh {
+	if len(h.retired[tid]) >= h.eng.threshold(tid) {
 		h.scan(tid)
 	}
+	h.retired[tid] = append(h.retired[tid], heItem{h: v, birth: birth.Load(), retire: e})
+	h.clock.Add(1)
 }
 
 func (h *HE) scan(tid int) {
-	// Snapshot all published eras once.
-	var eras []uint64
-	for t := 0; t < h.cfg.MaxThreads; t++ {
-		for i := 0; i < h.cfg.MaxHPs; i++ {
-			if e := h.eras[t][i].Load(); e != 0 {
-				eras = append(eras, e)
-			}
-		}
-	}
+	start := time.Now()
+	// Snapshot all published eras once, sorted for binary-search probes.
+	eras := h.eng.snapshotEras(tid, h.eras, h.cfg.MaxThreads, h.cfg.MaxHPs)
+	batch := len(h.retired[tid])
 	keep := h.retired[tid][:0]
 	for _, it := range h.retired[tid] {
-		if intervalReserved(eras, it.birth, it.retire) {
+		if eraReserved(eras, it.birth, it.retire) {
 			keep = append(keep, it)
 			continue
 		}
@@ -141,15 +176,8 @@ func (h *HE) scan(tid int) {
 		h.onFree(tid, it.h)
 	}
 	h.retired[tid] = keep
-}
-
-func intervalReserved(eras []uint64, birth, retire uint64) bool {
-	for _, e := range eras {
-		if birth <= e && e <= retire {
-			return true
-		}
-	}
-	return false
+	h.eng.afterScan(tid, batch, batch-len(keep), time.Since(start))
+	h.onScan(time.Since(start))
 }
 
 // Flush scans unconditionally.
@@ -157,6 +185,9 @@ func (h *HE) Flush(tid int) { h.scan(tid) }
 
 // RetireDepth reports the length of tid's retired list.
 func (h *HE) RetireDepth(tid int) int { return len(h.retired[tid]) }
+
+// ScanStats reports the scan engine's counters.
+func (h *HE) ScanStats() ScanStats { return h.eng.stats() }
 
 // Stats reports counters.
 func (h *HE) Stats() Stats { return h.snapshot() }

@@ -2,6 +2,7 @@ package reclaim
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/arena"
 	"repro/internal/rt"
@@ -15,6 +16,12 @@ import (
 // [birth, retire] interval intersects no thread's reservation. The
 // interval reservation is what inflates the bound past HE's (the paper's
 // related-work discussion of Hyaline/IBR).
+//
+// The upper reservation carries an owner-written shadow so the ratchet
+// can compare against the published value without an atomic load and
+// elide the store while the era clock is unchanged — between clock
+// ticks (one per 16 allocations) every hop takes the elided path
+// (DESIGN.md §1.2).
 type IBR struct {
 	counters
 	env Env
@@ -23,9 +30,10 @@ type IBR struct {
 	clock   atomic.Uint64
 	lower   []rt.PaddedUint64 // 0 = inactive
 	upper   []rt.PaddedUint64
+	shUpper []padWord // owner-written mirror of upper
 	retired [][]heItem
 	allocs  atomic.Uint64
-	thresh  int
+	eng     *scanEngine
 }
 
 func init() {
@@ -40,18 +48,23 @@ func init() {
 // newIBR builds a 2GEIBR instance; construct via New("ibr", …).
 func newIBR(env Env, cfg Options) *IBR {
 	cfg.defaults()
+	base := cfg.MaxHPs * cfg.MaxThreads
+	if base < 64 {
+		base = 64
+	}
+	if cfg.ScanThreshold > 0 {
+		base = cfg.ScanThreshold
+	}
 	i := &IBR{
 		env:     env,
 		cfg:     cfg,
 		lower:   make([]rt.PaddedUint64, cfg.MaxThreads),
 		upper:   make([]rt.PaddedUint64, cfg.MaxThreads),
+		shUpper: make([]padWord, cfg.MaxThreads),
 		retired: make([][]heItem, cfg.MaxThreads),
-		thresh:  cfg.MaxHPs * cfg.MaxThreads,
+		eng:     newScanEngine(cfg.MaxThreads, cfg.MaxThreads, base),
 	}
 	i.clock.Store(1)
-	if i.thresh < 64 {
-		i.thresh = 64
-	}
 	return i
 }
 
@@ -63,12 +76,14 @@ func (i *IBR) BeginOp(tid int) {
 	e := i.clock.Load()
 	i.lower[tid].Store(e)
 	i.upper[tid].Store(e)
+	i.shUpper[tid].v = e
 }
 
 // EndOp drops the reservation.
 func (i *IBR) EndOp(tid int) {
 	i.lower[tid].Store(0)
 	i.upper[tid].Store(0)
+	i.shUpper[tid].v = 0
 }
 
 // OnAlloc stamps the birth era and advances the era clock every few
@@ -82,29 +97,44 @@ func (i *IBR) OnAlloc(v arena.Handle) {
 }
 
 // GetProtected ratchets the upper reservation until the era is stable
-// across the read.
+// across the read. The published upper bound is read from the shadow,
+// and while the clock is unchanged the whole call elides the store.
 func (i *IBR) GetProtected(tid, _ int, addr *atomic.Uint64) arena.Handle {
-	prev := i.upper[tid].Load()
+	sh := &i.shUpper[tid]
+	prev := sh.v
+	stored := false
 	for {
 		v := arena.Handle(addr.Load())
 		era := i.clock.Load()
 		if era == prev {
+			if !stored {
+				i.eng.noteElide(tid)
+			}
 			// Torture injection point: the interval reservation is
-			// published; a stall here widens it across the hook.
+			// published; a stall here widens it across the hook — on the
+			// elided path the reservation predates this call entirely.
 			rt.Step(rt.SiteProtect, tid)
 			return v
 		}
 		i.upper[tid].Store(era)
+		sh.v = era
 		prev = era
+		stored = true
 	}
 }
 
-// Protect ratchets the upper reservation.
+// Protect ratchets the upper reservation, eliding the store while the
+// published bound already covers the current era.
 func (i *IBR) Protect(tid, _ int, _ arena.Handle) {
 	e := i.clock.Load()
-	if e > i.upper[tid].Load() {
-		i.upper[tid].Store(e)
+	sh := &i.shUpper[tid]
+	if e <= sh.v {
+		i.eng.noteElide(tid)
+		rt.Step(rt.SiteProtect, tid)
+		return
 	}
+	i.upper[tid].Store(e)
+	sh.v = e
 }
 
 // Clear is a no-op: intervals are per-thread, not per-slot.
@@ -113,43 +143,28 @@ func (*IBR) Clear(int, int) {}
 // ClearAll is a no-op; EndOp drops the reservation.
 func (*IBR) ClearAll(int) {}
 
-// Retire stamps the retire era and scans when the list is long enough.
+// Retire stamps the retire era and scans when the list has reached the
+// adaptive threshold. The scan runs before the append, capping list
+// growth (see HP.Retire).
 func (i *IBR) Retire(tid int, v arena.Handle) {
 	i.onRetire(tid, v)
 	v = v.Unmarked()
 	birth, retire := i.env.Hdr(v)
 	e := i.clock.Load()
 	retire.Store(e)
-	i.retired[tid] = append(i.retired[tid], heItem{h: v, birth: birth.Load(), retire: e})
-	if len(i.retired[tid]) >= i.thresh {
+	if len(i.retired[tid]) >= i.eng.threshold(tid) {
 		i.scan(tid)
 	}
+	i.retired[tid] = append(i.retired[tid], heItem{h: v, birth: birth.Load(), retire: e})
 }
 
 func (i *IBR) scan(tid int) {
-	type iv struct{ lo, hi uint64 }
-	var res []iv
-	for t := 0; t < i.cfg.MaxThreads; t++ {
-		lo := i.lower[t].Load()
-		if lo == 0 {
-			continue
-		}
-		hi := i.upper[t].Load()
-		if hi < lo {
-			hi = lo
-		}
-		res = append(res, iv{lo, hi})
-	}
+	start := time.Now()
+	i.eng.snapshotIntervals(tid, i.lower, i.upper, i.cfg.MaxThreads)
+	batch := len(i.retired[tid])
 	keep := i.retired[tid][:0]
 	for _, it := range i.retired[tid] {
-		conflict := false
-		for _, r := range res {
-			if it.birth <= r.hi && r.lo <= it.retire {
-				conflict = true
-				break
-			}
-		}
-		if conflict {
+		if i.eng.intervalReserved(tid, it.birth, it.retire) {
 			keep = append(keep, it)
 			continue
 		}
@@ -157,6 +172,8 @@ func (i *IBR) scan(tid int) {
 		i.onFree(tid, it.h)
 	}
 	i.retired[tid] = keep
+	i.eng.afterScan(tid, batch, batch-len(keep), time.Since(start))
+	i.onScan(time.Since(start))
 }
 
 // Flush scans unconditionally.
@@ -164,6 +181,9 @@ func (i *IBR) Flush(tid int) { i.scan(tid) }
 
 // RetireDepth reports the length of tid's retired list.
 func (i *IBR) RetireDepth(tid int) int { return len(i.retired[tid]) }
+
+// ScanStats reports the scan engine's counters.
+func (i *IBR) ScanStats() ScanStats { return i.eng.stats() }
 
 // Stats reports counters.
 func (i *IBR) Stats() Stats { return i.snapshot() }

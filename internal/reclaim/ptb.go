@@ -152,5 +152,9 @@ func (p *PTB) Flush(tid int) {
 	}
 }
 
+// ScanStats reports the guard matrix's protection elisions (PTB has no
+// scan engine; only the Elisions field is meaningful).
+func (p *PTB) ScanStats() ScanStats { return ScanStats{Elisions: p.hp.elisions()} }
+
 // Stats reports counters.
 func (p *PTB) Stats() Stats { return p.snapshot() }

@@ -153,5 +153,9 @@ func (p *PTP) Flush(tid int) {
 	}
 }
 
+// ScanStats reports the hazardous-pointer matrix's protection elisions
+// (PTP has no scan engine; only the Elisions field is meaningful).
+func (p *PTP) ScanStats() ScanStats { return ScanStats{Elisions: p.hp.elisions()} }
+
 // Stats reports counters.
 func (p *PTP) Stats() Stats { return p.snapshot() }

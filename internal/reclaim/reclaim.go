@@ -53,6 +53,13 @@ type Options struct {
 	MaxThreads int // capacity of the tid space
 	MaxHPs     int // H: hazardous pointers per thread the structure needs
 
+	// ScanThreshold overrides the scheme's classic base retire threshold
+	// (HP: 2·H·t, HE/IBR: H·t, each floored at 64). The adaptive policy
+	// still moves the per-thread threshold from this base within its
+	// clamps; deterministic tests use a small override to force scans.
+	// 0 means the classic default.
+	ScanThreshold int
+
 	// Label namespaces this instance's metrics (e.g. "shard0/map");
 	// empty defaults to the scheme name. Ignored when Metrics is nil.
 	Label string
@@ -291,9 +298,10 @@ func (t *spanTable) end(h uint64) (int64, bool) {
 // instr is the optional per-instance observability state hanging off
 // counters. All hot-path uses are guarded by a single nil check.
 type instr struct {
-	label uint16    // trace-ring label id
-	lat   *obs.Hist // sampled retire→free latency (ns)
-	spans spanTable
+	label   uint16    // trace-ring label id
+	lat     *obs.Hist // sampled retire→free latency (ns)
+	scanLat *obs.Hist // scan duration (ns), one observation per scan
+	spans   spanTable
 }
 
 // counters implements the shared Stats bookkeeping.
@@ -345,6 +353,14 @@ func (c *counters) onFree(tid int, h arena.Handle) {
 	}
 }
 
+// onScan records one scan's duration into the instance histogram; free
+// outside the instrumented path (one nil check per scan, not per op).
+func (c *counters) onScan(d time.Duration) {
+	if in := c.inst; in != nil && in.scanLat != nil {
+		in.scanLat.Observe(uint64(d.Nanoseconds()))
+	}
+}
+
 func (c *counters) snapshot() Stats {
 	return Stats{
 		Retired:            c.retired.Load(),
@@ -386,4 +402,12 @@ func instrument(s Scheme, canonical string, opts Options) {
 		}
 		return d
 	})
+	if ss, ok := s.(ScanStatser); ok {
+		c.inst.scanLat = opts.Metrics.Hist(prefix + "/scan_ns")
+		opts.Metrics.GaugeFunc(prefix+"/elisions", func() int64 { return int64(ss.ScanStats().Elisions) })
+		opts.Metrics.GaugeFunc(prefix+"/scans", func() int64 { return int64(ss.ScanStats().Scans) })
+		opts.Metrics.GaugeFunc(prefix+"/scan_freed_ratio_bp", func() int64 { return ss.ScanStats().FreedRatioBP })
+		opts.Metrics.GaugeFunc(prefix+"/scan_threshold", func() int64 { return int64(ss.ScanStats().Threshold) })
+		registerScanDebug(label, ss.ScanStats)
+	}
 }

@@ -1,0 +1,458 @@
+package reclaim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/arena"
+)
+
+// ---------------------------------------------------------------------
+// Adaptive threshold policy (white-box): afterScan is the entire policy,
+// so driving it directly with synthetic scan outcomes is deterministic.
+
+func TestAdaptiveThresholdPolicy(t *testing.T) {
+	defer SetAdaptiveScan(true)
+	e := newScanEngine(2, 64, 64)
+	if e.minT != 16 || e.maxT != 1024 {
+		t.Fatalf("clamps for base 64: [%d, %d], want [16, 1024]", e.minT, e.maxT)
+	}
+	if got := e.threshold(0); got != 64 {
+		t.Fatalf("initial threshold %d, want base 64", got)
+	}
+
+	// A scan freeing nothing doubles the threshold, up to the clamp.
+	want := 64
+	for i := 0; i < 8; i++ {
+		e.afterScan(0, 100, 0, time.Microsecond)
+		want *= 2
+		if want > e.maxT {
+			want = e.maxT
+		}
+		if got := e.threshold(0); got != want {
+			t.Fatalf("grow step %d: threshold %d, want %d", i, got, want)
+		}
+	}
+	if e.threshold(0) != e.maxT {
+		t.Fatalf("threshold %d did not clamp at maxT %d", e.threshold(0), e.maxT)
+	}
+
+	// Mid-band ratio (exactly the boundaries included) leaves it alone.
+	for _, freed := range []int{25, 50, 75} {
+		e.afterScan(0, 100, freed, time.Microsecond)
+		if got := e.threshold(0); got != e.maxT {
+			t.Fatalf("freed %d/100 moved threshold to %d", freed, got)
+		}
+	}
+	// Empty-list scans (Flush on a drained thread) never move it.
+	e.afterScan(0, 0, 0, time.Microsecond)
+	if got := e.threshold(0); got != e.maxT {
+		t.Fatalf("batch 0 moved threshold to %d", got)
+	}
+
+	// A scan freeing everything halves it, down to the clamp.
+	want = e.maxT
+	for i := 0; i < 10; i++ {
+		e.afterScan(0, 100, 100, time.Microsecond)
+		want /= 2
+		if want < e.minT {
+			want = e.minT
+		}
+		if got := e.threshold(0); got != want {
+			t.Fatalf("shrink step %d: threshold %d, want %d", i, got, want)
+		}
+	}
+	if e.threshold(0) != e.minT {
+		t.Fatalf("threshold %d did not clamp at minT %d", e.threshold(0), e.minT)
+	}
+
+	// Thresholds are per-thread: tid 1 never moved.
+	if got := e.threshold(1); got != 64 {
+		t.Fatalf("tid 1 threshold %d, want untouched base 64", got)
+	}
+
+	// With the global switch off, outcomes stop moving the threshold.
+	SetAdaptiveScan(false)
+	e.afterScan(0, 100, 0, time.Microsecond)
+	if got := e.threshold(0); got != e.minT {
+		t.Fatalf("disabled policy still moved threshold to %d", got)
+	}
+	SetAdaptiveScan(true)
+
+	st := e.stats()
+	if st.Scans == 0 || st.Scanned == 0 || st.Freed == 0 || st.ScanNs == 0 {
+		t.Fatalf("stats not booked: %+v", st)
+	}
+	if st.MinThreshold != e.minT || st.MaxThreshold != e.maxT {
+		t.Fatalf("stats clamps %d/%d, want %d/%d", st.MinThreshold, st.MaxThreshold, e.minT, e.maxT)
+	}
+}
+
+func TestScanEngineClampEdges(t *testing.T) {
+	// Tiny base: the floor must not sit above the base itself.
+	e := newScanEngine(1, 8, 4)
+	if e.minT != 4 || e.maxT != 64 {
+		t.Fatalf("base 4 clamps [%d, %d], want [4, 64]", e.minT, e.maxT)
+	}
+	// Degenerate base.
+	e = newScanEngine(1, 8, 0)
+	if e.base != 1 || e.threshold(0) != 1 {
+		t.Fatalf("base 0 not normalized: base=%d threshold=%d", e.base, e.threshold(0))
+	}
+}
+
+// TestAdaptiveThresholdRandomWalk drives afterScan with a seeded stream
+// of arbitrary scan outcomes and asserts the clamp invariant holds at
+// every step. Deterministic: the walk is a pure function of the seed.
+func TestAdaptiveThresholdRandomWalk(t *testing.T) {
+	e := newScanEngine(1, 8, 64)
+	rng := uint64(0x9E3779B97F4A7C15) // fixed seed
+	for i := 0; i < 5000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		batch := int(rng%256) + 1
+		freed := int((rng >> 32) % uint64(batch+1))
+		e.afterScan(0, batch, freed, time.Nanosecond)
+		if th := e.threshold(0); th < e.minT || th > e.maxT {
+			t.Fatalf("step %d (batch=%d freed=%d): threshold %d outside [%d, %d]",
+				i, batch, freed, th, e.minT, e.maxT)
+		}
+	}
+}
+
+// TestScanThresholdOption: Options.ScanThreshold overrides each scheme's
+// classic base formula.
+func TestScanThresholdOption(t *testing.T) {
+	_, env := testEnv(t, arena.Strict)
+	opts := Options{MaxThreads: 2, MaxHPs: 2, ScanThreshold: 8}
+	for name, eng := range map[string]*scanEngine{
+		"hp":  newHP(env, opts).eng,
+		"he":  newHE(env, opts).eng,
+		"ibr": newIBR(env, opts).eng,
+	} {
+		if eng.base != 8 {
+			t.Errorf("%s: base %d, want ScanThreshold override 8", name, eng.base)
+		}
+	}
+	// Defaults: HP classic R = 2·H·t (floored), HE/IBR H·t (floored).
+	big := Options{MaxThreads: 16, MaxHPs: 8}
+	if got := newHP(env, big).eng.base; got != 256 {
+		t.Errorf("hp default base %d, want 2·8·16 = 256", got)
+	}
+	if got := newHE(env, big).eng.base; got != 128 {
+		t.Errorf("he default base %d, want 8·16 = 128", got)
+	}
+}
+
+// ---------------------------------------------------------------------
+// End-to-end adaptive behaviour per scheme: pin the whole retired set so
+// scans free nothing (threshold must ride to the ceiling), then release
+// and churn (threshold must ride back to the floor). Deterministic:
+// single goroutine, fixed counts.
+
+func driveThreshold(t *testing.T, a *arena.Arena[tnode], s Scheme, eng *scanEngine, pinned []arena.Handle, unpin func()) {
+	t.Helper()
+	for _, h := range pinned {
+		s.Retire(0, h)
+		if th := eng.threshold(0); th < eng.minT || th > eng.maxT {
+			t.Fatalf("threshold %d outside clamps [%d, %d] during grow", th, eng.minT, eng.maxT)
+		}
+	}
+	if th := eng.threshold(0); th != eng.maxT {
+		t.Fatalf("threshold %d after pinned churn, want ceiling %d", th, eng.maxT)
+	}
+	for _, h := range pinned {
+		if !a.Valid(h) {
+			t.Fatal("pinned object freed while protected")
+		}
+	}
+
+	unpin()
+	for i := 0; i < 500; i++ {
+		s.Retire(0, allocNode(a, s))
+	}
+	if th := eng.threshold(0); th != eng.minT {
+		t.Fatalf("threshold %d after free-running churn, want floor %d", th, eng.minT)
+	}
+	ss := s.(ScanStatser).ScanStats()
+	if ss.Scans == 0 || ss.Freed == 0 {
+		t.Fatalf("scan stats not booked: %+v", ss)
+	}
+	if ss.LastFreedRatioBP != 10000 {
+		t.Fatalf("last freed ratio %dbp, want 10000 after unpinned scans", ss.LastFreedRatioBP)
+	}
+}
+
+func TestAdaptiveThresholdHP(t *testing.T) {
+	a, env := testEnv(t, arena.Strict)
+	const pinCount = 140 // enough slots to pin past base·16 = 128
+	s := newHP(env, Options{MaxThreads: 2, MaxHPs: pinCount, ScanThreshold: 8})
+	pinned := make([]arena.Handle, pinCount)
+	for i := range pinned {
+		pinned[i] = allocNode(a, s)
+		s.Protect(1, i, pinned[i])
+	}
+	driveThreshold(t, a, s, s.eng, pinned, func() { s.ClearAll(1) })
+}
+
+func TestAdaptiveThresholdHE(t *testing.T) {
+	a, env := testEnv(t, arena.Strict)
+	s := newHE(env, Options{MaxThreads: 2, MaxHPs: 4, ScanThreshold: 8})
+	pinned := make([]arena.Handle, 140)
+	for i := range pinned {
+		pinned[i] = allocNode(a, s)
+	}
+	// One published era pins every object born before it and retired
+	// after — the whole pinned set.
+	s.Protect(1, 0, arena.Nil)
+	driveThreshold(t, a, s, s.eng, pinned, func() { s.Clear(1, 0) })
+}
+
+func TestAdaptiveThresholdIBR(t *testing.T) {
+	a, env := testEnv(t, arena.Strict)
+	s := newIBR(env, Options{MaxThreads: 2, MaxHPs: 4, ScanThreshold: 8})
+	pinned := make([]arena.Handle, 140)
+	for i := range pinned {
+		pinned[i] = allocNode(a, s)
+	}
+	// A reservation taken after the allocations covers every birth.
+	s.BeginOp(1)
+	driveThreshold(t, a, s, s.eng, pinned, func() { s.EndOp(1) })
+}
+
+// ---------------------------------------------------------------------
+// Zero-allocation guarantees. Steady-state scans reuse the per-thread
+// snapshot buffers; the first scan pays the (single) growth.
+
+func scanZeroAllocCase(t *testing.T, a *arena.Arena[tnode], s Scheme) {
+	t.Helper()
+	s.Flush(0)
+	s.Flush(0) // warm: snapshot buffers grown to capacity
+	if got := testing.AllocsPerRun(200, func() { s.Flush(0) }); got != 0 {
+		t.Errorf("scan allocates %.1f times per run, want 0", got)
+	}
+	_ = a
+}
+
+func TestScanZeroAllocHP(t *testing.T) {
+	a, env := testEnv(t, arena.Strict)
+	s := newHP(env, Options{MaxThreads: 4, MaxHPs: 8, ScanThreshold: 64})
+	for i := 0; i < 8; i++ {
+		h := allocNode(a, s)
+		s.Protect(1, i, h) // keep the retired list non-empty across scans
+		s.Retire(0, h)
+	}
+	scanZeroAllocCase(t, a, s)
+}
+
+func TestScanZeroAllocHE(t *testing.T) {
+	a, env := testEnv(t, arena.Strict)
+	s := newHE(env, Options{MaxThreads: 4, MaxHPs: 8, ScanThreshold: 64})
+	hs := make([]arena.Handle, 8)
+	for i := range hs {
+		hs[i] = allocNode(a, s)
+	}
+	s.Protect(1, 0, arena.Nil)
+	for _, h := range hs {
+		s.Retire(0, h)
+	}
+	scanZeroAllocCase(t, a, s)
+}
+
+func TestScanZeroAllocIBR(t *testing.T) {
+	a, env := testEnv(t, arena.Strict)
+	s := newIBR(env, Options{MaxThreads: 4, MaxHPs: 8, ScanThreshold: 64})
+	hs := make([]arena.Handle, 8)
+	for i := range hs {
+		hs[i] = allocNode(a, s)
+	}
+	s.BeginOp(1)
+	for _, h := range hs {
+		s.Retire(0, h)
+	}
+	scanZeroAllocCase(t, a, s)
+}
+
+// TestProtectFastPathZeroAlloc: the protection hot path — republishing
+// a stable target — must not allocate for any scheme.
+func TestProtectFastPathZeroAlloc(t *testing.T) {
+	for _, name := range lockfreeSchemes() {
+		t.Run(name, func(t *testing.T) {
+			a, env := testEnv(t, arena.Strict)
+			s := MustNew(name, env, Options{MaxThreads: 2, MaxHPs: 4})
+			var slot atomic.Uint64
+			slot.Store(uint64(allocNode(a, s)))
+			s.BeginOp(0)
+			s.GetProtected(0, 0, &slot)
+			if got := testing.AllocsPerRun(200, func() { s.GetProtected(0, 0, &slot) }); got != 0 {
+				t.Errorf("GetProtected allocates %.1f times per run, want 0", got)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Elision fast path: counters tick, and an elided republish is still a
+// protection.
+
+func TestElisionCounters(t *testing.T) {
+	a, env := testEnv(t, arena.Strict)
+
+	hp := newHP(env, Options{MaxThreads: 2, MaxHPs: 2})
+	h := allocNode(a, hp)
+	hp.Protect(0, 0, h)
+	hp.Protect(0, 0, h) // same handle: elided
+	if got := hp.ScanStats().Elisions; got == 0 {
+		t.Error("hp: republish of same handle not counted as elision")
+	}
+
+	he := newHE(env, Options{MaxThreads: 2, MaxHPs: 2})
+	he.Protect(0, 0, arena.Nil)
+	he.Protect(0, 0, arena.Nil) // clock unchanged: elided
+	if got := he.ScanStats().Elisions; got == 0 {
+		t.Error("he: republish of current era not counted as elision")
+	}
+
+	ibr := newIBR(env, Options{MaxThreads: 2, MaxHPs: 2})
+	ibr.BeginOp(0)
+	ibr.Protect(0, 0, arena.Nil) // upper already covers the clock: elided
+	if got := ibr.ScanStats().Elisions; got == 0 {
+		t.Error("ibr: covered ratchet not counted as elision")
+	}
+
+	ebr := newEBR(env, Options{MaxThreads: 2, MaxHPs: 2})
+	ebr.BeginOp(0)
+	ebr.BeginOp(0) // epoch unchanged: elided re-announcement
+	if got := ebr.ScanStats().Elisions; got == 0 {
+		t.Error("ebr: re-announcement of current epoch not counted as elision")
+	}
+}
+
+// TestElidedRepublishStillProtects: after an elided GetProtected, a
+// concurrent retire must still observe the protection — the slot was
+// never cleared, so the published value continues to cover the object.
+func TestElidedRepublishStillProtects(t *testing.T) {
+	for _, name := range lockfreeSchemes() {
+		t.Run(name, func(t *testing.T) {
+			a, env := testEnv(t, arena.Strict)
+			s := MustNew(name, env, Options{MaxThreads: 2, MaxHPs: 4})
+			var slot atomic.Uint64
+			h := allocNode(a, s)
+			slot.Store(uint64(h))
+
+			s.BeginOp(0)
+			s.GetProtected(0, 0, &slot)
+			before := elisionsOf(s)
+			got := s.GetProtected(0, 0, &slot) // stable target: elided
+			if got != h {
+				t.Fatalf("GetProtected = %v, want %v", got, h)
+			}
+			if name != "he" && name != "ibr" && elisionsOf(s) == before {
+				// Era schemes may legitimately store if another test
+				// advanced their clock; the pointer schemes must elide.
+				t.Fatal("second GetProtected of a stable target did not elide")
+			}
+
+			slot.Store(0)
+			s.Retire(1, h)
+			s.Flush(1)
+			if !a.Valid(h) {
+				t.Fatal("object freed despite elided (still-published) protection")
+			}
+			s.ClearAll(0)
+			s.EndOp(0)
+			s.Flush(1)
+			s.Flush(0) // PTB hands the buck to the protector's pending list
+			if a.Valid(h) {
+				t.Fatal("object not freed after protection dropped")
+			}
+		})
+	}
+}
+
+func elisionsOf(s Scheme) uint64 {
+	if ss, ok := s.(ScanStatser); ok {
+		return ss.ScanStats().Elisions
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------
+// Satellite regression: Retire scans *before* appending, so a stalled
+// reader pinning part of the retired set cannot make the list's backing
+// array grow past the threshold — each scan culls back below it before
+// the append lands.
+
+func TestScanBeforeAppendBoundsRetiredList(t *testing.T) {
+	SetAdaptiveScan(false) // freeze thresholds: the bound is then exact
+	defer SetAdaptiveScan(true)
+	const threshold = 32
+
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"hp", func(t *testing.T) {
+			a, env := testEnv(t, arena.Strict)
+			s := newHP(env, Options{MaxThreads: 2, MaxHPs: 4, ScanThreshold: threshold})
+			for i := 0; i < 4; i++ { // stalled reader pins 4 objects forever
+				h := allocNode(a, s)
+				s.Protect(1, i, h)
+				s.Retire(0, h)
+			}
+			for i := 0; i < 10000; i++ {
+				s.Retire(0, allocNode(a, s))
+			}
+			assertBounded(t, s.RetireDepth(0), cap(s.retired[0]), threshold)
+		}},
+		{"he", func(t *testing.T) {
+			a, env := testEnv(t, arena.Strict)
+			s := newHE(env, Options{MaxThreads: 2, MaxHPs: 4, ScanThreshold: threshold})
+			pins := make([]arena.Handle, 4)
+			for i := range pins {
+				pins[i] = allocNode(a, s)
+			}
+			s.Protect(1, 0, arena.Nil) // stalled reader holds this era forever
+			for _, h := range pins {
+				s.Retire(0, h)
+			}
+			for i := 0; i < 10000; i++ {
+				s.Retire(0, allocNode(a, s))
+			}
+			assertBounded(t, s.RetireDepth(0), cap(s.retired[0]), threshold)
+		}},
+		{"ibr", func(t *testing.T) {
+			a, env := testEnv(t, arena.Strict)
+			s := newIBR(env, Options{MaxThreads: 2, MaxHPs: 4, ScanThreshold: threshold})
+			pins := make([]arena.Handle, 4)
+			for i := range pins {
+				pins[i] = allocNode(a, s)
+			}
+			s.BeginOp(1) // stalled reader's reservation never ends
+			for _, h := range pins {
+				s.Retire(0, h)
+			}
+			for i := 0; i < 10000; i++ {
+				s.Retire(0, allocNode(a, s))
+			}
+			assertBounded(t, s.RetireDepth(0), cap(s.retired[0]), threshold)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}
+
+func assertBounded(t *testing.T, depth, capacity, threshold int) {
+	t.Helper()
+	if depth > threshold+1 {
+		t.Errorf("retired depth %d after 10k retires past a stalled reader, want ≤ %d",
+			depth, threshold+1)
+	}
+	// The scan-before-append order means the backing array never needs
+	// to hold more than threshold entries: append always follows a cull.
+	if capacity > 2*threshold {
+		t.Errorf("retired list capacity %d, want ≤ %d (scan-before-append cap)",
+			capacity, 2*threshold)
+	}
+}

@@ -12,13 +12,14 @@ import (
 // Subject is one scheme × data-structure pairing the harness can run.
 type Subject struct {
 	Name string
-	Kind string // "set", "queue", or "kv"
+	Kind string // "set", "queue", "kv", or "scan"
 }
 
 // Subjects enumerates every pairing: all queue and set subjects from the
 // bench registry (each data structure under OrcGC, under every manual
-// scheme it supports, and the leak baselines), plus one kvstore chaos
-// subject per store scheme.
+// scheme it supports, and the leak baselines), one kvstore chaos subject
+// per store scheme, and one scheme-direct scan/elision subject per
+// manual scheme.
 func Subjects() []Subject {
 	var out []Subject
 	for _, n := range bench.QueueNames() {
@@ -37,6 +38,9 @@ func Subjects() []Subject {
 	}
 	for _, scheme := range kvstore.Modes() {
 		out = append(out, Subject{Name: "kv-" + scheme, Kind: "kv"})
+	}
+	for _, scheme := range scanSchemes() {
+		out = append(out, Subject{Name: "scan-" + scheme, Kind: "scan"})
 	}
 	return out
 }
@@ -87,6 +91,8 @@ func Run(s Subject, cfg Config) *Verdict {
 		return RunQueue(s.Name, cfg)
 	case "kv":
 		return RunKV(strings.TrimPrefix(s.Name, "kv-"), cfg)
+	case "scan":
+		return RunScanScheme(strings.TrimPrefix(s.Name, "scan-"), cfg)
 	default:
 		panic(fmt.Sprintf("torture: unknown subject kind %q", s.Kind))
 	}

@@ -78,7 +78,7 @@ func (c *Config) defaults() {
 // empty; every acceptance condition that does not hold appends one line.
 type Verdict struct {
 	Subject      string
-	Kind         string // "set", "queue", or "kv"
+	Kind         string // "set", "queue", "kv", or "scan"
 	Seed         uint64
 	Threads      int
 	Ops          uint64 // ops actually performed by workers
@@ -86,6 +86,7 @@ type Verdict struct {
 	Baseline     int64  // arena Live after construction
 	Arena        arena.Stats
 	Scheme       reclaim.Stats
+	Scan         reclaim.ScanStats // zero-valued when the subject has no scan path
 	Reclaiming   bool
 	StallsTaken  uint64 // protect-loop parks actually executed
 	Perturbs     uint64 // forced Gosched calls at injection points
@@ -105,10 +106,10 @@ func (v *Verdict) String() string {
 	if !v.Passed() {
 		status = "FAIL"
 	}
-	return fmt.Sprintf("%s %-12s %-5s ops=%-7d hash=%016x live=%d base=%d faults=%d retired=%d freed=%d pending=%d stalls=%d perturbs=%d",
+	return fmt.Sprintf("%s %-12s %-5s ops=%-7d hash=%016x live=%d base=%d faults=%d retired=%d freed=%d pending=%d stalls=%d perturbs=%d elide=%d",
 		status, v.Subject, v.Kind, v.Ops, v.ScheduleHash, v.Arena.Live, v.Baseline,
 		v.Arena.Faults, v.Scheme.Retired, v.Scheme.Freed, v.Scheme.RetiredNotFreed,
-		v.StallsTaken, v.Perturbs)
+		v.StallsTaken, v.Perturbs, v.Scan.Elisions)
 }
 
 // hookMu serializes torture runs: the rt hook and the fault mode are
@@ -207,6 +208,16 @@ func (v *Verdict) auditStats(ad bench.Admin) {
 	v.Arena = ad.ArenaStats()
 	v.Scheme = ad.SchemeStats()
 	v.Reclaiming = ad.Reclaiming
+	if ad.ScanStats != nil {
+		v.Scan = ad.ScanStats()
+		// Clamp invariant: wherever the adaptive policy left the retire
+		// threshold, it must sit inside the engine's clamps.
+		if v.Scan.MaxThreshold > 0 &&
+			(v.Scan.Threshold < v.Scan.MinThreshold || v.Scan.Threshold > v.Scan.MaxThreshold) {
+			v.failf("scan threshold %d outside clamps [%d, %d]",
+				v.Scan.Threshold, v.Scan.MinThreshold, v.Scan.MaxThreshold)
+		}
+	}
 	if v.Arena.Faults != 0 {
 		v.failf("arena recorded %d stale-dereference faults (want 0)", v.Arena.Faults)
 	}

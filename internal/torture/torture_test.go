@@ -59,18 +59,18 @@ func TestStallsTaken(t *testing.T) {
 // sweep. cmd/orctorture -subjects all covers the rest.
 func TestSmokeRepresentatives(t *testing.T) {
 	subs := []Subject{
-		{Name: "michael-orc", Kind: "set"},  // OrcGC list
-		{Name: "tbkp-orc", Kind: "set"},     // wait-free helping + descriptors
-		{Name: "list-hp", Kind: "set"},      // hazard pointers
-		{Name: "list-ebr", Kind: "set"},     // epochs
-		{Name: "list-he", Kind: "set"},      // hazard eras
-		{Name: "list-ibr", Kind: "set"},     // interval-based
-		{Name: "list-none", Kind: "set"},    // leak baseline conservation
-		{Name: "hsskip-orc", Kind: "set"},   // multi-level links
-		{Name: "ms-orc", Kind: "queue"},     // queue under OrcGC
-		{Name: "ms-hp", Kind: "queue"},      // queue under hazard pointers
-		{Name: "lcrq-orc", Kind: "queue"},   // ring segments
-		{Name: "kp-orc", Kind: "queue"},     // wait-free queue descriptors
+		{Name: "michael-orc", Kind: "set"}, // OrcGC list
+		{Name: "tbkp-orc", Kind: "set"},    // wait-free helping + descriptors
+		{Name: "list-hp", Kind: "set"},     // hazard pointers
+		{Name: "list-ebr", Kind: "set"},    // epochs
+		{Name: "list-he", Kind: "set"},     // hazard eras
+		{Name: "list-ibr", Kind: "set"},    // interval-based
+		{Name: "list-none", Kind: "set"},   // leak baseline conservation
+		{Name: "hsskip-orc", Kind: "set"},  // multi-level links
+		{Name: "ms-orc", Kind: "queue"},    // queue under OrcGC
+		{Name: "ms-hp", Kind: "queue"},     // queue under hazard pointers
+		{Name: "lcrq-orc", Kind: "queue"},  // ring segments
+		{Name: "kp-orc", Kind: "queue"},    // wait-free queue descriptors
 	}
 	for _, sub := range subs {
 		sub := sub
@@ -84,6 +84,36 @@ func TestSmokeRepresentatives(t *testing.T) {
 				t.Errorf("arena faults: %d", v.Arena.Faults)
 			}
 		})
+	}
+}
+
+// TestScanTortureSmoke runs the scheme-direct scan/elision subject for
+// every manual scheme: stalled readers park inside the elided protection
+// branch, so the untouched published slot is the only thing keeping
+// their object alive while writers churn the scan engine.
+func TestScanTortureSmoke(t *testing.T) {
+	for _, scheme := range scanSchemes() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel() // hookMu serializes actual runs; this just queues
+			v := RunScanScheme(scheme, smokeCfg(23))
+			if !v.Passed() {
+				t.Errorf("seed=%d: %v", v.Seed, v.Failures)
+			}
+			if v.Scan.Elisions == 0 {
+				t.Error("no elisions recorded")
+			}
+			if v.StallsTaken == 0 {
+				t.Error("injector parked no readers")
+			}
+		})
+	}
+	// Determinism: same seed, same schedule hash.
+	a := RunScanScheme("hp", smokeCfg(23))
+	b := RunScanScheme("hp", smokeCfg(23))
+	if a.ScheduleHash != b.ScheduleHash {
+		t.Errorf("scan-hp schedule hash not deterministic: %016x vs %016x",
+			a.ScheduleHash, b.ScheduleHash)
 	}
 }
 
