@@ -4,9 +4,9 @@ GO ?= go
 # every check: the allocator, the OrcGC core, the manual schemes, the
 # networked KV service (pipelined connections over both), and the
 # lock-free metrics registry all of them report into.
-RACE_PKGS = ./internal/arena/ ./internal/core/ ./internal/reclaim/ ./internal/kvstore/ ./internal/obs/ ./internal/torture/
+RACE_PKGS = ./internal/arena/ ./internal/core/ ./internal/reclaim/ ./internal/kvstore/ ./internal/cluster/ ./internal/obs/ ./internal/torture/
 
-.PHONY: check vet build test race bench-alloc bench-scan serve load smoke metrics-smoke torture-smoke bench-kv clean
+.PHONY: check vet build test race bench-alloc bench-scan serve load smoke metrics-smoke torture-smoke cluster-smoke bench-kv bench-cluster clean
 
 check: vet build test race
 
@@ -88,6 +88,26 @@ metrics-smoke:
 TORTURE_SEED ?= 1
 torture-smoke:
 	$(GO) run -race ./cmd/orctorture -seed $(TORTURE_SEED) -threads 4 -ops 600 -stalls 1
+
+# Cluster smoke: three race-built backends on distinct schemes behind
+# kvproxy at R=2, one SIGKILLed and restarted empty mid-load. Asserts
+# kvload sees 0 errs across the outage, the per-backend inflight
+# gauges return to 0 after the drain (the cluster-side counterpart of
+# metrics-smoke), and every backend — including the restarted one —
+# passes its leak verdict. See scripts/cluster_smoke.sh.
+cluster-smoke:
+	$(GO) build -race -o bin/kvserver ./cmd/kvserver
+	$(GO) build -race -o bin/kvload ./cmd/kvload
+	$(GO) build -race -o bin/kvproxy ./cmd/kvproxy
+	sh scripts/cluster_smoke.sh
+
+# Measure proxy overhead and scaling vs a direct connection and
+# refresh BENCH_cluster.json (direct-1, proxy-1, proxy-2, proxy-3).
+bench-cluster:
+	$(GO) build -o bin/kvserver ./cmd/kvserver
+	$(GO) build -o bin/kvload ./cmd/kvload
+	$(GO) build -o bin/kvproxy ./cmd/kvproxy
+	sh scripts/bench_cluster.sh
 
 # Sweep every reclamation scheme through the loopback service and
 # refresh BENCH_kv.json (throughput + latency percentiles + drain leak

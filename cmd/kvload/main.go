@@ -220,7 +220,7 @@ type Report struct {
 }
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	addr := flag.String("addr", "127.0.0.1:7070", "server address, or a comma-separated list round-robined across -conns")
 	conns := flag.Int("conns", 8, "concurrent connections")
 	rate := flag.Float64("rate", 0, "total target ops/sec across all conns (0 = closed loop)")
 	pipeline := flag.Int("pipeline", 16, "closed-loop in-flight requests per conn")
@@ -251,6 +251,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	// -addr may be a comma-separated list (e.g. several kvproxy
+	// processes); connection i dials addrs[i mod n]. Control traffic —
+	// STATS, preload, the final DRAIN — uses the first address only.
+	addrs := strings.Split(*addr, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+
 	opts := kvstore.Options{
 		DialTimeout:  *dialTimeout,
 		ReadTimeout:  *ioTimeout,
@@ -258,7 +266,7 @@ func main() {
 		Pipeline:     *pipeline,
 		DialRetries:  *dialRetries,
 	}
-	ctl, err := kvstore.DialWith(*addr, opts)
+	ctl, err := kvstore.DialWith(addrs[0], opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kvload: %v\n", err)
 		os.Exit(1)
@@ -303,7 +311,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = runConn(*addr, opts, i, *seed+int64(i)*7919, deadline, warmupUntil,
+			results[i], errs[i] = runConn(addrs[i%len(addrs)], opts, i, *seed+int64(i)*7919, deadline, warmupUntil,
 				m, *dist, *theta, *keys, uint32(*scanLen), interval, *pipeline)
 		}(i)
 	}

@@ -61,6 +61,10 @@ type Admin struct {
 	// fast-path accounting (adaptive threshold position, elision hits).
 	// Nil for subjects with neither (the leak baselines).
 	ScanStats func() reclaim.ScanStats
+	// ClusterStats snapshots proxy-level counters (routed ops, hedges
+	// fired/won, breaker trips, rebalance keys moved) when the subject
+	// fronts a cluster proxy; nil for single-store subjects.
+	ClusterStats func() map[string]int64
 	// Quiesce drains pending reclamation: clears every thread's
 	// protections and flushes retired lists to a fixed point. Quiescent
 	// use only — no concurrent subject operations may be in flight.

@@ -1,0 +1,504 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/obs"
+)
+
+// Backend lifecycle. A backend is write-eligible while Recovering or
+// Healthy and read-eligible only while Healthy — the invariant the
+// whole failover design rests on: a replica that may have missed a
+// write (its connections died, or it just rejoined) never serves a
+// read until the proxy has resynced it from a healthy peer.
+const (
+	stateConnecting int32 = iota // dialing; breaker open, no traffic
+	stateRecovering              // connected; writes land, reads skip it until resync completes
+	stateHealthy                 // full member
+	stateStopped                 // removed from the topology
+)
+
+func stateName(s int32) string {
+	switch s {
+	case stateConnecting:
+		return "connecting"
+	case stateRecovering:
+		return "recovering"
+	case stateHealthy:
+		return "healthy"
+	default:
+		return "stopped"
+	}
+}
+
+var (
+	errBackendDown = errors.New("cluster: backend down")
+	errNoReplica   = errors.New("cluster: no live replica")
+)
+
+// call is one request in flight to a backend (and, reused on the other
+// side, one client-facing response slot). done carries exactly one
+// token per cycle: the completer sends, the collector receives, and
+// only then may the call return to the pool.
+type call struct {
+	done    chan struct{}
+	resp    []byte  // response payload, status byte first; aliases respBuf
+	respBuf *[]byte // pooled backing storage, recycled by putCall
+	err     error
+	start   time.Time
+}
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
+
+func getCall() *call {
+	ca := callPool.Get().(*call)
+	ca.resp, ca.err = nil, nil
+	ca.start = time.Now()
+	return ca
+}
+
+func putCall(ca *call) {
+	if ca.respBuf != nil {
+		putBuf(ca.respBuf)
+		ca.respBuf = nil
+	}
+	ca.resp = nil
+	callPool.Put(ca)
+}
+
+// complete fulfils a call with a pooled response buffer (ownership
+// transfers to the call) and wakes the collector.
+func (ca *call) complete(respBuf *[]byte) {
+	ca.respBuf = respBuf
+	if respBuf != nil {
+		ca.resp = *respBuf
+	}
+	ca.done <- struct{}{}
+}
+
+func (ca *call) fail(err error) {
+	ca.err = err
+	ca.done <- struct{}{}
+}
+
+// bufPool recycles request copies and response payloads — the frame
+// pool idiom from kvstore's server applied to the proxy's two hops.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func copyBuf(p []byte) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	*bp = append((*bp)[:0], p...)
+	return bp
+}
+
+func putBuf(bp *[]byte) {
+	if cap(*bp) <= 64<<10 {
+		*bp = (*bp)[:0]
+		bufPool.Put(bp)
+	}
+}
+
+// conn is one pipelined lane to a backend. Submissions append to the
+// wire and to the pending FIFO under mu; a receiver goroutine pairs
+// responses with pending calls in order. Writes for one key always ride
+// one lane (picked by key hash), so every replica executes same-key
+// writes in the proxy's submission order.
+type conn struct {
+	b   *backend
+	gen uint64
+	cl  *kvstore.Client
+
+	mu      sync.Mutex
+	dead    bool
+	pending chan *call
+	flushCh chan struct{} // wakes the flusher; cap 1, closed by killLocked
+}
+
+// submit queues req on this lane. The caller's payload is copied to the
+// wire before return. Returns false if the lane is dead.
+//
+// Flushing is coalesced: the common path only buffers the frame and
+// wakes the lane's flusher, so concurrent submissions share one write
+// syscall instead of paying one each. The exception is a lane at full
+// depth — there we must flush *before* blocking on the pending queue,
+// because the flusher needs mu (held across the block) and the queue
+// only drains once the buffered requests reach the server.
+func (c *conn) submit(req []byte, ca *call) bool {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return false
+	}
+	c.cl.SendRaw(req)
+	select {
+	case c.pending <- ca:
+		select {
+		case c.flushCh <- struct{}{}:
+		default: // a wakeup is already queued; it will cover this frame
+		}
+	default:
+		if err := c.cl.Flush(); err != nil {
+			// The lane is broken; the receiver will fail the calls
+			// already pending once its read errors. This call was never
+			// reliably on the wire, so fail it here and kill the lane.
+			c.killLocked()
+			c.mu.Unlock()
+			return false
+		}
+		c.pending <- ca // blocks at depth: natural per-lane backpressure
+	}
+	c.mu.Unlock()
+	c.b.inflight.Add(1)
+	return true
+}
+
+// flushLoop pushes buffered frames to the wire whenever submit signals.
+// One wakeup covers every frame buffered before the flush runs, so a
+// burst of submissions costs one syscall.
+func (c *conn) flushLoop() {
+	for range c.flushCh {
+		c.mu.Lock()
+		if c.dead {
+			c.mu.Unlock()
+			return
+		}
+		if err := c.cl.Flush(); err != nil {
+			c.killLocked()
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+	}
+}
+
+// killLocked marks the lane dead and closes the socket; mu held. The
+// pending channel is closed here — submitters check dead under mu
+// first, so no send can race the close.
+func (c *conn) killLocked() {
+	if c.dead {
+		return
+	}
+	c.dead = true
+	c.cl.Close()
+	close(c.pending)
+	close(c.flushCh) // sends are gated on !dead under mu, like pending
+	c.b.noteDeath(c.gen)
+}
+
+func (c *conn) kill() {
+	c.mu.Lock()
+	c.killLocked()
+	c.mu.Unlock()
+}
+
+// recvLoop pairs responses with pending calls. On a read error it fails
+// the current call, keeps draining (subsequent reads fail instantly on
+// the closed socket), and exits when kill closes the channel.
+func (c *conn) recvLoop() {
+	var sampled uint64
+	for ca := range c.pending {
+		buf := getBuf()
+		p, err := c.cl.RecvRaw((*buf)[:0])
+		if err != nil {
+			putBuf(buf)
+			c.b.inflight.Add(-1)
+			ca.fail(err)
+			// Kill from a fresh goroutine: kill takes mu, and a
+			// submitter blocked on the full pending channel holds mu
+			// until this loop consumes its call.
+			go c.kill()
+			continue
+		}
+		*buf = p
+		if sampled++; sampled&15 == 0 {
+			c.b.observeRTT(time.Since(ca.start))
+		}
+		c.b.inflight.Add(-1)
+		ca.complete(buf)
+	}
+}
+
+// backend is one kvserver behind the proxy: a pool of pipelined lanes,
+// a circuit breaker (the monitor goroutine), and the latency digest
+// that derives the hedged-read delay.
+type backend struct {
+	addr string
+	p    *Proxy
+
+	state    atomic.Int32
+	gen      atomic.Uint64 // bumped per (re)connect; stale lane deaths are ignored
+	lanes    atomic.Pointer[[]*conn]
+	rr       atomic.Uint32
+	inflight atomic.Int64
+
+	scheme atomic.Pointer[string] // reclamation scheme reported by the backend's STATS
+
+	rtt       *obs.Hist
+	rttN      atomic.Uint64
+	hedgeNs   atomic.Int64
+	trips     atomic.Uint64 // breaker openings
+	dialErrs  atomic.Int64  // consecutive dial failures while reconnecting
+	syncMoved atomic.Uint64 // keys copied in by the last resync
+
+	deaths chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newBackend(p *Proxy, addr string, hist *obs.Hist) *backend {
+	if hist == nil {
+		hist = &obs.Hist{}
+	}
+	b := &backend{
+		addr:   addr,
+		p:      p,
+		rtt:    hist,
+		deaths: make(chan struct{}, 4),
+		stop:   make(chan struct{}),
+	}
+	empty := ""
+	b.scheme.Store(&empty)
+	b.state.Store(stateConnecting)
+	return b
+}
+
+func (b *backend) start(bootstrap bool) {
+	b.wg.Add(1)
+	go b.run(bootstrap)
+}
+
+func (b *backend) stopAndWait() {
+	b.state.Store(stateStopped)
+	close(b.stop)
+	b.wg.Wait()
+}
+
+// noteDeath tells the monitor a lane of the current generation died.
+func (b *backend) noteDeath(gen uint64) {
+	if b.gen.Load() != gen {
+		return // a lane from a torn-down pool failing late
+	}
+	select {
+	case b.deaths <- struct{}{}:
+	default:
+	}
+}
+
+// suspect flips a backend out of the read set the moment a write to it
+// fails, *before* the proxy acks that write — the ordering that makes
+// "acked ⇒ every read-eligible replica has it" hold even in the window
+// before the monitor processes the lane death.
+func (b *backend) suspect() {
+	if b.state.CompareAndSwap(stateHealthy, stateConnecting) {
+		b.trips.Add(1)
+		b.noteDeath(b.gen.Load())
+	}
+}
+
+// run is the breaker/monitor loop: dial the pool, resync if this is a
+// rejoin, serve until a lane dies, tear down, repeat with jittered
+// backoff. Exits when the backend is removed from the topology.
+func (b *backend) run(bootstrap bool) {
+	defer b.wg.Done()
+	first := true
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-b.stop:
+			return
+		default:
+		}
+		gen := b.gen.Add(1)
+		lanes, err := b.connect(gen)
+		if err != nil {
+			b.dialErrs.Add(1)
+			wait := time.Duration(float64(backoff) * (0.75 + 0.5*rand.Float64()))
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			select {
+			case <-b.stop:
+				return
+			case <-time.After(wait):
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+		b.dialErrs.Store(0)
+		b.lanes.Store(&lanes)
+		if first && bootstrap {
+			// Initial topology: every backend starts empty and
+			// consistent; there is nothing to copy and no healthy peer
+			// to copy it from yet.
+			b.state.Store(stateHealthy)
+		} else {
+			b.state.Store(stateRecovering)
+			if err := b.p.resync(b); err != nil {
+				b.teardown(lanes)
+				continue
+			}
+			b.state.CompareAndSwap(stateRecovering, stateHealthy)
+		}
+		first = false
+		select {
+		case <-b.stop:
+			b.teardown(lanes)
+			return
+		case <-b.deaths:
+			b.trips.Add(1)
+			b.state.Store(stateConnecting)
+			b.teardown(lanes)
+		}
+	}
+}
+
+func (b *backend) connect(gen uint64) ([]*conn, error) {
+	cfg := b.p.cfg
+	lanes := make([]*conn, cfg.Lanes)
+	for i := range lanes {
+		cl, err := kvstore.DialWith(b.addr, kvstore.Options{
+			DialTimeout: cfg.DialTimeout,
+			ReadTimeout: cfg.IOTimeout,
+			Pipeline:    cfg.Depth,
+			DialRetries: 2,
+			DialBackoff: 25 * time.Millisecond,
+		})
+		if err != nil {
+			for _, c := range lanes[:i] {
+				c.kill()
+			}
+			return nil, err
+		}
+		if i == 0 {
+			st, err := cl.Stats()
+			if err != nil {
+				cl.Close()
+				return nil, fmt.Errorf("cluster: %s STATS: %w", b.addr, err)
+			}
+			b.scheme.Store(&st.Scheme)
+		}
+		c := &conn{b: b, gen: gen, cl: cl, pending: make(chan *call, cfg.Depth), flushCh: make(chan struct{}, 1)}
+		lanes[i] = c
+		go c.recvLoop()
+		go c.flushLoop()
+	}
+	return lanes, nil
+}
+
+func (b *backend) teardown(lanes []*conn) {
+	b.lanes.Store(nil)
+	for _, c := range lanes {
+		c.kill()
+	}
+	// Clear death signals raised by the pool just torn down so the next
+	// pool does not get recycled on arrival (fresh-lane deaths re-raise:
+	// their generation is current).
+	for {
+		select {
+		case <-b.deaths:
+		default:
+			return
+		}
+	}
+}
+
+// laneFor pins same-key traffic to one lane so every replica executes
+// writes to a key in the proxy's stripe order.
+func (b *backend) laneFor(key uint64) *conn {
+	lp := b.lanes.Load()
+	if lp == nil {
+		return nil
+	}
+	lanes := *lp
+	return lanes[splitmix64(key)%uint64(len(lanes))]
+}
+
+// submitKeyed queues an op on the key's lane. No cross-lane fallback:
+// order matters, and a dead lane means the pool is going down anyway.
+func (b *backend) submitKeyed(key uint64, req []byte, ca *call) bool {
+	c := b.laneFor(key)
+	return c != nil && c.submit(req, ca)
+}
+
+// submitAny queues an order-insensitive op (reads, scans, stats) on any
+// live lane.
+func (b *backend) submitAny(req []byte, ca *call) bool {
+	lp := b.lanes.Load()
+	if lp == nil {
+		return false
+	}
+	lanes := *lp
+	start := int(b.rr.Add(1))
+	for k := 0; k < len(lanes); k++ {
+		if lanes[(start+k)%len(lanes)].submit(req, ca) {
+			return true
+		}
+	}
+	return false
+}
+
+// roundTrip is the blocking helper the scatter paths (scan, stats,
+// drain, resync) use. The returned call owns the response; the caller
+// must putCall it after consuming resp.
+func (b *backend) roundTrip(req []byte, keyed bool, key uint64) (*call, error) {
+	ca := getCall()
+	ok := false
+	if keyed {
+		ok = b.submitKeyed(key, req, ca)
+	} else {
+		ok = b.submitAny(req, ca)
+	}
+	if !ok {
+		putCall(ca)
+		return nil, errBackendDown
+	}
+	<-ca.done
+	if ca.err != nil {
+		err := ca.err
+		putCall(ca)
+		return nil, err
+	}
+	return ca, nil
+}
+
+// Hedge-delay bookkeeping: every 512 sampled RTTs, re-derive the hedged
+// read trigger as 2×p99, clamped to [250µs, 25ms].
+const (
+	hedgeMin = 250 * time.Microsecond
+	hedgeMax = 25 * time.Millisecond
+)
+
+func (b *backend) observeRTT(d time.Duration) {
+	b.rtt.Observe(uint64(d))
+	if b.rttN.Add(1)&511 == 0 {
+		p99 := time.Duration(b.rtt.Summary().P99Us * 1e3)
+		h := 2 * p99
+		if h < hedgeMin {
+			h = hedgeMin
+		}
+		if h > hedgeMax {
+			h = hedgeMax
+		}
+		b.hedgeNs.Store(int64(h))
+	}
+}
+
+// hedgeDelay is how long a Get waits on the first replica before firing
+// the hedge at the second.
+func (b *backend) hedgeDelay() time.Duration {
+	if ns := b.hedgeNs.Load(); ns > 0 {
+		return time.Duration(ns)
+	}
+	return time.Millisecond
+}
+
+func (b *backend) readEligible() bool  { return b.state.Load() == stateHealthy }
+func (b *backend) writeEligible() bool { s := b.state.Load(); return s == stateHealthy || s == stateRecovering }

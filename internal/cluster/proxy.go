@@ -1,0 +1,951 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/obs"
+)
+
+// Config sizes a Proxy. The zero value of every field gets a sane
+// default from New.
+type Config struct {
+	Backends []string // initial backend addresses
+	Replicas int      // copies per key, clamped to the backend count (default 2)
+	VNodes   int      // ring vnode budget (default DefaultVNodes)
+	Lanes    int      // pipelined connections per backend (default 4)
+	Depth    int      // in-flight requests per lane (default 128)
+
+	DialTimeout time.Duration // per backend connect (default 2s)
+	IOTimeout   time.Duration // per backend response read (default 10s)
+
+	Metrics *obs.Registry // optional; nil disables instrumentation
+}
+
+const (
+	maxReplicas = 8
+	stripeCount = 1024 // write-serialization stripes (power of two)
+)
+
+// topology is the immutable (ring, backends) pair the routing path
+// reads with one atomic load — ids in the ring index backs directly.
+type topology struct {
+	ring  *Ring
+	backs []*backend
+}
+
+// Proxy terminates the kvstore wire protocol on its client side and
+// routes each op to a replica set of backends chosen by the ring.
+//
+// Consistency contract (what makes hedged reads and failover safe):
+// an acked write is present on every read-eligible replica of its key.
+// Writes fan out to all write-eligible replicas under a per-key stripe
+// lock and ride key-pinned lanes, so replicas execute same-key writes
+// in one global order; any healthy replica that fails a write is
+// demoted out of the read set *before* the client sees the ack. Reads
+// therefore trust whichever read-eligible replica answers first.
+//
+// Topology changes are two-phase: while a migration is in flight the
+// proxy routes writes to the union of the current and next replica
+// sets but keeps reading from the current ones, and only swaps the
+// ring once the handoff has copied every key to its new home.
+type Proxy struct {
+	cfg Config
+	reg *obs.Registry
+
+	topo atomic.Pointer[topology]
+	next atomic.Pointer[topology] // non-nil while a migration is in flight
+	tmu  sync.Mutex               // serializes topology changes
+	byAddr map[string]*backend
+
+	locks [stripeCount]sync.Mutex
+
+	ln     net.Listener
+	cmu    sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	routed      atomic.Uint64 // client requests dispatched
+	hedges      atomic.Uint64 // hedged reads fired
+	hedgeWins   atomic.Uint64 // hedges that answered first (or rescued a failed primary)
+	readRetries atomic.Uint64 // reads that failed over past the first replica
+	degraded    atomic.Uint64 // writes acked with fewer than the full replica set
+	keysMoved   atomic.Uint64 // keys copied by resync/handoff
+}
+
+// New builds a proxy over the configured backends and starts their
+// connection pools. Backends need not be reachable yet — each pool
+// dials with jittered backoff until its server appears. The initial
+// backends are assumed empty-and-consistent (a fresh cluster); nodes
+// added or re-added later always resync before serving reads.
+func New(cfg Config) *Proxy {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas > maxReplicas {
+		cfg.Replicas = maxReplicas
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = 4
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 128
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 10 * time.Second
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		reg:    cfg.Metrics,
+		byAddr: map[string]*backend{},
+		conns:  map[net.Conn]struct{}{},
+	}
+	backs := make([]*backend, len(cfg.Backends))
+	for i, addr := range cfg.Backends {
+		b := newBackend(p, addr, p.reg.Hist("cluster/backend/"+addr+"/rtt"))
+		p.byAddr[addr] = b
+		backs[i] = b
+	}
+	p.topo.Store(&topology{ring: BuildRing(cfg.Backends, cfg.VNodes), backs: backs})
+	p.instrument()
+	for _, b := range backs {
+		p.registerBackendMetrics(b)
+		b.start(true)
+	}
+	return p
+}
+
+func (p *Proxy) instrument() {
+	reg := p.reg
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("cluster/backends", func() int64 { return int64(len(p.topo.Load().backs)) })
+	reg.GaugeFunc("cluster/ops/routed", func() int64 { return int64(p.routed.Load()) })
+	reg.GaugeFunc("cluster/hedge/fired", func() int64 { return int64(p.hedges.Load()) })
+	reg.GaugeFunc("cluster/hedge/wins", func() int64 { return int64(p.hedgeWins.Load()) })
+	reg.GaugeFunc("cluster/read/retries", func() int64 { return int64(p.readRetries.Load()) })
+	reg.GaugeFunc("cluster/writes/degraded", func() int64 { return int64(p.degraded.Load()) })
+	reg.GaugeFunc("cluster/rebalance/keys_moved", func() int64 { return int64(p.keysMoved.Load()) })
+	reg.GaugeFunc("cluster/breaker/trips", func() int64 {
+		p.tmu.Lock()
+		defer p.tmu.Unlock()
+		var n int64
+		for _, b := range p.byAddr {
+			n += int64(b.trips.Load())
+		}
+		return n
+	})
+}
+
+func (p *Proxy) registerBackendMetrics(b *backend) {
+	if p.reg == nil {
+		return
+	}
+	prefix := "cluster/backend/" + b.addr
+	p.reg.GaugeFunc(prefix+"/inflight", b.inflight.Load)
+	p.reg.GaugeFunc(prefix+"/state", func() int64 { return int64(b.state.Load()) })
+	p.reg.GaugeFunc(prefix+"/trips", func() int64 { return int64(b.trips.Load()) })
+}
+
+// WaitReady blocks until every backend in the current topology is
+// healthy, or the timeout elapses.
+func (p *Proxy) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ready := true
+		for _, b := range p.topo.Load().backs {
+			if !b.readEligible() {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return errors.New("cluster: backends not ready before timeout")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Serve accepts client connections until the listener closes.
+func (p *Proxy) Serve(ln net.Listener) error {
+	p.cmu.Lock()
+	p.ln = ln
+	p.cmu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			p.cmu.Lock()
+			closed := p.closed
+			p.cmu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		p.cmu.Lock()
+		if p.closed {
+			p.cmu.Unlock()
+			c.Close()
+			return nil
+		}
+		p.conns[c] = struct{}{}
+		p.wg.Add(1)
+		p.cmu.Unlock()
+		go p.handle(c)
+	}
+}
+
+// Shutdown stops accepting, unblocks every client reader, waits for
+// in-flight requests to answer, and tears down the backend pools.
+func (p *Proxy) Shutdown() {
+	p.cmu.Lock()
+	p.closed = true
+	if p.ln != nil {
+		p.ln.Close()
+	}
+	for c := range p.conns {
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.CloseRead()
+		}
+	}
+	p.cmu.Unlock()
+	p.wg.Wait()
+	p.tmu.Lock()
+	backs := make([]*backend, 0, len(p.byAddr))
+	for _, b := range p.byAddr {
+		backs = append(backs, b)
+	}
+	p.tmu.Unlock()
+	for _, b := range backs {
+		b.stopAndWait()
+	}
+}
+
+// handle is the per-client-connection loop: the reader parses frames
+// and dispatches each to a worker goroutine; the writer streams the
+// responses back strictly in request order (the protocol's pipelining
+// contract), flushing whenever the pipeline goes idle.
+func (p *Proxy) handle(c net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		p.cmu.Lock()
+		delete(p.conns, c)
+		p.cmu.Unlock()
+		c.Close()
+	}()
+	order := make(chan *call, 4*p.cfg.Depth)
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		bw := bufio.NewWriterSize(c, 64<<10)
+		var scratch []byte
+		broken := false
+		for ca := range order {
+			<-ca.done
+			if !broken {
+				if ca.err != nil {
+					payload := append([]byte{kvstore.StatusErr}, ca.err.Error()...)
+					scratch = kvstore.AppendFrame(scratch[:0], payload)
+				} else {
+					scratch = kvstore.AppendFrame(scratch[:0], ca.resp)
+				}
+				if _, err := bw.Write(scratch); err != nil {
+					broken = true // keep collecting so dispatchers never leak
+				}
+			}
+			putCall(ca)
+			if !broken && len(order) == 0 {
+				bw.Flush()
+			}
+		}
+		bw.Flush()
+	}()
+	br := bufio.NewReaderSize(c, 64<<10)
+	var req []byte
+	for {
+		payload, err := kvstore.ReadFrame(br, req)
+		if err != nil {
+			break
+		}
+		req = payload
+		order <- p.dispatch(payload)
+	}
+	close(order)
+	wwg.Wait()
+}
+
+var (
+	errShortReq = errors.New("cluster: short request")
+	errBusy     = errors.New("cluster: topology change already in progress")
+)
+
+// dispatch hands one request payload to its handler and returns the
+// call the writer will wait on. Handlers run in their own goroutine so
+// a slow replica never stalls requests queued behind it on the same
+// client connection; the writer re-serializes completions in order.
+func (p *Proxy) dispatch(payload []byte) *call {
+	ca := getCall()
+	p.routed.Add(1)
+	switch op := payload[0]; op {
+	case kvstore.OpGet:
+		key, ok := kvstore.PayloadU64(payload, 1)
+		if !ok {
+			ca.fail(errShortReq)
+			return ca
+		}
+		req := copyBuf(payload)
+		go p.doGet(req, key, ca)
+	case kvstore.OpPut, kvstore.OpDel:
+		key, ok := kvstore.PayloadU64(payload, 1)
+		if !ok {
+			ca.fail(errShortReq)
+			return ca
+		}
+		req := copyBuf(payload)
+		go p.doWrite(req, key, ca)
+	case kvstore.OpScan:
+		from, ok1 := kvstore.PayloadU64(payload, 1)
+		limit, ok2 := kvstore.PayloadU32(payload, 9)
+		if !ok1 || !ok2 {
+			ca.fail(errShortReq)
+			return ca
+		}
+		go p.doScan(from, limit, ca)
+	case kvstore.OpStats:
+		go p.doStats(ca)
+	case kvstore.OpDrain:
+		go p.doDrain(ca)
+	case kvstore.OpClusterInfo:
+		go p.doInfo(ca)
+	case kvstore.OpClusterAdd, kvstore.OpClusterDrain, kvstore.OpClusterRemove:
+		addr := string(payload[1:])
+		go p.doTopo(op, addr, ca)
+	default:
+		ca.fail(fmt.Errorf("cluster: unknown op %d", payload[0]))
+	}
+	return ca
+}
+
+func (p *Proxy) replicas() int { return p.cfg.Replicas }
+
+// transfer moves a backend response into the client-facing call
+// (buffer ownership included) and completes it.
+func transfer(src, dst *call) {
+	dst.respBuf, dst.resp = src.respBuf, src.resp
+	src.respBuf, src.resp = nil, nil
+	putCall(src)
+	dst.done <- struct{}{}
+}
+
+// collect reaps an abandoned backend call once it completes.
+func collect(c *call) { <-c.done; putCall(c) }
+
+// readSet appends the read-eligible replicas of key, preference order.
+func (p *Proxy) readSet(key uint64, dst []*backend) []*backend {
+	t := p.topo.Load()
+	var idbuf [maxReplicas]int32
+	for _, id := range t.ring.Lookup(key, p.replicas(), idbuf[:0]) {
+		if b := t.backs[id]; b.readEligible() {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// doGet serves a GET with hedging and failover. The primary replica
+// gets the request first; if it has not answered within the
+// p99-derived hedge delay, the second replica gets a copy and the
+// first response wins. Failed replicas are demoted and the remaining
+// candidates tried in order.
+func (p *Proxy) doGet(req *[]byte, key uint64, ca *call) {
+	defer putBuf(req)
+	var cbuf [maxReplicas]*backend
+	cands := p.readSet(key, cbuf[:0])
+	if len(cands) == 0 {
+		ca.fail(errNoReplica)
+		return
+	}
+	bc := getCall()
+	if !cands[0].submitAny(*req, bc) {
+		putCall(bc)
+		cands[0].suspect()
+		p.readRetries.Add(1)
+		p.getSequential(cands[1:], *req, ca)
+		return
+	}
+	if len(cands) == 1 {
+		<-bc.done
+		if bc.err == nil {
+			transfer(bc, ca)
+			return
+		}
+		cands[0].suspect()
+		putCall(bc)
+		ca.fail(errNoReplica)
+		return
+	}
+	timer := time.NewTimer(cands[0].hedgeDelay())
+	select {
+	case <-bc.done:
+		timer.Stop()
+		if bc.err == nil {
+			transfer(bc, ca)
+			return
+		}
+		cands[0].suspect()
+		putCall(bc)
+		p.readRetries.Add(1)
+		p.getSequential(cands[1:], *req, ca)
+		return
+	case <-timer.C:
+	}
+	p.hedges.Add(1)
+	hc := getCall()
+	if !cands[1].submitAny(*req, hc) {
+		putCall(hc)
+		<-bc.done
+		if bc.err == nil {
+			transfer(bc, ca)
+			return
+		}
+		cands[0].suspect()
+		putCall(bc)
+		p.readRetries.Add(1)
+		p.getSequential(cands[2:], *req, ca)
+		return
+	}
+	select {
+	case <-bc.done:
+		if bc.err == nil {
+			transfer(bc, ca)
+			go collect(hc)
+			return
+		}
+		cands[0].suspect()
+		putCall(bc)
+		<-hc.done
+		if hc.err == nil {
+			p.hedgeWins.Add(1)
+			transfer(hc, ca)
+			return
+		}
+		cands[1].suspect()
+		putCall(hc)
+		p.readRetries.Add(1)
+		p.getSequential(cands[2:], *req, ca)
+	case <-hc.done:
+		if hc.err == nil {
+			p.hedgeWins.Add(1)
+			transfer(hc, ca)
+			go collect(bc)
+			return
+		}
+		cands[1].suspect()
+		putCall(hc)
+		<-bc.done
+		if bc.err == nil {
+			transfer(bc, ca)
+			return
+		}
+		cands[0].suspect()
+		putCall(bc)
+		p.readRetries.Add(1)
+		p.getSequential(cands[2:], *req, ca)
+	}
+}
+
+func (p *Proxy) getSequential(cands []*backend, req []byte, ca *call) {
+	for _, b := range cands {
+		rc, err := b.roundTrip(req, false, 0)
+		if err != nil {
+			b.suspect()
+			continue
+		}
+		transfer(rc, ca)
+		return
+	}
+	ca.fail(errNoReplica)
+}
+
+// writeSet appends the write-eligible replicas of key — the union of
+// the current and (mid-migration) next topologies' replica sets, so a
+// key being handed off keeps both its old and new homes fresh.
+// healthy[i] records read-eligibility at submission time, which decides
+// whether a failure must demote the replica before the ack.
+func (p *Proxy) writeSet(key uint64, dst []*backend, healthy []bool) ([]*backend, []bool) {
+	appendFrom := func(t *topology) {
+		var idbuf [maxReplicas]int32
+		for _, id := range t.ring.Lookup(key, p.replicas(), idbuf[:0]) {
+			b := t.backs[id]
+			dup := false
+			for _, seen := range dst {
+				if seen == b {
+					dup = true
+					break
+				}
+			}
+			if dup || !b.writeEligible() {
+				continue
+			}
+			dst = append(dst, b)
+			healthy = append(healthy, b.readEligible())
+		}
+	}
+	appendFrom(p.topo.Load())
+	if nt := p.next.Load(); nt != nil {
+		appendFrom(nt)
+	}
+	return dst, healthy
+}
+
+// doWrite serves PUT and DEL. All submissions happen under the key's
+// stripe lock onto key-pinned lanes, giving every replica the same
+// same-key execution order; acks wait for every replica, demote the
+// failures, and succeed if at least one replica holds the write.
+func (p *Proxy) doWrite(req *[]byte, key uint64, ca *call) {
+	defer putBuf(req)
+	var bbuf [2 * maxReplicas]*backend
+	var hbuf [2 * maxReplicas]bool
+	var bcs [2 * maxReplicas]*call
+	var bks [2 * maxReplicas]*backend
+	var healthy [2 * maxReplicas]bool
+	n := 0
+
+	stripe := &p.locks[key&(stripeCount-1)]
+	stripe.Lock()
+	set, elig := p.writeSet(key, bbuf[:0], hbuf[:0])
+	for i, b := range set {
+		bc := getCall()
+		if b.submitKeyed(key, *req, bc) {
+			bcs[n], bks[n], healthy[n] = bc, b, elig[i]
+			n++
+		} else {
+			putCall(bc)
+			if elig[i] {
+				b.suspect()
+			}
+		}
+	}
+	stripe.Unlock()
+	if n == 0 {
+		ca.fail(errNoReplica)
+		return
+	}
+	okCount := 0
+	for i := 0; i < n; i++ {
+		<-bcs[i].done
+		if bcs[i].err != nil {
+			// Demote before the client can see the ack: a replica that
+			// missed this write must not serve the next read.
+			if healthy[i] {
+				bks[i].suspect()
+			}
+			putCall(bcs[i])
+			bcs[i] = nil
+		} else {
+			okCount++
+		}
+	}
+	if okCount == 0 {
+		ca.fail(errNoReplica)
+		return
+	}
+	if okCount < n {
+		p.degraded.Add(1)
+	}
+	// Response: the first surviving replica in ring order answers; for
+	// DEL prefer any replica that found the key (a replica added to the
+	// set mid-recovery may legitimately miss it).
+	op := (*req)[0]
+	var winner *call
+	for i := 0; i < n; i++ {
+		c := bcs[i]
+		if c == nil {
+			continue
+		}
+		if winner == nil {
+			winner = c
+			continue
+		}
+		if op == kvstore.OpDel && winner.resp[0] != kvstore.StatusOK && c.resp[0] == kvstore.StatusOK {
+			putCall(winner)
+			winner = c
+			continue
+		}
+		putCall(c)
+	}
+	transfer(winner, ca)
+}
+
+func scanReq(dst []byte, from uint64, limit uint32) []byte {
+	dst = append(dst[:0], kvstore.OpScan)
+	dst = kvstore.AppendU64(dst, from)
+	return kvstore.AppendU32(dst, limit)
+}
+
+// doScan scatters the window to every read-eligible backend and merges.
+// A backend that filled its window bounds how far the merge may trust
+// the union (the horizon): keys past the smallest full-window last key
+// might be missing from that backend's reply, so the merged response is
+// cut there and the client's next page re-covers the rest.
+func (p *Proxy) doScan(from uint64, limit uint32, ca *call) {
+	if limit == 0 {
+		buf := getBuf()
+		*buf = kvstore.AppendU32(append((*buf)[:0], kvstore.StatusOK), 0)
+		ca.complete(buf)
+		return
+	}
+	if limit > kvstore.MaxScanLimit {
+		limit = kvstore.MaxScanLimit
+	}
+	t := p.topo.Load()
+	type sres struct {
+		pairs []uint64
+		ok    bool
+	}
+	var sources []*backend
+	for _, b := range t.backs {
+		if b.readEligible() {
+			sources = append(sources, b)
+		}
+	}
+	if len(sources) == 0 {
+		ca.fail(errNoReplica)
+		return
+	}
+	results := make([]sres, len(sources))
+	var wg sync.WaitGroup
+	var req [13]byte
+	reqb := scanReq(req[:0], from, limit)
+	for i, b := range sources {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			rc, err := b.roundTrip(reqb, false, 0)
+			if err != nil {
+				return
+			}
+			defer putCall(rc)
+			if rc.resp[0] != kvstore.StatusOK {
+				return
+			}
+			nPairs, ok := kvstore.PayloadU32(rc.resp, 1)
+			if !ok {
+				return
+			}
+			pairs := make([]uint64, 0, 2*nPairs)
+			off := 5
+			for j := uint32(0); j < 2*nPairs; j++ {
+				w, ok := kvstore.PayloadU64(rc.resp, off)
+				if !ok {
+					return
+				}
+				pairs = append(pairs, w)
+				off += 8
+			}
+			results[i] = sres{pairs: pairs, ok: true}
+		}(i, b)
+	}
+	wg.Wait()
+	anyOK := false
+	horizon := uint64(1<<64 - 1)
+	type kv struct{ k, v uint64 }
+	var merged []kv
+	for _, r := range results {
+		if !r.ok {
+			continue
+		}
+		anyOK = true
+		for j := 0; j+1 < len(r.pairs); j += 2 {
+			merged = append(merged, kv{r.pairs[j], r.pairs[j+1]})
+		}
+		if uint32(len(r.pairs)/2) == limit {
+			if last := r.pairs[len(r.pairs)-2]; last < horizon {
+				horizon = last
+			}
+		}
+	}
+	if !anyOK {
+		ca.fail(errNoReplica)
+		return
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a].k < merged[b].k })
+	buf := getBuf()
+	out := append((*buf)[:0], kvstore.StatusOK, 0, 0, 0, 0)
+	count := uint32(0)
+	var prev uint64
+	for _, e := range merged {
+		if e.k > horizon || count == limit {
+			break
+		}
+		if count > 0 && e.k == prev {
+			continue
+		}
+		out = kvstore.AppendU64(out, e.k)
+		out = kvstore.AppendU64(out, e.v)
+		prev = e.k
+		count++
+	}
+	out[1] = byte(count)
+	out[2] = byte(count >> 8)
+	out[3] = byte(count >> 16)
+	out[4] = byte(count >> 24)
+	*buf = out
+	ca.complete(buf)
+}
+
+// doStats aggregates every reachable backend's STATS into one snapshot.
+// Per-side detail is omitted: the aggregate must fit one response frame
+// regardless of cluster size (per-backend sides live on each backend's
+// own /metrics endpoint).
+func (p *Proxy) doStats(ca *call) {
+	t := p.topo.Load()
+	agg := kvstore.Stats{}
+	var schemes []string
+	reached := 0
+	for _, b := range t.backs {
+		rc, err := b.roundTrip([]byte{kvstore.OpStats}, false, 0)
+		if err != nil {
+			continue
+		}
+		var st kvstore.Stats
+		ok := rc.resp[0] == kvstore.StatusOK
+		if ok {
+			ok = json.Unmarshal(rc.resp[1:], &st) == nil
+		}
+		putCall(rc)
+		if !ok {
+			continue
+		}
+		reached++
+		agg.Shards += st.Shards
+		agg.Live += st.Live
+		agg.MaxLive += st.MaxLive
+		agg.Baseline += st.Baseline
+		schemes = append(schemes, st.Scheme)
+	}
+	if reached == 0 {
+		ca.fail(errNoReplica)
+		return
+	}
+	agg.Scheme = "cluster(" + strings.Join(schemes, "+") + ")"
+	p.respondJSON(ca, agg)
+}
+
+// doDrain fans DRAIN to every backend (quiescent use only, like the
+// single-node op) and merges the reports: sums of the accounting
+// fields, logical AND of the leak verdicts.
+// quiesce waits until the cluster has no internal writers: no topology
+// change pending and no backend mid-resync. DRAIN inherits kvstore's
+// quiescent-use-only contract, and the proxy's own rebalance traffic
+// counts — fanning OpDrain while resync is still copying keys would
+// race DrainAndCheck's FlushAll against live Puts on the target store.
+func (p *Proxy) quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		busy := p.next.Load() != nil
+		if !busy {
+			// Anything short of Healthy either is resyncing or will
+			// start a resync the moment it reconnects (and a down
+			// backend can't answer OpDrain anyway) — wait it out.
+			for _, b := range p.topo.Load().backs {
+				if b.state.Load() != stateHealthy {
+					busy = true
+					break
+				}
+			}
+		}
+		if !busy {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return errors.New("cluster: resync still in progress")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// doDrain inherits kvstore's quiescent-use-only DRAIN contract, and the
+// servers enforce it: OpDrain claims a backend's whole tid pool, so it
+// only proceeds once every other connection to that server — including
+// this proxy's own pool lanes — is gone. The proxy therefore stops all
+// pools, drains each backend over a fresh direct connection, then
+// rebuilds the pools (bootstrap: the stores are all empty now, so no
+// resync). Client ops that race the drain window fail fast; drain is an
+// operator action, not a data-path verb.
+func (p *Proxy) doDrain(ca *call) {
+	if err := p.quiesce(time.Minute); err != nil {
+		ca.fail(err)
+		return
+	}
+	p.tmu.Lock()
+	defer p.tmu.Unlock()
+	if p.next.Load() != nil { // a topology change slipped in after quiesce
+		ca.fail(errors.New("cluster: topology change in progress"))
+		return
+	}
+	old := p.topo.Load()
+	for _, b := range old.backs {
+		b.stopAndWait()
+	}
+
+	agg := kvstore.DrainReport{LeakOK: true}
+	var schemes []string
+	drainErr := func() error {
+		for _, b := range old.backs {
+			cl, err := kvstore.DialWith(b.addr, kvstore.Options{
+				DialTimeout: p.cfg.DialTimeout,
+				ReadTimeout: time.Minute, // the barrier alone can take 30s
+				DialRetries: 2,
+			})
+			if err != nil {
+				return fmt.Errorf("cluster: drain %s: %w", b.addr, err)
+			}
+			rep, err := cl.Drain()
+			cl.Close()
+			if err != nil {
+				return fmt.Errorf("cluster: drain %s: %w", b.addr, err)
+			}
+			agg.Baseline += rep.Baseline
+			agg.Live += rep.Live
+			agg.RetiredNotFreed += rep.RetiredNotFreed
+			agg.Deleted += rep.Deleted
+			agg.LeakOK = agg.LeakOK && rep.LeakOK
+			schemes = append(schemes, rep.Scheme)
+		}
+		return nil
+	}()
+
+	// Rebuild the pools on the same ring, carrying each backend's RTT
+	// history so hedge delays stay calibrated.
+	backs := make([]*backend, len(old.backs))
+	for i, ob := range old.backs {
+		nb := newBackend(p, ob.addr, ob.rtt)
+		p.byAddr[ob.addr] = nb
+		p.registerBackendMetrics(nb)
+		backs[i] = nb
+		nb.start(true)
+	}
+	p.topo.Store(&topology{ring: old.ring, backs: backs})
+
+	if drainErr != nil {
+		ca.fail(drainErr)
+		return
+	}
+	agg.Scheme = "cluster(" + strings.Join(schemes, "+") + ")"
+	p.respondJSON(ca, agg)
+}
+
+// NodeInfo is one backend's slice of the Info snapshot.
+type NodeInfo struct {
+	Addr         string `json:"addr"`
+	Scheme       string `json:"scheme"`
+	State        string `json:"state"`
+	Inflight     int64  `json:"inflight"`
+	BreakerTrips uint64 `json:"breaker_trips"`
+	DialFailures int64  `json:"dial_failures"`
+	HedgeDelayUs int64  `json:"hedge_delay_us"`
+}
+
+// Info is the CLUSTER_INFO response.
+type Info struct {
+	Replicas       int        `json:"replicas"`
+	VNodes         int        `json:"vnodes"`
+	Migrating      bool       `json:"migrating"`
+	Nodes          []NodeInfo `json:"nodes"`
+	RoutedOps      uint64     `json:"routed_ops"`
+	HedgesFired    uint64     `json:"hedges_fired"`
+	HedgeWins      uint64     `json:"hedge_wins"`
+	ReadRetries    uint64     `json:"read_retries"`
+	DegradedWrites uint64     `json:"degraded_writes"`
+	KeysMoved      uint64     `json:"keys_moved"`
+}
+
+// Snapshot assembles the Info the CLUSTER_INFO verb serves; in-process
+// embedders (the torture harness) read it directly.
+func (p *Proxy) Snapshot() Info {
+	p.tmu.Lock()
+	backs := make([]*backend, 0, len(p.byAddr))
+	for _, b := range p.byAddr {
+		backs = append(backs, b)
+	}
+	p.tmu.Unlock()
+	sort.Slice(backs, func(i, j int) bool { return backs[i].addr < backs[j].addr })
+	info := Info{
+		Replicas:       p.replicas(),
+		VNodes:         p.cfg.VNodes,
+		Migrating:      p.next.Load() != nil,
+		RoutedOps:      p.routed.Load(),
+		HedgesFired:    p.hedges.Load(),
+		HedgeWins:      p.hedgeWins.Load(),
+		ReadRetries:    p.readRetries.Load(),
+		DegradedWrites: p.degraded.Load(),
+		KeysMoved:      p.keysMoved.Load(),
+	}
+	for _, b := range backs {
+		info.Nodes = append(info.Nodes, NodeInfo{
+			Addr:         b.addr,
+			Scheme:       *b.scheme.Load(),
+			State:        stateName(b.state.Load()),
+			Inflight:     b.inflight.Load(),
+			BreakerTrips: b.trips.Load(),
+			DialFailures: b.dialErrs.Load(),
+			HedgeDelayUs: b.hedgeDelay().Microseconds(),
+		})
+	}
+	return info
+}
+
+func (p *Proxy) doInfo(ca *call) {
+	p.respondJSON(ca, p.Snapshot())
+}
+
+func (p *Proxy) doTopo(op uint8, addr string, ca *call) {
+	var rep RebalanceReport
+	var err error
+	switch op {
+	case kvstore.OpClusterAdd:
+		rep, err = p.AddBackend(addr)
+	case kvstore.OpClusterDrain:
+		rep, err = p.DrainBackend(addr)
+	case kvstore.OpClusterRemove:
+		rep, err = p.RemoveBackend(addr)
+	}
+	if err != nil {
+		ca.fail(err)
+		return
+	}
+	p.respondJSON(ca, rep)
+}
+
+func (p *Proxy) respondJSON(ca *call, v any) {
+	js, err := json.Marshal(v)
+	if err != nil {
+		ca.fail(err)
+		return
+	}
+	buf := getBuf()
+	*buf = append(append((*buf)[:0], kvstore.StatusOK), js...)
+	ca.complete(buf)
+}

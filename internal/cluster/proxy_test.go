@@ -1,0 +1,373 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+)
+
+// testBackend is one in-process kvserver a proxy test can kill and
+// restart on a stable address.
+type testBackend struct {
+	addr string
+	st   *kvstore.Store
+	srv  *kvstore.Server
+	done chan error
+}
+
+func startKV(t *testing.T, scheme, addr string) *testBackend {
+	t.Helper()
+	st, err := kvstore.New(kvstore.Config{Scheme: scheme, Shards: 4, Buckets: 256, MaxThreads: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	for i := 0; ; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i == 50 {
+			t.Fatalf("listen %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	b := &testBackend{addr: ln.Addr().String(), st: st, srv: kvstore.NewServer(st), done: make(chan error, 1)}
+	go func() { b.done <- b.srv.Serve(ln) }()
+	return b
+}
+
+func (b *testBackend) kill(t *testing.T) {
+	t.Helper()
+	b.srv.Shutdown()
+	if err := <-b.done; err != nil {
+		t.Errorf("backend %s serve: %v", b.addr, err)
+	}
+}
+
+func startCluster(t *testing.T, schemes []string, replicas int) (*Proxy, []*testBackend, string) {
+	t.Helper()
+	backs := make([]*testBackend, len(schemes))
+	addrs := make([]string, len(schemes))
+	for i, s := range schemes {
+		backs[i] = startKV(t, s, "")
+		addrs[i] = backs[i].addr
+	}
+	p := New(Config{Backends: addrs, Replicas: replicas, Lanes: 2, Depth: 64})
+	if err := p.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- p.Serve(ln) }()
+	t.Cleanup(func() {
+		p.Shutdown()
+		if err := <-served; err != nil {
+			t.Errorf("proxy serve: %v", err)
+		}
+	})
+	return p, backs, ln.Addr().String()
+}
+
+func proxyClient(t *testing.T, addr string) *kvstore.Client {
+	t.Helper()
+	cl, err := kvstore.DialWith(addr, kvstore.Options{ReadTimeout: 30 * time.Second, DialRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func clusterInfo(t *testing.T, cl *kvstore.Client) Info {
+	t.Helper()
+	raw, err := cl.ClusterInfo()
+	if err != nil {
+		t.Fatalf("CLUSTER_INFO: %v", err)
+	}
+	var info Info
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatalf("CLUSTER_INFO decode: %v", err)
+	}
+	return info
+}
+
+func waitAllHealthy(t *testing.T, cl *kvstore.Client, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		info := clusterInfo(t, cl)
+		healthy := 0
+		for _, nd := range info.Nodes {
+			if nd.State == "healthy" {
+				healthy++
+			}
+		}
+		if healthy == n && len(info.Nodes) == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never reached %d healthy nodes: %+v", n, info.Nodes)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// Every op a kvstore client can issue works unchanged through the
+// proxy, across backends running three different reclamation schemes.
+func TestProxyBasicOps(t *testing.T) {
+	_, _, addr := startCluster(t, []string{"orcgc", "hp", "ebr"}, 2)
+	cl := proxyClient(t, addr)
+
+	if ins, err := cl.Put(42, 1000); err != nil || !ins {
+		t.Fatalf("put = %v, %v", ins, err)
+	}
+	if ins, err := cl.Put(42, 2000); err != nil || ins {
+		t.Fatalf("overwrite put = %v, %v (want update)", ins, err)
+	}
+	if v, ok, err := cl.Get(42); err != nil || !ok || v != 2000 {
+		t.Fatalf("get = %d, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := cl.Get(43); ok {
+		t.Fatal("get on absent key found something")
+	}
+	if found, err := cl.Del(42); err != nil || !found {
+		t.Fatalf("del = %v, %v", found, err)
+	}
+	if found, _ := cl.Del(42); found {
+		t.Fatal("double del found the key")
+	}
+
+	for k := uint64(100); k < 150; k++ {
+		if _, err := cl.Put(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs, err := cl.Scan(100, 25)
+	if err != nil || len(pairs) != 50 {
+		t.Fatalf("scan returned %d pairs (err %v), want 25", len(pairs)/2, err)
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		if pairs[i+1] != pairs[i]*3 {
+			t.Fatalf("scan pair %d→%d", pairs[i], pairs[i+1])
+		}
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Scheme != "cluster(orcgc+hp+ebr)" {
+		t.Fatalf("aggregate scheme = %q", st.Scheme)
+	}
+	if st.Live <= 0 {
+		t.Fatalf("aggregate live = %d", st.Live)
+	}
+
+	info := clusterInfo(t, cl)
+	if len(info.Nodes) != 3 || info.Replicas != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	for _, nd := range info.Nodes {
+		if nd.State != "healthy" {
+			t.Fatalf("node %s is %s", nd.Addr, nd.State)
+		}
+	}
+}
+
+// With R=2, every write is acked only once it is on every read-eligible
+// replica, so killing any single backend loses nothing: every acked key
+// stays readable and new writes keep succeeding.
+func TestProxyFailoverKill(t *testing.T) {
+	_, backs, addr := startCluster(t, []string{"orcgc", "hp", "ebr"}, 2)
+	cl := proxyClient(t, addr)
+
+	const keys = 500
+	for k := uint64(1); k <= keys; k++ {
+		if _, err := cl.Put(k, k^0xABCD); err != nil {
+			t.Fatalf("put(%d): %v", k, err)
+		}
+	}
+	backs[1].kill(t)
+
+	for k := uint64(1); k <= keys; k++ {
+		v, ok, err := cl.Get(k)
+		if err != nil || !ok || v != k^0xABCD {
+			t.Fatalf("get(%d) after kill = (%d, %v, %v)", k, v, ok, err)
+		}
+	}
+	for k := uint64(keys + 1); k <= keys+100; k++ {
+		if _, err := cl.Put(k, k); err != nil {
+			t.Fatalf("put(%d) after kill: %v", k, err)
+		}
+		if v, ok, err := cl.Get(k); err != nil || !ok || v != k {
+			t.Fatalf("get(%d) after kill = (%d, %v, %v)", k, v, ok, err)
+		}
+	}
+}
+
+// A backend that restarts empty is resynced from its peers before it
+// serves reads again: after the rejoin completes, killing a *different*
+// backend leaves every acked key readable — including keys whose only
+// other replica was the one that died first.
+func TestProxyKillRestartResync(t *testing.T) {
+	_, backs, addr := startCluster(t, []string{"orcgc", "hp", "ebr"}, 2)
+	cl := proxyClient(t, addr)
+
+	const keys = 400
+	for k := uint64(1); k <= keys; k++ {
+		if _, err := cl.Put(k, k*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	downAddr := backs[0].addr
+	backs[0].kill(t)
+
+	// Writes acked while node 0 is down land only on the survivors.
+	for k := uint64(keys + 1); k <= 2*keys; k++ {
+		if _, err := cl.Put(k, k*7); err != nil {
+			t.Fatalf("put(%d) during outage: %v", k, err)
+		}
+	}
+
+	// Restart node 0 empty on the same address; the proxy must resync it.
+	backs[0] = startKV(t, "orcgc", downAddr)
+	waitAllHealthy(t, cl, 3, 30*time.Second)
+
+	// Now kill a different node: reads for keys replicated on
+	// {node0, node1} fall to the resynced node 0.
+	backs[1].kill(t)
+	for k := uint64(1); k <= 2*keys; k++ {
+		v, ok, err := cl.Get(k)
+		if err != nil || !ok || v != k*7 {
+			t.Fatalf("get(%d) after restart+kill = (%d, %v, %v)", k, v, ok, err)
+		}
+	}
+}
+
+// Paginated scans through the proxy enumerate the merged keyspace
+// exactly once even though every backend holds a different subset.
+func TestProxyScanPagination(t *testing.T) {
+	_, _, addr := startCluster(t, []string{"orcgc", "hp", "ebr"}, 2)
+	cl := proxyClient(t, addr)
+
+	const keys = 3000
+	for k := uint64(1); k <= keys; k++ {
+		if _, err := cl.Put(k, k+5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[uint64]uint64{}
+	cursor := uint64(1)
+	for {
+		pairs, err := cl.Scan(cursor, 512)
+		if err != nil {
+			t.Fatalf("scan from %d: %v", cursor, err)
+		}
+		if len(pairs) == 0 {
+			break
+		}
+		for i := 0; i < len(pairs); i += 2 {
+			if _, dup := seen[pairs[i]]; dup {
+				t.Fatalf("key %d scanned twice", pairs[i])
+			}
+			seen[pairs[i]] = pairs[i+1]
+		}
+		cursor = pairs[len(pairs)-2] + 1
+	}
+	if len(seen) != keys {
+		t.Fatalf("scan enumerated %d keys, want %d", len(seen), keys)
+	}
+	for k, v := range seen {
+		if v != k+5 {
+			t.Fatalf("key %d has value %d", k, v)
+		}
+	}
+}
+
+// Live topology changes: a joined node syncs its share before entering
+// the read path, and a drained node's keys are handed off before it
+// leaves, so clients never observe a missing key either way.
+func TestProxyTopologyAddDrain(t *testing.T) {
+	_, _, addr := startCluster(t, []string{"orcgc", "hp"}, 2)
+	cl := proxyClient(t, addr)
+
+	const keys = 400
+	for k := uint64(1); k <= keys; k++ {
+		if _, err := cl.Put(k, k+9); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	third := startKV(t, "ebr", "")
+	raw, err := cl.ClusterAdd(third.addr)
+	if err != nil {
+		t.Fatalf("CLUSTER_ADD: %v", err)
+	}
+	var rep RebalanceReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.KeysMoved == 0 {
+		t.Error("join moved zero keys into the new node")
+	}
+	waitAllHealthy(t, cl, 3, 30*time.Second)
+	for k := uint64(1); k <= keys; k++ {
+		if v, ok, err := cl.Get(k); err != nil || !ok || v != k+9 {
+			t.Fatalf("get(%d) after add = (%d, %v, %v)", k, v, ok, err)
+		}
+	}
+
+	info := clusterInfo(t, cl)
+	drainAddr := info.Nodes[0].Addr
+	raw, err = cl.ClusterDrain(drainAddr)
+	if err != nil {
+		t.Fatalf("CLUSTER_DRAIN: %v", err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	info = clusterInfo(t, cl)
+	if len(info.Nodes) != 2 {
+		t.Fatalf("after drain, %d nodes remain: %+v", len(info.Nodes), info.Nodes)
+	}
+	for _, nd := range info.Nodes {
+		if nd.Addr == drainAddr {
+			t.Fatalf("drained node %s still in topology", drainAddr)
+		}
+	}
+	for k := uint64(1); k <= keys; k++ {
+		if v, ok, err := cl.Get(k); err != nil || !ok || v != k+9 {
+			t.Fatalf("get(%d) after drain = (%d, %v, %v)", k, v, ok, err)
+		}
+	}
+}
+
+// The hedge delay tracks 2×p99 of observed RTTs, clamped to its bounds.
+func TestHedgeDelayClamp(t *testing.T) {
+	b := newBackend(nil, "x", nil)
+	if d := b.hedgeDelay(); d != time.Millisecond {
+		t.Fatalf("default hedge delay = %v", d)
+	}
+	for i := 0; i < 1024; i++ {
+		b.observeRTT(5 * time.Microsecond) // tiny RTTs → clamp at floor
+	}
+	if d := b.hedgeDelay(); d != hedgeMin {
+		t.Fatalf("hedge delay after tiny RTTs = %v, want %v", d, hedgeMin)
+	}
+	for i := 0; i < 4096; i++ {
+		b.observeRTT(time.Second) // huge RTTs → clamp at ceiling
+	}
+	if d := b.hedgeDelay(); d != hedgeMax {
+		t.Fatalf("hedge delay after huge RTTs = %v, want %v", d, hedgeMax)
+	}
+}

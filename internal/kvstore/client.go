@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 )
@@ -68,11 +69,21 @@ func (o *Options) bufSize() int {
 	return n
 }
 
+// jitterBackoff spreads one backoff wait over [0.75d, 1.25d), picking
+// the point by u ∈ [0, 1). Pooled clients all notice a dead backend at
+// the same instant; without jitter their doubling schedules stay
+// synchronized and the restarted process takes the whole herd's
+// reconnect burst at once.
+func jitterBackoff(d time.Duration, u float64) time.Duration {
+	return time.Duration(float64(d) * (0.75 + 0.5*u))
+}
+
 // DialWith connects to a kvstore server with explicit connection
-// options. Failed attempts back off exponentially, but the loop never
-// sleeps after the attempt it already knows to be the last — exhausted
-// retries (by count or by DialRetryBudget) return promptly with the
-// last dial error wrapped (errors.Unwrap recovers the net error).
+// options. Failed attempts back off exponentially with ±25% jitter
+// (see jitterBackoff), but the loop never sleeps after the attempt it
+// already knows to be the last — exhausted retries (by count or by
+// DialRetryBudget) return promptly with the last dial error wrapped
+// (errors.Unwrap recovers the net error).
 func DialWith(addr string, opts Options) (*Client, error) {
 	backoff := opts.DialBackoff
 	if backoff <= 0 {
@@ -100,12 +111,14 @@ func DialWith(addr string, opts Options) (*Client, error) {
 		// The next attempt only runs after the backoff; if that would
 		// blow the retry budget, this failure is final — return now
 		// rather than sleeping through a wait whose attempt we would
-		// not make.
-		if budget > 0 && time.Since(start)+backoff > budget {
+		// not make. The budget check uses the jittered wait actually
+		// about to be slept.
+		wait := jitterBackoff(backoff, rand.Float64())
+		if budget > 0 && time.Since(start)+wait > budget {
 			return nil, fmt.Errorf("kvstore: dial %s: retry budget %v exhausted after %d attempts: %w",
 				addr, budget, attempt+1, err)
 		}
-		time.Sleep(backoff)
+		time.Sleep(wait)
 		backoff *= 2
 	}
 	size := opts.bufSize()
@@ -171,6 +184,28 @@ func (cl *Client) SendScan(from uint64, limit uint32) {
 
 // SendStats queues a STATS.
 func (cl *Client) SendStats() { cl.send([]byte{OpStats}) }
+
+// SendRaw queues an already-encoded request payload (op byte plus
+// fields). The cluster proxy forwards client payloads to backends with
+// this, so a protocol extension never needs a matching proxy release.
+func (cl *Client) SendRaw(payload []byte) { cl.send(payload) }
+
+// RecvRaw reads one response payload, appending it (status byte
+// included) to dst and returning the extended slice. Unlike the typed
+// Recv* helpers it does not convert StatusErr into a Go error — a proxy
+// forwards error frames to its own client verbatim.
+func (cl *Client) RecvRaw(dst []byte) ([]byte, error) {
+	if cl.opts.ReadTimeout > 0 {
+		cl.c.SetReadDeadline(time.Now().Add(cl.opts.ReadTimeout))
+		defer cl.c.SetReadDeadline(time.Time{})
+	}
+	p, err := readFrame(cl.br, cl.rbuf)
+	if err != nil {
+		return dst, err
+	}
+	cl.rbuf = p
+	return append(dst, p...), nil
+}
 
 // SendDrain queues a DRAIN (quiescent use only).
 func (cl *Client) SendDrain() { cl.send([]byte{OpDrain}) }
@@ -332,4 +367,53 @@ func (cl *Client) Drain() (DrainReport, error) {
 		return DrainReport{}, err
 	}
 	return cl.RecvDrain()
+}
+
+// clusterRPC does one blocking admin round trip against a kvproxy and
+// unmarshals the JSON response into out (skipped when out is nil).
+func (cl *Client) clusterRPC(op uint8, addr string, out any) error {
+	p := append([]byte{op}, addr...)
+	cl.send(p)
+	if err := cl.Flush(); err != nil {
+		return err
+	}
+	resp, err := cl.recv()
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(resp[1:], out)
+}
+
+// ClusterInfo fetches a kvproxy's topology snapshot. The result is the
+// raw JSON (cluster.Info) so kvstore does not import the cluster
+// package.
+func (cl *Client) ClusterInfo() (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := cl.clusterRPC(OpClusterInfo, "", &raw)
+	return raw, err
+}
+
+// ClusterAdd asks a kvproxy to add a backend and hand its share of the
+// keys over; the JSON response is a cluster.RebalanceReport.
+func (cl *Client) ClusterAdd(addr string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := cl.clusterRPC(OpClusterAdd, addr, &raw)
+	return raw, err
+}
+
+// ClusterDrain asks a kvproxy to hand a backend's keys off to the rest
+// of the ring and then drop it from the topology.
+func (cl *Client) ClusterDrain(addr string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := cl.clusterRPC(OpClusterDrain, addr, &raw)
+	return raw, err
+}
+
+// ClusterRemove drops a backend from a kvproxy's topology with no
+// handoff — the verb for a node that is already gone.
+func (cl *Client) ClusterRemove(addr string) error {
+	return cl.clusterRPC(OpClusterRemove, addr, nil)
 }

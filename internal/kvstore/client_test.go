@@ -1,0 +1,52 @@
+package kvstore
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The jittered backoff must stay inside [0.75d, 1.25d) for every u in
+// [0, 1): a reconnect herd spreads out, but nobody retries earlier than
+// three quarters of the schedule or later than five quarters of it.
+func TestJitterBackoffBounds(t *testing.T) {
+	bases := []time.Duration{
+		time.Millisecond, 50 * time.Millisecond, time.Second, 30 * time.Second,
+	}
+	for _, d := range bases {
+		lo, hi := 3*d/4, 5*d/4
+		for _, u := range []float64{0, 0.25, 0.5, 0.9999999} {
+			got := jitterBackoff(d, u)
+			if got < lo || got > hi {
+				t.Errorf("jitterBackoff(%v, %v) = %v, outside [%v, %v]", d, u, got, lo, hi)
+			}
+		}
+		// Endpoints are tight: u=0 hits exactly 0.75d.
+		if got := jitterBackoff(d, 0); got != lo {
+			t.Errorf("jitterBackoff(%v, 0) = %v, want %v", d, got, lo)
+		}
+	}
+}
+
+// Random sampling: the jitter actually spreads (not a constant), and a
+// doubling schedule with jitter stays strictly ordered on average.
+func TestJitterBackoffSpreads(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	d := 100 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 256; i++ {
+		w := jitterBackoff(d, r.Float64())
+		if w < 3*d/4 || w > 5*d/4 {
+			t.Fatalf("sample %v outside bounds", w)
+		}
+		seen[w] = true
+	}
+	if len(seen) < 32 {
+		t.Errorf("jitter produced only %d distinct waits out of 256 samples", len(seen))
+	}
+	// Max of one rung is below min of the next: 1.25d < 0.75·2d, so
+	// jittered doubling never reorders attempts across rungs.
+	if jitterBackoff(d, 0.9999999) >= jitterBackoff(2*d, 0) {
+		t.Error("jitter windows of adjacent backoff rungs overlap")
+	}
+}

@@ -37,6 +37,30 @@ const (
 	StatusErr      = uint8(2)
 )
 
+// Cluster admin ops, served only by the kvproxy (internal/cluster). A
+// plain kvserver answers them with an Err frame, so pointing an admin
+// client at the wrong tier fails loudly instead of silently. Their
+// payloads are UTF-8 backend addresses after the op byte; responses are
+// JSON after the status byte.
+//
+//	CLUSTER_INFO                 → OK: JSON (cluster.Info)
+//	CLUSTER_ADD    addr          → OK: JSON (cluster.RebalanceReport)
+//	CLUSTER_DRAIN  addr          → OK: JSON (cluster.RebalanceReport);
+//	                               hands the node's keys off, then drops
+//	                               it from the ring (the process stays up
+//	                               for its own drain/leak check)
+//	CLUSTER_REMOVE addr          → OK: JSON (cluster.RebalanceReport);
+//	                               same retirement protocol, but works on
+//	                               a node that is already gone — the
+//	                               handoff re-replicates its keys from
+//	                               the surviving replicas instead
+const (
+	OpClusterInfo   = uint8(16)
+	OpClusterAdd    = uint8(17)
+	OpClusterDrain  = uint8(18)
+	OpClusterRemove = uint8(19)
+)
+
 // MaxFrame bounds a frame payload; a SCAN of MaxScanLimit pairs is the
 // largest legitimate frame.
 const (
@@ -70,6 +94,19 @@ func appendFrame(dst, payload []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
 	return append(dst, payload...)
 }
+
+// ReadFrame and AppendFrame expose the framing to the cluster proxy,
+// which terminates the protocol on its client side and forwards request
+// payloads to backends verbatim.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) { return readFrame(r, buf) }
+func AppendFrame(dst, payload []byte) []byte            { return appendFrame(dst, payload) }
+
+// Field accessors for proxies that route on the key without decoding
+// the full request.
+func PayloadU64(b []byte, off int) (uint64, bool) { return getU64(b, off) }
+func PayloadU32(b []byte, off int) (uint32, bool) { return getU32(b, off) }
+func AppendU64(dst []byte, v uint64) []byte       { return appendU64(dst, v) }
+func AppendU32(dst []byte, v uint32) []byte       { return appendU32(dst, v) }
 
 // beginFrame reserves the length prefix in dst and returns the offset
 // where the payload starts; endFrame back-fills the prefix once the

@@ -343,7 +343,32 @@ func (s *Server) execute(tid int, dst, req []byte) []byte {
 		out = append(out, StatusOK)
 		return endFrame(append(out, js...), fs)
 	case OpDrain:
+		// Quiescent barrier: DrainAndCheck walks every tid's protection
+		// slots (plain owner-mirrors, not atomics), so every other
+		// connection must be gone first. Claiming the whole tid pool
+		// does both jobs at once: each receive is the happens-before
+		// edge with the handler that returned that tid (or with the
+		// pool seeding, for never-used tids), and an empty pool makes
+		// Serve refuse connections that arrive mid-drain. A client that
+		// keeps its connection open makes this time out rather than
+		// race.
+		claimed := make([]int, 0, cap(s.tids))
+		timeout := time.After(30 * time.Second)
+		for len(claimed) < cap(s.tids)-1 {
+			select {
+			case t := <-s.tids:
+				claimed = append(claimed, t)
+			case <-timeout:
+				for _, t := range claimed {
+					s.tids <- t
+				}
+				return errFrame(out, fs, "drain: store busy (another connection still holds a reclamation tid)")
+			}
+		}
 		js, err := json.Marshal(s.st.DrainAndCheck(tid))
+		for _, t := range claimed {
+			s.tids <- t
+		}
 		if err != nil {
 			return errFrame(out, fs, err.Error())
 		}

@@ -12,7 +12,7 @@ import (
 // Subject is one scheme × data-structure pairing the harness can run.
 type Subject struct {
 	Name string
-	Kind string // "set", "queue", "kv", or "scan"
+	Kind string // "set", "queue", "kv", "scan", or "cluster"
 }
 
 // Subjects enumerates every pairing: all queue and set subjects from the
@@ -42,6 +42,7 @@ func Subjects() []Subject {
 	for _, scheme := range scanSchemes() {
 		out = append(out, Subject{Name: "scan-" + scheme, Kind: "scan"})
 	}
+	out = append(out, Subject{Name: "cluster-failover", Kind: "cluster"})
 	return out
 }
 
@@ -93,6 +94,8 @@ func Run(s Subject, cfg Config) *Verdict {
 		return RunKV(strings.TrimPrefix(s.Name, "kv-"), cfg)
 	case "scan":
 		return RunScanScheme(strings.TrimPrefix(s.Name, "scan-"), cfg)
+	case "cluster":
+		return RunCluster(cfg)
 	default:
 		panic(fmt.Sprintf("torture: unknown subject kind %q", s.Kind))
 	}

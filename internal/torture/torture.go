@@ -78,7 +78,7 @@ func (c *Config) defaults() {
 // empty; every acceptance condition that does not hold appends one line.
 type Verdict struct {
 	Subject      string
-	Kind         string // "set", "queue", "kv", or "scan"
+	Kind         string // "set", "queue", "kv", "scan", or "cluster"
 	Seed         uint64
 	Threads      int
 	Ops          uint64 // ops actually performed by workers
@@ -90,7 +90,11 @@ type Verdict struct {
 	Reclaiming   bool
 	StallsTaken  uint64 // protect-loop parks actually executed
 	Perturbs     uint64 // forced Gosched calls at injection points
-	Failures     []string
+	// Cluster holds proxy-level counters (routed ops, hedges, breaker
+	// trips, rebalance keys moved) for the cluster-failover subject; nil
+	// for single-store subjects.
+	Cluster  map[string]int64
+	Failures []string
 }
 
 // Passed reports whether every ledger condition held.
@@ -106,10 +110,15 @@ func (v *Verdict) String() string {
 	if !v.Passed() {
 		status = "FAIL"
 	}
-	return fmt.Sprintf("%s %-12s %-5s ops=%-7d hash=%016x live=%d base=%d faults=%d retired=%d freed=%d pending=%d stalls=%d perturbs=%d elide=%d",
+	line := fmt.Sprintf("%s %-12s %-5s ops=%-7d hash=%016x live=%d base=%d faults=%d retired=%d freed=%d pending=%d stalls=%d perturbs=%d elide=%d",
 		status, v.Subject, v.Kind, v.Ops, v.ScheduleHash, v.Arena.Live, v.Baseline,
 		v.Arena.Faults, v.Scheme.Retired, v.Scheme.Freed, v.Scheme.RetiredNotFreed,
 		v.StallsTaken, v.Perturbs, v.Scan.Elisions)
+	if v.Cluster != nil {
+		line += fmt.Sprintf(" routed=%d hedges=%d trips=%d moved=%d",
+			v.Cluster["routed"], v.Cluster["hedges_fired"], v.Cluster["breaker_trips"], v.Cluster["keys_moved"])
+	}
+	return line
 }
 
 // hookMu serializes torture runs: the rt hook and the fault mode are

@@ -133,6 +133,27 @@ func TestKVChaosSmoke(t *testing.T) {
 	}
 }
 
+// TestClusterFailoverSmoke runs the proxy failover subject: three
+// backends on different schemes, one killed and restarted mid-run, with
+// the shadow models proving no acked write was lost at R=2.
+func TestClusterFailoverSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster failover subject skipped in -short")
+	}
+	cfg := smokeCfg(31)
+	cfg.OpsPerThread = 1500
+	v := RunCluster(cfg)
+	if !v.Passed() {
+		t.Fatalf("cluster-failover seed=%d: %v", v.Seed, v.Failures)
+	}
+	if v.Cluster["routed"] == 0 {
+		t.Error("proxy routed no ops")
+	}
+	if v.Cluster["breaker_trips"] == 0 {
+		t.Error("victim kill never tripped the breaker")
+	}
+}
+
 // TestResolve exercises the subject-spec parser.
 func TestResolve(t *testing.T) {
 	all, err := Resolve("all")

@@ -1,0 +1,77 @@
+#!/bin/sh
+# bench-cluster: measure the proxy against a direct single-node
+# connection and its scaling across backend counts, refreshing
+# BENCH_cluster.json with one entry per label: direct-1 (kvload
+# straight at one kvserver), then proxy-1/proxy-2/proxy-3 (the same
+# load through kvproxy fronting 1, 2, or 3 backends at R=2, clamped).
+# Read-heavy mix — that is the case sharding and hedging accelerate.
+#
+# Invoked by `make bench-cluster`, which builds bin/ first.
+set -eu
+
+BIN=${BIN:-bin}
+OUT=${OUT:-BENCH_cluster.json}
+DUR=${DUR:-3s}
+CONNS=${CONNS:-8}
+MIX='get=90,put=9,del=1'
+KEYS=50000
+PROXY=127.0.0.1:7310
+TMP=${TMPDIR:-/tmp}
+SCHEMES="orcgc hp ebr"
+
+PIDS=
+PROXY_PID=
+cleanup() {
+	[ -n "$PROXY_PID" ] && kill "$PROXY_PID" 2>/dev/null || true
+	for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+start_backends() { # $1 = count; sets ADDRS, PIDS
+	ADDRS=
+	PIDS=
+	bi=0
+	for s in $SCHEMES; do
+		bi=$((bi + 1))
+		[ $bi -gt "$1" ] && break
+		a="127.0.0.1:$((7310 + bi))"
+		"$BIN"/kvserver -addr "$a" -reclaim "$s" >"$TMP/bc_s$bi.log" 2>&1 &
+		PIDS="$PIDS $!"
+		ADDRS="${ADDRS:+$ADDRS,}$a"
+	done
+	sleep 1
+}
+
+stop_all() {
+	for p in $PIDS; do
+		kill -INT "$p" 2>/dev/null || true
+		wait "$p" || true
+	done
+	PIDS=
+}
+
+run_load() { # $1 = target addr, $2 = label
+	"$BIN"/kvload -addr "$1" -conns "$CONNS" -duration "$DUR" -warmup 1s \
+		-dist zipfian -theta 0.99 -keys $KEYS -mix "$MIX" \
+		-label "$2" -out "$OUT"
+}
+
+# direct-1: the no-proxy baseline every proxy-N entry is compared to.
+start_backends 1
+run_load "${ADDRS}" direct-1
+stop_all
+
+for n in 1 2 3; do
+	start_backends "$n"
+	"$BIN"/kvproxy -addr "$PROXY" -backends "$ADDRS" -replicas 2 \
+		>"$TMP/bc_proxy.log" 2>&1 &
+	PROXY_PID=$!
+	sleep 1
+	run_load "$PROXY" "proxy-$n"
+	kill -INT "$PROXY_PID"
+	wait "$PROXY_PID" || true
+	PROXY_PID=
+	stop_all
+done
+
+echo "bench-cluster: wrote $OUT"
