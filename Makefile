@@ -6,12 +6,22 @@ GO ?= go
 # lock-free metrics registry all of them report into.
 RACE_PKGS = ./internal/arena/ ./internal/core/ ./internal/reclaim/ ./internal/kvstore/ ./internal/cluster/ ./internal/obs/ ./internal/torture/
 
-.PHONY: check vet build test race bench-alloc bench-scan serve load smoke metrics-smoke torture-smoke cluster-smoke bench-kv bench-cluster clean
+.PHONY: check vet orcvet build test race bench-alloc bench-scan serve load smoke metrics-smoke torture-smoke cluster-smoke bench-kv bench-cluster clean
 
-check: vet build test race
+BIN = bin
+
+check: vet orcvet build test race
 
 vet:
 	$(GO) vet ./...
+
+# orcvet: the repo's own reclamation-discipline analyzer, run through
+# the go vet driver so test files and generated cgo shims are covered.
+# Any unannotated protect/escape/retire/unsafe finding fails the build;
+# see DESIGN.md §10 for the rules and the //orcvet:ignore policy.
+orcvet:
+	$(GO) build -o $(BIN)/orcvet ./cmd/orcvet
+	$(GO) vet -vettool=$(BIN)/orcvet ./...
 
 build:
 	$(GO) build ./...

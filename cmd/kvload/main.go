@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -81,11 +82,11 @@ type connResult struct {
 // runConn drives one connection until deadline. Sends and receives run
 // in separate goroutines (the client's pipelining contract), coupled by
 // the inflight queue.
-func runConn(addr string, opts kvstore.Options, id int, seed int64, deadline time.Time, warmupUntil time.Time,
+func runConn(addr string, opts []kvstore.Option, id int, seed int64, deadline time.Time, warmupUntil time.Time,
 	m mix, dist string, theta float64, keys uint64, scanLen uint32,
 	interval time.Duration, pipeline int) (connResult, error) {
 
-	cl, err := kvstore.DialWith(addr, opts)
+	cl, err := kvstore.Dial(addr, opts...)
 	if err != nil {
 		return connResult{}, err
 	}
@@ -259,19 +260,19 @@ func main() {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
 
-	opts := kvstore.Options{
-		DialTimeout:  *dialTimeout,
-		ReadTimeout:  *ioTimeout,
-		WriteTimeout: *ioTimeout,
-		Pipeline:     *pipeline,
-		DialRetries:  *dialRetries,
+	opts := []kvstore.Option{
+		kvstore.WithDialTimeout(*dialTimeout),
+		kvstore.WithReadTimeout(*ioTimeout),
+		kvstore.WithWriteTimeout(*ioTimeout),
+		kvstore.WithPipelineDepth(*pipeline),
+		kvstore.WithRetries(*dialRetries),
 	}
-	ctl, err := kvstore.DialWith(addrs[0], opts)
+	ctl, err := kvstore.Dial(addrs[0], opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kvload: %v\n", err)
 		os.Exit(1)
 	}
-	stats, err := ctl.Stats()
+	stats, err := ctl.Stats(context.Background())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kvload: STATS: %v\n", err)
 		os.Exit(1)
@@ -342,12 +343,12 @@ func main() {
 	rep.ThroughputPS = float64(hist.Count()) / duration.Seconds()
 	rep.Latency = hist.Summary()
 
-	if st, err := ctl.Stats(); err == nil {
+	if st, err := ctl.Stats(context.Background()); err == nil {
 		st.Sides = nil // per-index detail is noise in the report
 		rep.Stats = &st
 	}
 	if *drain {
-		if dr, err := ctl.Drain(); err == nil {
+		if dr, err := ctl.Drain(context.Background()); err == nil {
 			rep.Drain = &dr
 		} else {
 			fmt.Fprintf(os.Stderr, "kvload: DRAIN: %v\n", err)

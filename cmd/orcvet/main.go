@@ -1,0 +1,70 @@
+// Command orcvet checks the repository against the OrcGC protection
+// discipline (see internal/analysis/orcvet). It runs two ways:
+//
+//	orcvet ./...                      standalone: load, typecheck, and
+//	                                  analyze the matched packages
+//	go vet -vettool=$(which orcvet)   as a vettool: the go command
+//	                                  drives it one package at a time
+//
+// Standalone mode exits 1 on findings; vettool mode follows the vet
+// protocol (diagnostics to stderr, exit 2).
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/orcvet"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Vettool protocol handshakes.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			orcvet.PrintVersion(os.Stdout)
+			return
+		case a == "-flags" || a == "--flags":
+			orcvet.PrintFlags(os.Stdout)
+			return
+		}
+	}
+
+	// Vettool unit mode: the last argument is a path to vet.cfg.
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		count, err := orcvet.RunVetUnit(args[n-1], os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if count > 0 {
+			os.Exit(2)
+		}
+		return
+	}
+
+	// Standalone mode.
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fset, diags, err := orcvet.RunDir(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Println(orcvet.Format(fset, d))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,198 @@
+package orcvet_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/orcvet"
+)
+
+const corpusPattern = "./internal/analysis/orcvet/testdata/violations"
+
+var wantRe = regexp.MustCompile(`// want:([a-z]+)`)
+
+// wantMarkers extracts file:line→rule expectations from the corpus
+// sources.
+func wantMarkers(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	want := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				want[fmt.Sprintf("%s:%d", path, i+1)] = m[1]
+			}
+		}
+	}
+	return want
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := orcvet.ModuleDir(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func keyOf(fset *token.FileSet, d orcvet.Diagnostic) string {
+	p := fset.Position(d.Pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}
+
+// TestCorpus proves every seeded violation fires under exactly the rule
+// its marker names, the suppressed fixture stays silent, and nothing
+// unexpected fires.
+func TestCorpus(t *testing.T) {
+	root := moduleRoot(t)
+	fset, diags, err := orcvet.RunDir(root, corpusPattern)
+	if err != nil {
+		t.Fatalf("RunDir: %v", err)
+	}
+	want := wantMarkers(t, filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(corpusPattern, "./"))))
+	if len(want) < 8 {
+		t.Fatalf("corpus has only %d seeded violations; want at least 8", len(want))
+	}
+	perRule := map[string]int{}
+	for _, r := range want {
+		perRule[r]++
+	}
+	for _, r := range []string{"protect", "escape", "retire", "unsafe"} {
+		if perRule[r] < 2 {
+			t.Errorf("corpus seeds %d %s violations; want >=2", perRule[r], r)
+		}
+	}
+
+	got := map[string]string{}
+	for _, d := range diags {
+		k := keyOf(fset, d)
+		if prev, dup := got[k]; dup {
+			t.Errorf("two findings on %s: %s and %s", k, prev, d.Rule)
+		}
+		got[k] = d.Rule
+	}
+	for k, rule := range want {
+		if got[k] != rule {
+			t.Errorf("marker %s: want rule %s, got %q", k, rule, got[k])
+		}
+	}
+	for k, rule := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("unseeded finding %s: %s", k, rule)
+		}
+	}
+}
+
+// TestCorpusVetUnit drives the same corpus through the vettool protocol
+// path (vet.cfg → RunVetUnit) and checks the finding count matches.
+func TestCorpusVetUnit(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs, err := orcvet.GoList(root, corpusPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := orcvet.Index(pkgs)
+	var target *orcvet.ListedPackage
+	for _, p := range pkgs {
+		if !p.DepOnly && strings.HasSuffix(p.ImportPath, "testdata/violations") {
+			target = p
+		}
+	}
+	if target == nil {
+		t.Fatal("corpus package not listed")
+	}
+	var files []string
+	for _, f := range target.GoFiles {
+		files = append(files, filepath.Join(target.Dir, f))
+	}
+	tmp := t.TempDir()
+	cfg := orcvet.VetConfig{
+		ID:          target.ImportPath,
+		Compiler:    "gc",
+		Dir:         target.Dir,
+		ImportPath:  target.ImportPath,
+		GoFiles:     files,
+		PackageFile: map[string]string(idx),
+		VetxOutput:  filepath.Join(tmp, "out.vetx"),
+	}
+	cfgPath := filepath.Join(tmp, "vet.cfg")
+	writeJSON(t, cfgPath, cfg)
+
+	var sb strings.Builder
+	n, err := orcvet.RunVetUnit(cfgPath, &sb)
+	if err != nil {
+		t.Fatalf("RunVetUnit: %v\n%s", err, sb.String())
+	}
+	want := wantMarkers(t, target.Dir)
+	if n != len(want) {
+		t.Errorf("vet unit reported %d findings, corpus seeds %d:\n%s", n, len(want), sb.String())
+	}
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+
+	// A dependency-only action must write its vetx file and stay silent.
+	depCfg := cfg
+	depCfg.VetxOnly = true
+	depCfg.VetxOutput = filepath.Join(tmp, "dep.vetx")
+	depPath := filepath.Join(tmp, "dep.cfg")
+	writeJSON(t, depPath, depCfg)
+	var depOut strings.Builder
+	n, err = orcvet.RunVetUnit(depPath, &depOut)
+	if err != nil || n != 0 {
+		t.Errorf("VetxOnly unit: n=%d err=%v out=%q", n, err, depOut.String())
+	}
+	if _, err := os.Stat(depCfg.VetxOutput); err != nil {
+		t.Errorf("VetxOnly vetx output not written: %v", err)
+	}
+}
+
+// TestTreeClean is the acceptance gate: the committed tree has zero
+// unannotated findings (test files are covered by `make vet`, which
+// runs through the go command with test packages included).
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole tree")
+	}
+	root := moduleRoot(t)
+	fset, diags, err := orcvet.RunDir(root, "./...")
+	if err != nil {
+		t.Fatalf("RunDir: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", orcvet.Format(fset, d))
+	}
+}
+
+func writeJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

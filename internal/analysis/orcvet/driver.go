@@ -1,0 +1,193 @@
+package orcvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// The repo bans third-party modules, so orcvet cannot lean on
+// golang.org/x/tools (go/packages, go/analysis, unitchecker). This
+// driver rebuilds the minimum loader on the stdlib: `go list -export
+// -deps -json` enumerates packages and their gc export data, go/parser
+// + go/types typecheck the target sources, and go/importer's gc
+// importer reads the export files through a lookup function.
+
+// ListedPackage is the subset of `go list -json` output the driver
+// consumes.
+type ListedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// GoList runs `go list -e -export -deps -json` over patterns in dir and
+// decodes the package stream.
+func GoList(dir string, patterns ...string) ([]*ListedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*ListedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ExportIndex maps import paths to gc export files.
+type ExportIndex map[string]string
+
+// Index builds the export lookup table from a listed dependency set.
+func Index(pkgs []*ListedPackage) ExportIndex {
+	idx := ExportIndex{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			idx[p.ImportPath] = p.Export
+		}
+	}
+	return idx
+}
+
+// Importer returns a types.Importer reading gc export data through idx,
+// with importMap (vet.cfg's source-path → package-path map) applied
+// first when non-nil.
+func (idx ExportIndex) Importer(fset *token.FileSet, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		f, ok := idx[path]
+		if !ok {
+			return nil, fmt.Errorf("orcvet: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// TypecheckFiles parses and typechecks one package's sources, returning
+// a ready Pass.
+func TypecheckFiles(fset *token.FileSet, path string, filenames []string, imp types.Importer) (*Pass, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(error) {}, // collect all; first error returned below
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// RunDir analyzes the packages matched by patterns (relative to dir)
+// and returns all findings plus the fset that positions them.
+func RunDir(dir string, patterns ...string) (*token.FileSet, []Diagnostic, error) {
+	pkgs, err := GoList(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := Index(pkgs)
+	fset := token.NewFileSet()
+	var diags []Diagnostic
+	var firstErr error
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+			}
+			continue
+		}
+		if len(p.CgoFiles) > 0 {
+			continue // no cgo in this repo; skip rather than mis-parse
+		}
+		var files []string
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		pass, err := TypecheckFiles(fset, p.ImportPath, files, idx.Importer(fset, nil))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: typecheck: %v", p.ImportPath, err)
+			}
+			continue
+		}
+		diags = append(diags, Analyze(pass)...)
+	}
+	return fset, diags, firstErr
+}
+
+// Format renders one diagnostic the way vet tools conventionally do.
+func Format(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: orcvet/%s: %s", fset.Position(d.Pos), d.Rule, d.Message)
+}
+
+// ModuleDir walks up from dir to the enclosing go.mod, for tests that
+// need the module root.
+func ModuleDir(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("orcvet: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,1001 @@
+package orcvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// state is a handle/Ptr variable's position in the protection life
+// cycle, as tracked by the lexical flow walk.
+type state uint8
+
+const (
+	stUnknown   state = iota
+	stProtected       // dominated by a successful protection
+	stFresh           // fresh unpublished allocation (private to this thread)
+	stRoot            // structure root (receiver field; immortal by convention)
+	stRaw             // raw shared load, nothing protects it
+	stReleased        // protection dropped (Clear/ClearAll/Release)
+	stRetired         // handed to Retire/Free
+)
+
+func (s state) String() string {
+	switch s {
+	case stProtected:
+		return "protected"
+	case stFresh:
+		return "fresh"
+	case stRoot:
+		return "root"
+	case stRaw:
+		return "unprotected"
+	case stReleased:
+		return "released"
+	case stRetired:
+		return "retired"
+	default:
+		return "unknown"
+	}
+}
+
+type varInfo struct {
+	st      state
+	protIdx ast.Expr  // slot-index expression at protect time (for Clear matching)
+	dropPos token.Pos // where the protection was dropped / the handle retired
+}
+
+// funcState is the per-function walk context.
+type funcState struct {
+	c       *checker
+	decl    *ast.FuncDecl
+	vars    map[*types.Var]*varInfo
+	aliases map[*types.Var]*types.Var // handle copies: alias → original
+	casSeen map[*types.Var]token.Pos  // earliest CAS naming the var
+	// casExprs keys non-variable CAS operands (sr.successor, fields) by
+	// their printed form. The ledger is monotone — a CAS inside a
+	// terminating branch still counts as "a CAS naming the handle
+	// precedes the retire", which is all rule retire promises.
+	casExprs map[string]token.Pos
+	// summary mode: collect instead of report.
+	summarizing  bool
+	derefdParams map[*types.Var]bool
+	returns      [][]state // states of handle-typed results per return
+	deferDepth   int
+}
+
+func (c *checker) newFuncState(decl *ast.FuncDecl, summarizing bool) *funcState {
+	return &funcState{
+		c:            c,
+		decl:         decl,
+		vars:         map[*types.Var]*varInfo{},
+		aliases:      map[*types.Var]*types.Var{},
+		casSeen:      map[*types.Var]token.Pos{},
+		casExprs:     map[string]token.Pos{},
+		summarizing:  summarizing,
+		derefdParams: map[*types.Var]bool{},
+	}
+}
+
+func (c *checker) checkFunc(decl *ast.FuncDecl) {
+	fs := c.newFuncState(decl, false)
+	fs.block(decl.Body)
+}
+
+func (fs *funcState) report(pos token.Pos, rule, format string, args ...any) {
+	if fs.summarizing {
+		return
+	}
+	fs.c.maybeReport(pos, rule, format, args...)
+}
+
+// objOf resolves an identifier to its variable object.
+func (fs *funcState) objOf(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := fs.c.pass.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := fs.c.pass.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// baseVar resolves e through handle-copy aliases to the variable the
+// CAS ledger tracks.
+func (fs *funcState) baseVar(v *types.Var) *types.Var {
+	for i := 0; i < 8; i++ {
+		o, ok := fs.aliases[v]
+		if !ok {
+			return v
+		}
+		v = o
+	}
+	return v
+}
+
+func (fs *funcState) info(v *types.Var) *varInfo {
+	vi, ok := fs.vars[v]
+	if !ok {
+		vi = &varInfo{}
+		fs.vars[v] = vi
+	}
+	return vi
+}
+
+func (fs *funcState) typeOf(e ast.Expr) types.Type {
+	return fs.c.pass.Info.TypeOf(e)
+}
+
+// isParam reports whether v is a parameter of the function under
+// analysis.
+func (fs *funcState) isParam(v *types.Var) bool {
+	if fs.decl.Type.Params == nil {
+		return false
+	}
+	for _, f := range fs.decl.Type.Params.List {
+		for _, n := range f.Names {
+			if fs.c.pass.Info.Defs[n] == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Statement walk (source order; branches folded sequentially)
+
+func (fs *funcState) block(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		fs.stmt(s)
+	}
+}
+
+// foldBranch walks one arm of a conditional. A branch that terminates
+// (ends in return, break, continue, goto, or panic) never reaches the
+// code after the if, so its variable-state effects — the ClearAll in an
+// early-return empty case, the Release before a continue — are
+// discarded instead of folded into the continuation. The CAS ledger is
+// exempt (see casExprs).
+func (fs *funcState) foldBranch(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	if !terminatesBlock(b) {
+		fs.block(b)
+		return
+	}
+	saved := fs.snapshot()
+	fs.block(b)
+	fs.restore(saved)
+}
+
+type flowSnapshot struct {
+	vars    map[*types.Var]varInfo
+	aliases map[*types.Var]*types.Var
+}
+
+func (fs *funcState) snapshot() flowSnapshot {
+	s := flowSnapshot{vars: map[*types.Var]varInfo{}, aliases: map[*types.Var]*types.Var{}}
+	for v, vi := range fs.vars {
+		s.vars[v] = *vi
+	}
+	for a, o := range fs.aliases {
+		s.aliases[a] = o
+	}
+	return s
+}
+
+func (fs *funcState) restore(s flowSnapshot) {
+	fs.vars = map[*types.Var]*varInfo{}
+	for v, vi := range s.vars {
+		vi := vi
+		fs.vars[v] = &vi
+	}
+	fs.aliases = s.aliases
+}
+
+func terminatesBlock(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return terminates(b.List[len(b.List)-1])
+}
+
+// terminates reports whether control cannot flow past s into the next
+// statement of the enclosing block.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminatesBlock(s)
+	case *ast.IfStmt:
+		if !terminatesBlock(s.Body) || s.Else == nil {
+			return false
+		}
+		return terminates(s.Else)
+	case *ast.LabeledStmt:
+		return terminates(s.Stmt)
+	}
+	return false
+}
+
+func (fs *funcState) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		fs.expr(s.X)
+	case *ast.AssignStmt:
+		fs.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					fs.valueSpec(vs)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			fs.stmt(s.Init)
+		}
+		fs.expr(s.Cond)
+		fs.foldBranch(s.Body)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			fs.foldBranch(e)
+		case ast.Stmt:
+			fs.stmt(e)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			fs.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			fs.expr(s.Cond)
+		}
+		fs.block(s.Body)
+		if s.Post != nil {
+			fs.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		fs.expr(s.X)
+		fs.block(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			fs.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			fs.expr(s.Tag)
+		}
+		fs.block(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			fs.stmt(s.Init)
+		}
+		fs.block(s.Body)
+	case *ast.SelectStmt:
+		fs.block(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			fs.expr(e)
+		}
+		for _, st := range s.Body {
+			fs.stmt(st)
+		}
+	case *ast.CommClause:
+		if s.Comm != nil {
+			fs.stmt(s.Comm)
+		}
+		for _, st := range s.Body {
+			fs.stmt(st)
+		}
+	case *ast.BlockStmt:
+		fs.block(s)
+	case *ast.LabeledStmt:
+		fs.stmt(s.Stmt)
+	case *ast.ReturnStmt:
+		fs.returnStmt(s)
+	case *ast.DeferStmt:
+		// Deferred drops (ClearAll, Release) run at function exit, not
+		// here: record nothing, so the protections they eventually drop
+		// stay live for the rest of the body. Deferred closures are the
+		// release idiom and are not walked.
+		fs.deferDepth++
+		for _, a := range s.Call.Args {
+			fs.expr(a)
+		}
+		fs.deferDepth--
+	case *ast.GoStmt:
+		fs.goStmt(s)
+	case *ast.SendStmt:
+		fs.expr(s.Value)
+		if t := fs.typeOf(s.Value); t != nil && (fs.c.model.isNodePtr(t) || isPtr(t)) {
+			fs.report(s.Arrow, RuleEscape,
+				"%s sent on a channel: the receiver outlives the protection that makes it safe", describeType(t, fs.c.model))
+		}
+	case *ast.IncDecStmt:
+		fs.expr(s.X)
+	}
+}
+
+func describeType(t types.Type, m *model) string {
+	if isPtr(t) {
+		return "core.Ptr"
+	}
+	if m.isNodePtr(t) {
+		return "raw node pointer"
+	}
+	return t.String()
+}
+
+// goStmt enforces the capture half of rule escape: a goroutine outlives
+// the operation's protections by construction.
+func (fs *funcState) goStmt(s *ast.GoStmt) {
+	m := fs.c.model
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		scope := fs.c.pass.Info.Scopes[lit.Type]
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := fs.c.pass.Info.Uses[id].(*types.Var)
+			if !ok || v.IsField() {
+				return true
+			}
+			if scope != nil && scopeContains(scope, v) {
+				return true // declared inside the closure (or a param of it)
+			}
+			if m.isNodePtr(v.Type()) || isPtr(v.Type()) {
+				fs.report(id.Pos(), RuleEscape,
+					"%s %q captured by a go-statement closure outlives the operation's protection", describeType(v.Type(), m), v.Name())
+			}
+			return true
+		})
+	}
+	for _, a := range s.Call.Args {
+		fs.expr(a)
+		if t := fs.typeOf(a); t != nil && (m.isNodePtr(t) || isPtr(t)) {
+			fs.report(a.Pos(), RuleEscape,
+				"%s passed to a goroutine outlives the operation's protection", describeType(t, m))
+		}
+	}
+}
+
+// scopeContains reports whether v is declared within scope (including
+// nested scopes).
+func scopeContains(scope *types.Scope, v *types.Var) bool {
+	pos := v.Pos()
+	return scope.Pos() <= pos && pos <= scope.End()
+}
+
+func (fs *funcState) returnStmt(s *ast.ReturnStmt) {
+	var states []state
+	for _, e := range s.Results {
+		fs.expr(e)
+		t := fs.typeOf(e)
+		if t == nil {
+			continue
+		}
+		if isHandle(t) {
+			states = append(states, fs.classify(e))
+		}
+		if fs.c.model.isNodePtr(t) && fs.decl.Name.IsExported() && !fs.summarizing {
+			fs.report(e.Pos(), RuleEscape,
+				"raw node pointer returned from exported %s escapes the protection scope", fs.decl.Name.Name)
+		}
+	}
+	if fs.summarizing {
+		if len(s.Results) == 0 {
+			// Bare return with named results: give up (conservative).
+			fs.returns = append(fs.returns, nil)
+		} else {
+			fs.returns = append(fs.returns, states)
+		}
+	}
+}
+
+// valueSpec handles `var x = expr` declarations.
+func (fs *funcState) valueSpec(vs *ast.ValueSpec) {
+	for _, e := range vs.Values {
+		fs.expr(e)
+	}
+	if len(vs.Values) == 0 {
+		return
+	}
+	if len(vs.Values) == len(vs.Names) {
+		for i, n := range vs.Names {
+			fs.bind(n, vs.Values[i], nil)
+		}
+	} else if len(vs.Values) == 1 {
+		fs.bindTuple(identExprs(vs.Names), vs.Values[0])
+	}
+}
+
+func identExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+func (fs *funcState) assign(s *ast.AssignStmt) {
+	for _, e := range s.Rhs {
+		fs.expr(e)
+	}
+	for _, e := range s.Lhs {
+		// Walk index/selector bases for effects, but not plain idents
+		// (they are binding targets, not reads).
+		if _, ok := e.(*ast.Ident); !ok {
+			fs.expr(e)
+		}
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			fs.bind(s.Lhs[i], s.Rhs[i], s)
+		}
+	} else if len(s.Rhs) == 1 {
+		fs.bindTuple(s.Lhs, s.Rhs[0])
+	}
+}
+
+// bind applies the state and escape consequences of one lhs = rhs pair.
+func (fs *funcState) bind(lhs, rhs ast.Expr, _ *ast.AssignStmt) {
+	m := fs.c.model
+	rt := fs.typeOf(rhs)
+
+	// Rule escape: raw node pointers and Ptrs must not be stored
+	// anywhere that outlives the operation.
+	if rt != nil && (m.isNodePtr(rt) || isPtr(rt)) {
+		fs.checkEscapingStore(lhs, rt)
+	}
+	// Rule escape: a core.Ptr copied by value forks its protection
+	// bookkeeping (index sharing, usedHaz counts) outside the domain's
+	// control; CopyPtr is the sanctioned spelling.
+	if rt != nil && isPtr(rt) && !isCreationExpr(rhs) {
+		fs.report(rhs.Pos(), RuleEscape,
+			"core.Ptr copied by value; use Domain.CopyPtr so the protection indices stay owned by the domain")
+	}
+
+	lv := fs.objOf(lhs)
+	if lv == nil {
+		return
+	}
+	if rt != nil && isHandle(rt) {
+		st := fs.classify(rhs)
+		vi := fs.info(lv)
+		vi.st = st
+		vi.protIdx = nil
+		delete(fs.aliases, lv)
+		if rv := fs.objOf(fs.stripHandleOps(rhs)); rv != nil && rv != lv {
+			fs.aliases[lv] = rv
+		}
+		// A reassigned variable sheds its CAS history: the unlink
+		// justified retiring the old value, not the new one...
+		delete(fs.casSeen, lv)
+		// ...unless the assigned value itself is CAS-named: `target =
+		// sr.leaf` after a CAS on sr.leaf carries the justification to
+		// target.
+		src := fs.stripHandleOps(rhs)
+		if rv := fs.objOf(src); rv != nil {
+			if pos, ok := fs.casSeen[rv]; ok {
+				fs.casSeen[lv] = pos
+			}
+		} else if pos, ok := fs.casExprs[exprKey(src)]; ok {
+			fs.casSeen[lv] = pos
+		} else if call, ok := ast.Unparen(src).(*ast.CallExpr); ok &&
+			fs.c.model.isExchange(fs.c.model.calleeFunc(call)) {
+			// The old value out of an atomic Swap/Exchange was unlinked
+			// by the exchange itself; no separate CAS is required.
+			fs.casSeen[lv] = call.Pos()
+		}
+	}
+}
+
+// bindTuple handles multi-value assignments from one call.
+func (fs *funcState) bindTuple(lhs []ast.Expr, rhs ast.Expr) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	role := fs.c.model.roleOf(fs.c.model.calleeFunc(call))
+	var sum *funcSummary
+	if f := fs.c.model.calleeFunc(call); f != nil {
+		sum = fs.c.summaries[f]
+	}
+	for i, l := range lhs {
+		lv := fs.objOf(l)
+		if lv == nil {
+			continue
+		}
+		t := lv.Type()
+		switch {
+		case isHandle(t):
+			vi := fs.info(lv)
+			delete(fs.aliases, lv)
+			delete(fs.casSeen, lv)
+			switch {
+			case role == roleAlloc:
+				vi.st = stFresh
+			case role == roleProtectRet || role == rolePtrFill:
+				vi.st = stProtected
+			case sum != nil && i < len(sum.retFresh) && sum.retFresh[i]:
+				vi.st = stFresh
+			case sum != nil && i < len(sum.retProtected) && sum.retProtected[i]:
+				vi.st = stProtected
+			default:
+				vi.st = stUnknown
+			}
+		case fs.c.model.isNodePtr(t):
+			// Raw node pointers are tracked purely by type at the
+			// escape sites; nothing to record here.
+		}
+	}
+}
+
+// checkEscapingStore reports stores of raw node pointers / Ptrs into
+// locations that outlive the function's protection scope.
+func (fs *funcState) checkEscapingStore(lhs ast.Expr, rt types.Type) {
+	m := fs.c.model
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := fs.c.pass.Info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+			fs.report(l.Pos(), RuleEscape,
+				"%s stored to field %s outlives the protection that makes it safe; store an arena.Handle instead", describeType(rt, m), l.Sel.Name)
+		} else if v, ok := fs.c.pass.Info.Uses[l.Sel].(*types.Var); ok && v.IsField() {
+			fs.report(l.Pos(), RuleEscape,
+				"%s stored to field %s outlives the protection that makes it safe; store an arena.Handle instead", describeType(rt, m), l.Sel.Name)
+		}
+	case *ast.Ident:
+		if v, ok := fs.c.pass.Info.Uses[l].(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+			fs.report(l.Pos(), RuleEscape,
+				"%s stored to package-level variable %s outlives every protection", describeType(rt, m), v.Name())
+		}
+	}
+}
+
+// isCreationExpr reports whether e constructs a value rather than
+// copying an existing one (zero literals, conversions of zero values).
+func isCreationExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		_ = e
+		return true // function results transfer, they don't fork a live Ptr
+	}
+	return false
+}
+
+// stripHandleOps unwraps tag-manipulation methods and genuine type
+// conversions so aliasing and the CAS ledger track the underlying
+// expression. Ordinary single-argument calls are NOT stripped — only
+// calls whose Fun typechecks as a type.
+func (fs *funcState) stripHandleOps(e ast.Expr) ast.Expr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Unmarked", "Marked", "WithMark", "WithFlag":
+					e = sel.X
+					continue
+				}
+			}
+			if tv, ok := fs.c.pass.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Expression walk: apply protocol effects, check derefs.
+
+func (fs *funcState) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		fs.call(e)
+	case *ast.ParenExpr:
+		fs.expr(e.X)
+	case *ast.UnaryExpr:
+		fs.expr(e.X)
+	case *ast.BinaryExpr:
+		fs.expr(e.X)
+		fs.expr(e.Y)
+	case *ast.SelectorExpr:
+		fs.expr(e.X)
+	case *ast.IndexExpr:
+		fs.expr(e.X)
+		fs.expr(e.Index)
+	case *ast.IndexListExpr:
+		fs.expr(e.X)
+	case *ast.SliceExpr:
+		fs.expr(e.X)
+		fs.expr(e.Low)
+		fs.expr(e.High)
+		fs.expr(e.Max)
+	case *ast.StarExpr:
+		fs.expr(e.X)
+	case *ast.TypeAssertExpr:
+		fs.expr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				fs.expr(kv.Value)
+			} else {
+				fs.expr(el)
+			}
+		}
+	case *ast.KeyValueExpr:
+		fs.expr(e.Value)
+	case *ast.FuncLit:
+		// Closure bodies are not walked: deferred releases and helper
+		// closures run under the caller's discipline. (Soundness
+		// caveat, DESIGN §10.)
+	}
+}
+
+// call applies one call's protocol effects.
+func (fs *funcState) call(call *ast.CallExpr) {
+	m := fs.c.model
+
+	// Conversions first: Handle(x.Load()) and friends classify at the
+	// deref/assignment site; still walk the operand.
+	if tv, ok := fs.c.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			fs.expr(a)
+		}
+		return
+	}
+
+	// Walk receiver and arguments before applying the callee's effect.
+	fs.expr(call.Fun)
+	for _, a := range call.Args {
+		fs.expr(a)
+	}
+
+	f := m.calleeFunc(call)
+	role := m.roleOf(f)
+
+	switch role {
+	case roleDeref:
+		if len(call.Args) > 0 {
+			fs.checkDeref(call.Args[0], call)
+		}
+	case roleProtectArg: // Protect(tid, idx, h)
+		if len(call.Args) >= 3 {
+			if v := fs.objOf(fs.stripHandleOps(call.Args[2])); v != nil {
+				vi := fs.info(v)
+				vi.st = stProtected
+				vi.protIdx = call.Args[1]
+			}
+		}
+	case rolePtrFill:
+		fs.fillPtrArg(call, f)
+	case rolePtrDrop:
+		if fs.deferDepth == 0 {
+			for _, a := range call.Args {
+				if v := fs.ptrArgVar(a); v != nil {
+					vi := fs.info(v)
+					vi.st = stReleased
+					vi.dropPos = call.Pos()
+				}
+			}
+		}
+	case roleClear: // Clear(tid, idx): drop protections published at idx
+		if fs.deferDepth == 0 && len(call.Args) >= 2 {
+			for _, vi := range fs.vars {
+				if vi.st == stProtected && vi.protIdx != nil && literalEq(vi.protIdx, call.Args[1]) {
+					vi.st = stReleased
+					vi.dropPos = call.Pos()
+				}
+			}
+		}
+	case roleClearAll:
+		if fs.deferDepth == 0 {
+			for v, vi := range fs.vars {
+				if vi.st == stProtected && (isHandle(v.Type()) || isPtr(v.Type())) {
+					vi.st = stReleased
+					vi.dropPos = call.Pos()
+				}
+			}
+		}
+	case roleRetire:
+		fs.retireCall(call)
+	case roleFree:
+		if n := len(call.Args); n > 0 {
+			if v := fs.objOf(fs.stripHandleOps(call.Args[n-1])); v != nil {
+				vi := fs.info(v)
+				vi.st = stRetired
+				vi.dropPos = call.Pos()
+			}
+		}
+	case roleCAS:
+		fs.recordCAS(call)
+	}
+
+	// Call-site enforcement of package-local summaries: a helper that
+	// dereferences its parameter extends the protection obligation to
+	// its callers.
+	if sum := fs.c.summaries[f]; sum != nil {
+		sig, _ := f.Type().(*types.Signature)
+		for i, a := range call.Args {
+			if i >= len(sum.reqProtected) || !sum.reqProtected[i] {
+				continue
+			}
+			switch fs.classify(a) {
+			case stRaw:
+				fs.report(a.Pos(), RuleProtect,
+					"unprotected handle passed to %s, which dereferences it (parameter %s)", f.Name(), paramName(sig, i))
+			case stReleased:
+				fs.report(a.Pos(), RuleProtect,
+					"handle passed to %s after its protection was dropped (parameter %s)", f.Name(), paramName(sig, i))
+			case stRetired:
+				fs.report(a.Pos(), RuleRetire,
+					"retired handle passed to %s, which dereferences it (parameter %s)", f.Name(), paramName(sig, i))
+			}
+		}
+	}
+}
+
+func paramName(sig *types.Signature, i int) string {
+	if sig == nil || i >= sig.Params().Len() {
+		return "?"
+	}
+	return sig.Params().At(i).Name()
+}
+
+// fillPtrArg marks the destination *core.Ptr argument of Load/Make/
+// AdoptScratch/CopyPtr as protected.
+func (fs *funcState) fillPtrArg(call *ast.CallExpr, f *types.Func) {
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, a := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		if !isPtrPointer(sig.Params().At(i).Type()) {
+			continue
+		}
+		if v := fs.ptrArgVar(a); v != nil {
+			fs.info(v).st = stProtected
+		}
+		// Only the first *Ptr parameter is the destination (CopyPtr's
+		// src stays whatever it was).
+		break
+	}
+}
+
+// ptrArgVar resolves &p / p (of type *core.Ptr or core.Ptr) to p's var.
+func (fs *funcState) ptrArgVar(a ast.Expr) *types.Var {
+	e := ast.Unparen(a)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	v := fs.objOf(e)
+	if v == nil {
+		return nil
+	}
+	if isPtr(v.Type()) || isPtrPointer(v.Type()) {
+		return v
+	}
+	return nil
+}
+
+// retireCall enforces rule retire at a Scheme.Retire site.
+func (fs *funcState) retireCall(call *ast.CallExpr) {
+	n := len(call.Args)
+	if n == 0 {
+		return
+	}
+	arg := call.Args[n-1]
+	// A fresh, never-published allocation has nothing to unlink: retiring
+	// it (alloc-rollback, scheme unit tests) needs no CAS.
+	if fs.classify(arg) == stFresh {
+		if v := fs.objOf(fs.stripHandleOps(arg)); v != nil {
+			vi := fs.info(v)
+			vi.st = stRetired
+			vi.dropPos = call.Pos()
+		}
+		return
+	}
+	stripped := fs.stripHandleOps(arg)
+	v := fs.objOf(stripped)
+	if v == nil {
+		// Non-variable operand (sr.successor and friends): match by the
+		// printed expression against the CAS ledger.
+		if _, ok := fs.casExprs[exprKey(stripped)]; !ok {
+			fs.report(call.Pos(), RuleRetire,
+				"Retire(%s) is not justified by a CAS naming it: retire must follow a successful unlink", exprKey(stripped))
+		}
+		return
+	}
+	base := fs.baseVar(v)
+	_, casV := fs.casSeen[v]
+	_, casB := fs.casSeen[base]
+	if !casV && !casB {
+		fs.report(call.Pos(), RuleRetire,
+			"Retire(%s) is not justified by a CAS naming %s: retire must follow a successful unlink", v.Name(), v.Name())
+	}
+	vi := fs.info(v)
+	vi.st = stRetired
+	vi.dropPos = call.Pos()
+}
+
+// recordCAS registers every handle-typed operand named in a CAS call as
+// unlink-justified from this point on — variables in casSeen,
+// non-variable expressions (fields of a seek record) in casExprs.
+func (fs *funcState) recordCAS(call *ast.CallExpr) {
+	record := func(e ast.Expr) {
+		stripped := fs.stripHandleOps(e)
+		if v := fs.objOf(stripped); v != nil {
+			if isHandle(v.Type()) {
+				if _, ok := fs.casSeen[v]; !ok {
+					fs.casSeen[v] = call.Pos()
+				}
+			}
+			return
+		}
+		if t := fs.typeOf(stripped); t != nil && isHandle(t) {
+			key := exprKey(stripped)
+			if _, ok := fs.casExprs[key]; !ok {
+				fs.casExprs[key] = call.Pos()
+			}
+		}
+	}
+	for _, a := range call.Args {
+		record(a)
+	}
+	// The receiver's operand can also name the handle (h.CompareAndSwap…).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		record(sel.X)
+	}
+}
+
+// exprKey renders an expression for ledger matching (sr.successor,
+// r.succs[0]).
+func exprKey(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// literalEq reports whether two index expressions are the same basic
+// literal or the same identifier.
+func literalEq(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	if la, ok := a.(*ast.BasicLit); ok {
+		lb, ok := b.(*ast.BasicLit)
+		return ok && la.Value == lb.Value
+	}
+	if ia, ok := a.(*ast.Ident); ok {
+		ib, ok := b.(*ast.Ident)
+		return ok && ia.Name == ib.Name
+	}
+	return false
+}
+
+// checkDeref enforces rule protect at one dereference site.
+func (fs *funcState) checkDeref(arg ast.Expr, call *ast.CallExpr) {
+	st := fs.classify(arg)
+	switch st {
+	case stRaw:
+		fs.report(call.Pos(), RuleProtect,
+			"dereference of an unprotected shared load: protect the handle (GetProtected/Load) before Get")
+	case stReleased:
+		fs.report(call.Pos(), RuleProtect,
+			"dereference after the handle's protection was dropped")
+	case stRetired:
+		fs.report(call.Pos(), RuleRetire,
+			"dereference of a handle already passed to Retire/Free")
+	case stUnknown:
+		if fs.summarizing {
+			if v := fs.objOf(fs.stripHandleOps(arg)); v != nil && fs.isParam(v) {
+				fs.derefdParams[v] = true
+			}
+		}
+	}
+}
+
+// classify resolves an expression's protection state, side-effect free.
+func (fs *funcState) classify(e ast.Expr) state {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		v := fs.objOf(x)
+		if v == nil {
+			return stUnknown
+		}
+		if vi, ok := fs.vars[v]; ok {
+			return vi.st
+		}
+		return stUnknown
+	case *ast.SelectorExpr:
+		// Field access: a handle stored in a struct field is a
+		// structure root by this analysis's convention (the soundness
+		// caveat: it can also be a stale cache — DESIGN §10).
+		if sel, ok := fs.c.pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return stRoot
+		}
+		if v, ok := fs.c.pass.Info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+			return stRoot
+		}
+		return stUnknown
+	case *ast.CallExpr:
+		return fs.classifyCall(x)
+	case *ast.UnaryExpr:
+		return fs.classify(x.X)
+	}
+	return stUnknown
+}
+
+func (fs *funcState) classifyCall(call *ast.CallExpr) state {
+	m := fs.c.model
+	// Conversion: classify the operand (Handle(x.Load()) is a raw load).
+	if tv, ok := fs.c.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		inner := ast.Unparen(call.Args[0])
+		if ic, ok := inner.(*ast.CallExpr); ok && m.isAtomicLoad(ic) {
+			return stRaw
+		}
+		return fs.classify(call.Args[0])
+	}
+	f := m.calleeFunc(call)
+	if f != nil {
+		// Handle methods that pass the value through.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			switch f.Name() {
+			case "Unmarked":
+				return fs.classify(sel.X)
+			case "H":
+				if pkgPathOf(f) == corePath {
+					return fs.classify(sel.X) // state of the Ptr variable
+				}
+			}
+		}
+	}
+	switch m.roleOf(f) {
+	case roleProtectRet, rolePtrFill:
+		return stProtected
+	case roleAlloc:
+		return stFresh
+	case roleRawLoad:
+		return stRaw
+	}
+	if m.isAtomicLoad(call) {
+		return stRaw
+	}
+	if sum := fs.c.summaries[f]; sum != nil {
+		if len(sum.retFresh) > 0 && sum.retFresh[0] {
+			return stFresh
+		}
+		if len(sum.retProtected) > 0 && sum.retProtected[0] {
+			return stProtected
+		}
+	}
+	return stUnknown
+}

@@ -1,0 +1,110 @@
+package orcvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcSummary is the conservative interprocedural contract of one
+// package-local function: which handle parameters it dereferences (so
+// callers must pass protected handles) and which handle results are
+// protected on every return path (so callers may dereference them).
+type funcSummary struct {
+	reqProtected []bool // per parameter
+	retProtected []bool // per handle-typed result position, in result order
+	// retFresh marks results that are fresh unpublished allocations on
+	// every return path (an alloc helper): callers may dereference them
+	// and — since there is nothing to unlink — retire them without a CAS.
+	retFresh []bool
+}
+
+// computeSummaries runs the flow walk once per function in summary mode
+// and records the contracts the checking pass consults at call sites.
+// One iteration, with local calls treated as unknown: enough for the
+// helper-plus-exported-ops shape the ds packages use, and conservative
+// (an unproven contract just stays silent) for anything deeper.
+func (c *checker) computeSummaries() {
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := c.pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fs := c.newFuncState(fd, true)
+			fs.block(fd.Body)
+
+			sig := obj.Type().(*types.Signature)
+			sum := &funcSummary{reqProtected: make([]bool, sig.Params().Len())}
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				if isHandle(p.Type()) && fs.derefdParams[p] {
+					sum.reqProtected[i] = true
+				}
+			}
+			sum.retProtected, sum.retFresh = foldResults(sig, fs.returns)
+			if anyTrue(sum.reqProtected) || anyTrue(sum.retProtected) || anyTrue(sum.retFresh) {
+				c.summaries[origin(obj)] = sum
+			}
+		}
+	}
+}
+
+// foldResults folds the per-return states: a handle result is protected
+// only if every return path proved it protected, fresh, or a root, and
+// fresh only if every return path proved it a fresh allocation.
+func foldResults(sig *types.Signature, returns [][]state) (prot, fresh []bool) {
+	nres := sig.Results().Len()
+	if nres == 0 || len(returns) == 0 {
+		return nil, nil
+	}
+	// Positions of handle-typed results.
+	handleIdx := []int{}
+	for i := 0; i < nres; i++ {
+		if isHandle(sig.Results().At(i).Type()) {
+			handleIdx = append(handleIdx, i)
+		}
+	}
+	if len(handleIdx) == 0 {
+		return nil, nil
+	}
+	prot = make([]bool, nres)
+	fresh = make([]bool, nres)
+	for _, i := range handleIdx {
+		prot[i] = true
+		fresh[i] = true
+	}
+	for _, ret := range returns {
+		if len(ret) != len(handleIdx) {
+			// Bare return or unclassifiable shape: give up on all.
+			return nil, nil
+		}
+		for k, st := range ret {
+			if st != stProtected && st != stFresh && st != stRoot {
+				prot[handleIdx[k]] = false
+			}
+			if st != stFresh {
+				fresh[handleIdx[k]] = false
+			}
+		}
+	}
+	if !anyTrue(prot) {
+		prot = nil
+	}
+	if !anyTrue(fresh) {
+		fresh = nil
+	}
+	return prot, fresh
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}

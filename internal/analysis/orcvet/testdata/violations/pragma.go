@@ -1,0 +1,23 @@
+package violations
+
+import "repro/internal/arena"
+
+// SuppressedRawDeref shows the audited escape hatch: the pragma names
+// the rule and a reason, so the raw deref below is intentionally
+// silent and must NOT appear in the corpus findings.
+func (l *VList) SuppressedRawDeref() uint64 {
+	h := arena.Handle(l.head.Load())
+	//orcvet:ignore protect corpus demo of the audited escape hatch
+	return l.a.Get(h).key
+}
+
+// The pragma below suppresses nothing: a stale ignore is itself a
+// finding, keeping the audit trail honest.
+//
+//orcvet:ignore retire stale on purpose, nothing below retires // want:pragma
+func StalePragma() {}
+
+// A pragma without a recognizable rule is malformed.
+//
+//orcvet:ignore because-reasons // want:pragma
+func MalformedPragma() {}

@@ -1,0 +1,74 @@
+package orcvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkUnsafe enforces rule unsafe: unsafe.Pointer / uintptr
+// conversions touching arena-managed memory are only legal inside
+// internal/arena and internal/core. Everywhere else, a handle is the
+// only sanctioned name for a node, and the arena's generation check is
+// the only sanctioned way back to memory — a raw pointer smuggled
+// around it dodges exactly the use-after-free detection the repo
+// exists to study.
+func (c *checker) checkUnsafe(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := c.pass.Info.Types[call.Fun]
+		if !ok || !tv.IsType() || len(call.Args) != 1 {
+			return true
+		}
+		dst := tv.Type
+		src := c.pass.Info.TypeOf(call.Args[0])
+		if src == nil {
+			return true
+		}
+		if c.unsafeConversionTouchesArena(dst, src) {
+			c.maybeReport(call.Pos(), RuleUnsafe,
+				"%s conversion of arena-managed memory outside internal/arena and internal/core", types.TypeString(dst, nil))
+		}
+		return true
+	})
+}
+
+func (c *checker) unsafeConversionTouchesArena(dst, src types.Type) bool {
+	if isUnsafeOrUintptr(dst) {
+		return c.arenaManaged(src)
+	}
+	// The cast back: (*Node)(unsafe.Pointer(...)) or Handle(uintptr-ish).
+	if isUnsafeOrUintptr(src) {
+		return c.arenaManaged(dst)
+	}
+	return false
+}
+
+func isUnsafeOrUintptr(t types.Type) bool {
+	switch t := dealias(t).(type) {
+	case *types.Basic:
+		return t.Kind() == types.Uintptr || t.Kind() == types.UnsafePointer
+	case *types.Pointer:
+		return false
+	}
+	return false
+}
+
+// arenaManaged reports whether t names arena-managed memory: a Handle,
+// a node type of this package, or a pointer to one.
+func (c *checker) arenaManaged(t types.Type) bool {
+	if isHandle(t) || isPtr(t) {
+		return true
+	}
+	if c.model.isNodePtr(t) {
+		return true
+	}
+	if p, ok := dealias(t).(*types.Pointer); ok {
+		if n, ok := dealias(p.Elem()).(*types.Named); ok && c.model.nodeTypes[n] {
+			return true
+		}
+	}
+	return false
+}

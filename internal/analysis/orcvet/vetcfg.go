@@ -1,0 +1,102 @@
+package orcvet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+)
+
+// This file implements the `go vet -vettool=` side of the tool. The go
+// command drives a vettool through a small unitchecker-style protocol:
+//
+//	tool -V=full        → print "<name> version <version>" (cache key)
+//	tool -flags         → print a JSON array of supported flags
+//	tool <dir>/vet.cfg  → analyze one compilation unit described by the
+//	                      JSON config, write the VetxOutput facts file,
+//	                      print diagnostics to stderr, exit 2 on findings
+//
+// Dependency packages arrive as VetxOnly units: orcvet carries no
+// cross-package facts, so those just write an empty vetx file and exit.
+
+// VetConfig mirrors the vet.cfg JSON the go command writes per unit.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetUnit executes one vet.cfg action. It returns the number of
+// diagnostics printed to stderr; the caller maps that to the exit code.
+func RunVetUnit(cfgPath string, stderr io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("orcvet: parsing %s: %v", cfgPath, err)
+	}
+
+	// orcvet produces no facts, but the go command requires the output
+	// file to exist before it will cache or consume the action.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("orcvet\n"), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly || cfg.Standard[cfg.ImportPath] || len(cfg.GoFiles) == 0 {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	idx := ExportIndex{}
+	for path, file := range cfg.PackageFile {
+		idx[path] = file
+	}
+	pass, err := TypecheckFiles(fset, cfg.ImportPath, cfg.GoFiles, idx.Importer(fset, cfg.ImportMap))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("orcvet: %s: typecheck: %v", cfg.ImportPath, err)
+	}
+	diags := Analyze(pass)
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", fset.Position(d.Pos), vetMessage(d))
+	}
+	return len(diags), nil
+}
+
+// vetMessage prefixes the rule so a finding reads
+// "file.go:12:3: orcvet/protect: ...".
+func vetMessage(d Diagnostic) string {
+	return fmt.Sprintf("orcvet/%s: %s", d.Rule, d.Message)
+}
+
+// PrintVersion answers -V=full. The go command hashes this line into
+// its action cache, so Version must change when rule semantics do, and
+// must not be "(devel)" (which defeats caching and is rejected).
+func PrintVersion(w io.Writer) {
+	fmt.Fprintf(w, "orcvet version %s\n", Version)
+}
+
+// PrintFlags answers -flags: orcvet takes no tool-specific flags.
+func PrintFlags(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}

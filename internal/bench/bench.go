@@ -39,46 +39,130 @@ type MemStats struct {
 	RetiredNotFreed int64 // scheme-side pending count (manual schemes)
 }
 
-// Admin bundles the control hooks the torture harness uses to inject
-// faults into a subject and audit its reclamation afterwards. The
-// benchmark runners never touch it; registry constructors fill it in so
-// any subject reachable by name can be tortured. Function fields are
-// never nil for registry-built instances.
-type Admin struct {
-	// SetFaultMode flips the subject's arena between Strict (panic on
-	// stale dereference) and Count (record and survive) at runtime.
-	SetFaultMode func(arena.FaultMode)
-	// SetFaultHook installs a callback invoked on every counted fault;
-	// nil uninstalls.
-	SetFaultHook func(func(arena.Handle))
-	// ArenaStats snapshots the subject's allocator counters.
-	ArenaStats func() arena.Stats
-	// SchemeStats snapshots retire/free accounting (synthesized from
-	// Domain counters for OrcGC subjects; zero-valued for leak subjects
-	// that bypass the reclaim layer entirely).
-	SchemeStats func() reclaim.Stats
-	// ScanStats snapshots the subject's scan-engine and protection
-	// fast-path accounting (adaptive threshold position, elision hits).
-	// Nil for subjects with neither (the leak baselines).
-	ScanStats func() reclaim.ScanStats
-	// ClusterStats snapshots proxy-level counters (routed ops, hedges
-	// fired/won, breaker trips, rebalance keys moved) when the subject
-	// fronts a cluster proxy; nil for single-store subjects.
-	ClusterStats func() map[string]int64
+// Admin is the control surface the torture harness drives: fault
+// injection before a run, quiescing between phases, and the accounting
+// audit afterwards. The benchmark runners never touch it; registry
+// constructors build one (via Hooks) so any subject reachable by name
+// can be tortured.
+type Admin interface {
+	// Stats returns the subject's read-only accounting view.
+	Stats() Snapshot
+	// Faults returns the subject's fault-injection controls.
+	Faults() FaultController
 	// Quiesce drains pending reclamation: clears every thread's
 	// protections and flushes retired lists to a fixed point. Quiescent
 	// use only — no concurrent subject operations may be in flight.
-	Quiesce func()
+	Quiesce()
 	// Reclaiming reports whether retired objects are eventually freed
 	// (false for the "none" scheme and the leak baselines), i.e. whether
 	// Live is expected back at baseline after Quiesce.
-	Reclaiming bool
-	// ExactPending reports whether SchemeStats counts distinct objects,
+	Reclaiming() bool
+	// ExactPending reports whether Scheme stats count distinct objects,
 	// making retired == freed + pending an invariant. Manual schemes
 	// qualify; OrcGC does not — its retire counter ticks once per retire
 	// *event*, and ownership re-negotiation (clearBitRetired) or a
 	// handover can route one object through several events.
-	ExactPending bool
+	ExactPending() bool
+}
+
+// Snapshot is Admin's read side: every accounting surface the audit
+// consults, behind one coherent view.
+type Snapshot interface {
+	// Arena snapshots the subject's allocator counters.
+	Arena() arena.Stats
+	// Scheme snapshots retire/free accounting (synthesized from Domain
+	// counters for OrcGC subjects; zero-valued for leak subjects that
+	// bypass the reclaim layer entirely).
+	Scheme() reclaim.Stats
+	// Scan snapshots scan-engine and protection fast-path accounting
+	// (adaptive threshold position, elision hits); ok is false for
+	// subjects with neither (the leak baselines).
+	Scan() (st reclaim.ScanStats, ok bool)
+	// Cluster snapshots proxy-level counters (routed ops, hedges
+	// fired/won, breaker trips, rebalance keys moved) when the subject
+	// fronts a cluster proxy; nil for single-store subjects.
+	Cluster() map[string]int64
+}
+
+// FaultController is Admin's fault-injection side.
+type FaultController interface {
+	// SetMode flips the subject's arena between Strict (panic on stale
+	// dereference) and Count (record and survive) at runtime.
+	SetMode(arena.FaultMode)
+	// SetHook installs a callback invoked on every counted fault; nil
+	// uninstalls.
+	SetHook(func(arena.Handle))
+}
+
+// Hooks is the function-field Admin implementation the registry (and
+// ad-hoc torture subjects) assemble. Nil function fields degrade to
+// no-ops or zero values, so a subject only wires the surfaces it has.
+type Hooks struct {
+	FaultMode    func(arena.FaultMode)
+	FaultHook    func(func(arena.Handle))
+	ArenaStats   func() arena.Stats
+	SchemeStats  func() reclaim.Stats
+	ScanStats    func() reclaim.ScanStats // nil: no scan engine
+	ClusterStats func() map[string]int64  // nil: single-store subject
+	QuiesceFn    func()
+	Reclaims     bool
+	ExactCounts  bool
+}
+
+func (h *Hooks) Stats() Snapshot         { return hookSnapshot{h} }
+func (h *Hooks) Faults() FaultController { return hookFaults{h} }
+
+func (h *Hooks) Quiesce() {
+	if h.QuiesceFn != nil {
+		h.QuiesceFn()
+	}
+}
+
+func (h *Hooks) Reclaiming() bool   { return h.Reclaims }
+func (h *Hooks) ExactPending() bool { return h.ExactCounts }
+
+type hookSnapshot struct{ h *Hooks }
+
+func (s hookSnapshot) Arena() arena.Stats {
+	if s.h.ArenaStats == nil {
+		return arena.Stats{}
+	}
+	return s.h.ArenaStats()
+}
+
+func (s hookSnapshot) Scheme() reclaim.Stats {
+	if s.h.SchemeStats == nil {
+		return reclaim.Stats{}
+	}
+	return s.h.SchemeStats()
+}
+
+func (s hookSnapshot) Scan() (reclaim.ScanStats, bool) {
+	if s.h.ScanStats == nil {
+		return reclaim.ScanStats{}, false
+	}
+	return s.h.ScanStats(), true
+}
+
+func (s hookSnapshot) Cluster() map[string]int64 {
+	if s.h.ClusterStats == nil {
+		return nil
+	}
+	return s.h.ClusterStats()
+}
+
+type hookFaults struct{ h *Hooks }
+
+func (f hookFaults) SetMode(m arena.FaultMode) {
+	if f.h.FaultMode != nil {
+		f.h.FaultMode(m)
+	}
+}
+
+func (f hookFaults) SetHook(fn func(arena.Handle)) {
+	if f.h.FaultHook != nil {
+		f.h.FaultHook(fn)
+	}
 }
 
 // SetInstance bundles a set subject with its accounting hooks.

@@ -36,10 +36,10 @@ func recCfg(threads int) reclaim.Options {
 // the domain's fixed-point drain.
 func orcAdmin[T any](d *core.Domain[T]) Admin {
 	a := d.Arena()
-	return Admin{
-		SetFaultMode: a.SetFaultMode,
-		SetFaultHook: a.SetFaultHook,
-		ArenaStats:   a.Stats,
+	return &Hooks{
+		FaultMode:  a.SetFaultMode,
+		FaultHook:  a.SetFaultHook,
+		ArenaStats: a.Stats,
 		SchemeStats: func() reclaim.Stats {
 			r, f := d.Stats()
 			return reclaim.Stats{Retired: r, Freed: f, RetiredNotFreed: int64(r) - int64(f)}
@@ -47,9 +47,9 @@ func orcAdmin[T any](d *core.Domain[T]) Admin {
 		ScanStats: func() reclaim.ScanStats {
 			return reclaim.ScanStats{Elisions: d.Elisions()}
 		},
-		Quiesce:      d.FlushAll,
-		Reclaiming:   true,
-		ExactPending: false,
+		QuiesceFn:   d.FlushAll,
+		Reclaims:    true,
+		ExactCounts: false,
 	}
 }
 
@@ -62,12 +62,12 @@ func manualAdmin[T any](a *arena.Arena[T], s reclaim.Scheme, threads int) Admin 
 		threads = 1
 	}
 	name := s.Name()
-	ad := Admin{
-		SetFaultMode: a.SetFaultMode,
-		SetFaultHook: a.SetFaultHook,
-		ArenaStats:   a.Stats,
-		SchemeStats:  s.Stats,
-		Quiesce: func() {
+	ad := &Hooks{
+		FaultMode:   a.SetFaultMode,
+		FaultHook:   a.SetFaultHook,
+		ArenaStats:  a.Stats,
+		SchemeStats: s.Stats,
+		QuiesceFn: func() {
 			for round := 0; round < 4; round++ {
 				for tid := 0; tid < threads; tid++ {
 					s.ClearAll(tid)
@@ -78,8 +78,8 @@ func manualAdmin[T any](a *arena.Arena[T], s reclaim.Scheme, threads int) Admin 
 				}
 			}
 		},
-		Reclaiming:   name != "none" && name != "unsafe",
-		ExactPending: true,
+		Reclaims:    name != "none" && name != "unsafe",
+		ExactCounts: true,
 	}
 	if ss, ok := s.(reclaim.ScanStatser); ok {
 		ad.ScanStats = ss.ScanStats
@@ -90,14 +90,13 @@ func manualAdmin[T any](a *arena.Arena[T], s reclaim.Scheme, threads int) Admin 
 // leakAdmin builds the hooks for a leak baseline that bypasses the
 // reclaim layer entirely: arena control only, zero scheme stats.
 func leakAdmin[T any](a *arena.Arena[T]) Admin {
-	return Admin{
-		SetFaultMode: a.SetFaultMode,
-		SetFaultHook: a.SetFaultHook,
-		ArenaStats:   a.Stats,
-		SchemeStats:  func() reclaim.Stats { return reclaim.Stats{} },
-		Quiesce:      func() {},
-		Reclaiming:   false,
-		ExactPending: true,
+	return &Hooks{
+		FaultMode:   a.SetFaultMode,
+		FaultHook:   a.SetFaultHook,
+		ArenaStats:  a.Stats,
+		SchemeStats: func() reclaim.Stats { return reclaim.Stats{} },
+		Reclaims:    false,
+		ExactCounts: true,
 	}
 }
 

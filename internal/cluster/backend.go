@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -364,13 +365,13 @@ func (b *backend) connect(gen uint64) ([]*conn, error) {
 	cfg := b.p.cfg
 	lanes := make([]*conn, cfg.Lanes)
 	for i := range lanes {
-		cl, err := kvstore.DialWith(b.addr, kvstore.Options{
-			DialTimeout: cfg.DialTimeout,
-			ReadTimeout: cfg.IOTimeout,
-			Pipeline:    cfg.Depth,
-			DialRetries: 2,
-			DialBackoff: 25 * time.Millisecond,
-		})
+		cl, err := kvstore.Dial(b.addr,
+			kvstore.WithDialTimeout(cfg.DialTimeout),
+			kvstore.WithReadTimeout(cfg.IOTimeout),
+			kvstore.WithPipelineDepth(cfg.Depth),
+			kvstore.WithRetries(2),
+			kvstore.WithRetryBackoff(25*time.Millisecond),
+		)
 		if err != nil {
 			for _, c := range lanes[:i] {
 				c.kill()
@@ -378,7 +379,7 @@ func (b *backend) connect(gen uint64) ([]*conn, error) {
 			return nil, err
 		}
 		if i == 0 {
-			st, err := cl.Stats()
+			st, err := cl.Stats(context.Background())
 			if err != nil {
 				cl.Close()
 				return nil, fmt.Errorf("cluster: %s STATS: %w", b.addr, err)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -814,15 +815,15 @@ func (p *Proxy) doDrain(ca *call) {
 	var schemes []string
 	drainErr := func() error {
 		for _, b := range old.backs {
-			cl, err := kvstore.DialWith(b.addr, kvstore.Options{
-				DialTimeout: p.cfg.DialTimeout,
-				ReadTimeout: time.Minute, // the barrier alone can take 30s
-				DialRetries: 2,
-			})
+			cl, err := kvstore.Dial(b.addr,
+				kvstore.WithDialTimeout(p.cfg.DialTimeout),
+				kvstore.WithReadTimeout(time.Minute), // the barrier alone can take 30s
+				kvstore.WithRetries(2),
+			)
 			if err != nil {
 				return fmt.Errorf("cluster: drain %s: %w", b.addr, err)
 			}
-			rep, err := cl.Drain()
+			rep, err := cl.Drain(context.Background())
 			cl.Close()
 			if err != nil {
 				return fmt.Errorf("cluster: drain %s: %w", b.addr, err)
@@ -926,11 +927,11 @@ func (p *Proxy) doTopo(op uint8, addr string, ca *call) {
 	var err error
 	switch op {
 	case kvstore.OpClusterAdd:
-		rep, err = p.AddBackend(addr)
+		rep, err = p.AddBackend(context.Background(), addr)
 	case kvstore.OpClusterDrain:
-		rep, err = p.DrainBackend(addr)
+		rep, err = p.DrainBackend(context.Background(), addr)
 	case kvstore.OpClusterRemove:
-		rep, err = p.RemoveBackend(addr)
+		rep, err = p.RemoveBackend(context.Background(), addr)
 	}
 	if err != nil {
 		ca.fail(err)

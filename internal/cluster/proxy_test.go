@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"testing"
@@ -78,9 +79,11 @@ func startCluster(t *testing.T, schemes []string, replicas int) (*Proxy, []*test
 	return p, backs, ln.Addr().String()
 }
 
+var ctx = context.Background()
+
 func proxyClient(t *testing.T, addr string) *kvstore.Client {
 	t.Helper()
-	cl, err := kvstore.DialWith(addr, kvstore.Options{ReadTimeout: 30 * time.Second, DialRetries: 3})
+	cl, err := kvstore.Dial(addr, kvstore.WithReadTimeout(30*time.Second), kvstore.WithRetries(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +93,7 @@ func proxyClient(t *testing.T, addr string) *kvstore.Client {
 
 func clusterInfo(t *testing.T, cl *kvstore.Client) Info {
 	t.Helper()
-	raw, err := cl.ClusterInfo()
+	raw, err := cl.ClusterInfo(ctx)
 	if err != nil {
 		t.Fatalf("CLUSTER_INFO: %v", err)
 	}
@@ -128,31 +131,31 @@ func TestProxyBasicOps(t *testing.T) {
 	_, _, addr := startCluster(t, []string{"orcgc", "hp", "ebr"}, 2)
 	cl := proxyClient(t, addr)
 
-	if ins, err := cl.Put(42, 1000); err != nil || !ins {
+	if ins, err := cl.Put(ctx, 42, 1000); err != nil || !ins {
 		t.Fatalf("put = %v, %v", ins, err)
 	}
-	if ins, err := cl.Put(42, 2000); err != nil || ins {
+	if ins, err := cl.Put(ctx, 42, 2000); err != nil || ins {
 		t.Fatalf("overwrite put = %v, %v (want update)", ins, err)
 	}
-	if v, ok, err := cl.Get(42); err != nil || !ok || v != 2000 {
+	if v, ok, err := cl.Get(ctx, 42); err != nil || !ok || v != 2000 {
 		t.Fatalf("get = %d, %v, %v", v, ok, err)
 	}
-	if _, ok, _ := cl.Get(43); ok {
+	if _, ok, _ := cl.Get(ctx, 43); ok {
 		t.Fatal("get on absent key found something")
 	}
-	if found, err := cl.Del(42); err != nil || !found {
+	if found, err := cl.Del(ctx, 42); err != nil || !found {
 		t.Fatalf("del = %v, %v", found, err)
 	}
-	if found, _ := cl.Del(42); found {
+	if found, _ := cl.Del(ctx, 42); found {
 		t.Fatal("double del found the key")
 	}
 
 	for k := uint64(100); k < 150; k++ {
-		if _, err := cl.Put(k, k*3); err != nil {
+		if _, err := cl.Put(ctx, k, k*3); err != nil {
 			t.Fatal(err)
 		}
 	}
-	pairs, err := cl.Scan(100, 25)
+	pairs, err := cl.Scan(ctx, 100, 25)
 	if err != nil || len(pairs) != 50 {
 		t.Fatalf("scan returned %d pairs (err %v), want 25", len(pairs)/2, err)
 	}
@@ -162,7 +165,7 @@ func TestProxyBasicOps(t *testing.T) {
 		}
 	}
 
-	st, err := cl.Stats()
+	st, err := cl.Stats(ctx)
 	if err != nil {
 		t.Fatalf("stats: %v", err)
 	}
@@ -193,23 +196,23 @@ func TestProxyFailoverKill(t *testing.T) {
 
 	const keys = 500
 	for k := uint64(1); k <= keys; k++ {
-		if _, err := cl.Put(k, k^0xABCD); err != nil {
+		if _, err := cl.Put(ctx, k, k^0xABCD); err != nil {
 			t.Fatalf("put(%d): %v", k, err)
 		}
 	}
 	backs[1].kill(t)
 
 	for k := uint64(1); k <= keys; k++ {
-		v, ok, err := cl.Get(k)
+		v, ok, err := cl.Get(ctx, k)
 		if err != nil || !ok || v != k^0xABCD {
 			t.Fatalf("get(%d) after kill = (%d, %v, %v)", k, v, ok, err)
 		}
 	}
 	for k := uint64(keys + 1); k <= keys+100; k++ {
-		if _, err := cl.Put(k, k); err != nil {
+		if _, err := cl.Put(ctx, k, k); err != nil {
 			t.Fatalf("put(%d) after kill: %v", k, err)
 		}
-		if v, ok, err := cl.Get(k); err != nil || !ok || v != k {
+		if v, ok, err := cl.Get(ctx, k); err != nil || !ok || v != k {
 			t.Fatalf("get(%d) after kill = (%d, %v, %v)", k, v, ok, err)
 		}
 	}
@@ -225,7 +228,7 @@ func TestProxyKillRestartResync(t *testing.T) {
 
 	const keys = 400
 	for k := uint64(1); k <= keys; k++ {
-		if _, err := cl.Put(k, k*7); err != nil {
+		if _, err := cl.Put(ctx, k, k*7); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -234,7 +237,7 @@ func TestProxyKillRestartResync(t *testing.T) {
 
 	// Writes acked while node 0 is down land only on the survivors.
 	for k := uint64(keys + 1); k <= 2*keys; k++ {
-		if _, err := cl.Put(k, k*7); err != nil {
+		if _, err := cl.Put(ctx, k, k*7); err != nil {
 			t.Fatalf("put(%d) during outage: %v", k, err)
 		}
 	}
@@ -247,7 +250,7 @@ func TestProxyKillRestartResync(t *testing.T) {
 	// {node0, node1} fall to the resynced node 0.
 	backs[1].kill(t)
 	for k := uint64(1); k <= 2*keys; k++ {
-		v, ok, err := cl.Get(k)
+		v, ok, err := cl.Get(ctx, k)
 		if err != nil || !ok || v != k*7 {
 			t.Fatalf("get(%d) after restart+kill = (%d, %v, %v)", k, v, ok, err)
 		}
@@ -262,14 +265,14 @@ func TestProxyScanPagination(t *testing.T) {
 
 	const keys = 3000
 	for k := uint64(1); k <= keys; k++ {
-		if _, err := cl.Put(k, k+5); err != nil {
+		if _, err := cl.Put(ctx, k, k+5); err != nil {
 			t.Fatal(err)
 		}
 	}
 	seen := map[uint64]uint64{}
 	cursor := uint64(1)
 	for {
-		pairs, err := cl.Scan(cursor, 512)
+		pairs, err := cl.Scan(ctx, cursor, 512)
 		if err != nil {
 			t.Fatalf("scan from %d: %v", cursor, err)
 		}
@@ -303,13 +306,13 @@ func TestProxyTopologyAddDrain(t *testing.T) {
 
 	const keys = 400
 	for k := uint64(1); k <= keys; k++ {
-		if _, err := cl.Put(k, k+9); err != nil {
+		if _, err := cl.Put(ctx, k, k+9); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	third := startKV(t, "ebr", "")
-	raw, err := cl.ClusterAdd(third.addr)
+	raw, err := cl.ClusterAdd(ctx, third.addr)
 	if err != nil {
 		t.Fatalf("CLUSTER_ADD: %v", err)
 	}
@@ -322,14 +325,14 @@ func TestProxyTopologyAddDrain(t *testing.T) {
 	}
 	waitAllHealthy(t, cl, 3, 30*time.Second)
 	for k := uint64(1); k <= keys; k++ {
-		if v, ok, err := cl.Get(k); err != nil || !ok || v != k+9 {
+		if v, ok, err := cl.Get(ctx, k); err != nil || !ok || v != k+9 {
 			t.Fatalf("get(%d) after add = (%d, %v, %v)", k, v, ok, err)
 		}
 	}
 
 	info := clusterInfo(t, cl)
 	drainAddr := info.Nodes[0].Addr
-	raw, err = cl.ClusterDrain(drainAddr)
+	raw, err = cl.ClusterDrain(ctx, drainAddr)
 	if err != nil {
 		t.Fatalf("CLUSTER_DRAIN: %v", err)
 	}
@@ -346,7 +349,7 @@ func TestProxyTopologyAddDrain(t *testing.T) {
 		}
 	}
 	for k := uint64(1); k <= keys; k++ {
-		if v, ok, err := cl.Get(k); err != nil || !ok || v != k+9 {
+		if v, ok, err := cl.Get(ctx, k); err != nil || !ok || v != k+9 {
 			t.Fatalf("get(%d) after drain = (%d, %v, %v)", k, v, ok, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -299,8 +300,10 @@ func (p *Proxy) resync(b *backend) error {
 // AddBackend joins addr to the ring: the node connects, resyncs its
 // share of the key space (writes already fan to it mid-migration), and
 // only then enters the read path when the pending topology is swapped
-// in. Blocks until the node is healthy or the sync deadline passes.
-func (p *Proxy) AddBackend(addr string) (RebalanceReport, error) {
+// in. Blocks until the node is healthy, the sync deadline passes, or
+// ctx is cancelled — cancellation rolls the pending topology back and
+// leaves the ring as it was.
+func (p *Proxy) AddBackend(ctx context.Context, addr string) (RebalanceReport, error) {
 	start := time.Now()
 	p.tmu.Lock()
 	if p.next.Load() != nil {
@@ -324,12 +327,15 @@ func (p *Proxy) AddBackend(addr string) (RebalanceReport, error) {
 
 	deadline := time.Now().Add(60 * time.Second)
 	for b.state.Load() != stateHealthy {
-		if time.Now().After(deadline) {
+		if err := ctx.Err(); err != nil || time.Now().After(deadline) {
 			p.tmu.Lock()
 			p.next.Store(nil)
 			delete(p.byAddr, addr)
 			p.tmu.Unlock()
 			b.stopAndWait()
+			if err != nil {
+				return RebalanceReport{}, fmt.Errorf("cluster: add %s: %w", addr, context.Cause(ctx))
+			}
 			return RebalanceReport{}, fmt.Errorf("cluster: backend %s did not sync in time", addr)
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -351,19 +357,19 @@ func (p *Proxy) AddBackend(addr string) (RebalanceReport, error) {
 // window where a read-eligible replica lacks acked data. The backend
 // process itself stays up — its own DRAIN/leak check is the operator's
 // last step.
-func (p *Proxy) DrainBackend(addr string) (RebalanceReport, error) {
-	return p.retire(addr)
+func (p *Proxy) DrainBackend(ctx context.Context, addr string) (RebalanceReport, error) {
+	return p.retire(ctx, addr)
 }
 
 // RemoveBackend drops addr and re-replicates its keys from the
 // surviving replicas. Meant for a node that is already dead: the node
 // is simply skipped as a copy source (it is not read-eligible), and the
 // survivors rebuild full replication.
-func (p *Proxy) RemoveBackend(addr string) (RebalanceReport, error) {
-	return p.retire(addr)
+func (p *Proxy) RemoveBackend(ctx context.Context, addr string) (RebalanceReport, error) {
+	return p.retire(ctx, addr)
 }
 
-func (p *Proxy) retire(addr string) (RebalanceReport, error) {
+func (p *Proxy) retire(ctx context.Context, addr string) (RebalanceReport, error) {
 	start := time.Now()
 	p.tmu.Lock()
 	if p.next.Load() != nil {
@@ -394,7 +400,7 @@ func (p *Proxy) retire(addr string) (RebalanceReport, error) {
 	p.next.Store(nt)
 	p.tmu.Unlock()
 
-	moved, err := p.handoff(t, nt)
+	moved, err := p.handoff(ctx, t, nt)
 	p.tmu.Lock()
 	p.next.Store(nil)
 	if err == nil {
@@ -418,7 +424,10 @@ func (p *Proxy) retire(addr string) (RebalanceReport, error) {
 // that member, sourcing values authoritatively under the key's stripe.
 // Keys whose replica set is unchanged (the vast majority, by the ring's
 // minimal-movement property) are skipped without taking any lock.
-func (p *Proxy) handoff(old, nt *topology) (uint64, error) {
+// Cancelling ctx stops the copy between keys; the retire caller rolls
+// the pending topology back, and keys already copied are harmless
+// extras the ring no longer routes to.
+func (p *Proxy) handoff(ctx context.Context, old, nt *topology) (uint64, error) {
 	var sources []*backend
 	for _, s := range old.backs {
 		if s.readEligible() {
@@ -428,6 +437,9 @@ func (p *Proxy) handoff(old, nt *topology) (uint64, error) {
 	var moved uint64
 	var ob, nb [maxReplicas]int32
 	err := p.forEachKey(sources, func(k uint64) error {
+		if err := ctx.Err(); err != nil {
+			return context.Cause(ctx)
+		}
 		oldSet := old.ring.Lookup(k, p.replicas(), ob[:0])
 		newSet := nt.ring.Lookup(k, p.replicas(), nb[:0])
 		for _, nid := range newSet {

@@ -2,6 +2,9 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -127,5 +130,86 @@ func TestRingLookupZeroAlloc(t *testing.T) {
 	})
 	if n != 0 {
 		t.Errorf("Lookup allocates %.1f times per call, want 0", n)
+	}
+}
+
+// Lookup stays correct while the published topology is swapped under
+// it — the proxy's exact access pattern: readers load the ring through
+// an atomic pointer per request while a topology churner installs
+// fresh rings. Each result must be internally consistent with whichever
+// ring the reader loaded (right length, valid distinct ids, and exactly
+// the ids that ring's own preference table holds for the key), never a
+// blend of two topologies. Run with -race: the readers' only sync with
+// the swapper is the pointer load, so any mutation of a published ring
+// would be flagged.
+func TestRingLookupUnderConcurrentSwap(t *testing.T) {
+	rings := make([]*Ring, 6)
+	for i := range rings {
+		rings[i] = BuildRing(addrs(i+3), 64) // 3..8 nodes
+	}
+	var cur atomic.Pointer[Ring]
+	cur.Store(rings[0])
+
+	stop := make(chan struct{})
+	var swaps atomic.Uint64
+	go func() {
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cur.Store(rings[i%len(rings)])
+			swaps.Add(1)
+			runtime.Gosched()
+		}
+	}()
+
+	const readers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			buf := make([]int32, 0, 3)
+			want := make([]int32, 0, 3)
+			for i := 0; i < 20000; i++ {
+				key := uint64(id)<<32 | uint64(i)
+				r := cur.Load()
+				buf = r.Lookup(key, 2, buf)
+				if len(buf) != 2 {
+					errs[id] = fmt.Errorf("key %d: %d ids, want 2", key, len(buf))
+					return
+				}
+				if buf[0] == buf[1] {
+					errs[id] = fmt.Errorf("key %d: duplicate replica id %d", key, buf[0])
+					return
+				}
+				for _, b := range buf {
+					if b < 0 || int(b) >= len(r.Nodes) {
+						errs[id] = fmt.Errorf("key %d: id %d out of range for %d nodes", key, b, len(r.Nodes))
+						return
+					}
+				}
+				// Same ring, same key ⇒ bitwise-identical answer; a torn
+				// read of a swapped table could not reproduce itself.
+				want = r.Lookup(key, 2, want)
+				if buf[0] != want[0] || buf[1] != want[1] {
+					errs[id] = fmt.Errorf("key %d: unstable lookup %v vs %v", key, buf, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	for id, err := range errs {
+		if err != nil {
+			t.Errorf("reader %d: %v", id, err)
+		}
+	}
+	if swaps.Load() == 0 {
+		t.Error("swapper never swapped; the test raced nothing")
 	}
 }

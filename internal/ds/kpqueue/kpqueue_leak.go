@@ -6,6 +6,8 @@ import (
 	"repro/internal/arena"
 )
 
+//orcvet:file-ignore protect no-reclamation baseline: every node leaks, so a raw load can never dangle
+
 // LObj mirrors Obj with plain handle links — the no-reclamation baseline
 // (descriptors and nodes all leak, as the original Java relies on GC).
 type LObj struct {

@@ -6,6 +6,8 @@ import (
 	"repro/internal/arena"
 )
 
+//orcvet:file-ignore protect no-reclamation baseline: every segment leaks, so a raw load can never dangle
+
 // LSeg is a segment of the leaking LCRQ: identical ring protocol, plain
 // handle links, no reclamation — the normalization baseline of
 // Figures 1 and 2.

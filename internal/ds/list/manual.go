@@ -159,6 +159,7 @@ func (l *ManualList) Size() int {
 	n := 0
 	cur := arena.Handle(l.a.Get(l.headH).next.Load()).Unmarked()
 	for {
+		//orcvet:ignore protect Size is documented quiescent-only: no concurrent writers or reclamation
 		node := l.a.Get(cur)
 		if node.key == tailKey {
 			return n

@@ -8,6 +8,8 @@ import (
 	"repro/internal/reclaim"
 )
 
+//orcvet:file-ignore protect epoch-protected: BeginOp pins the epoch, so raw loads stay dereferenceable until EndOp
+
 // MNode is a manually reclaimed skip-list node. val is a plain payload
 // word, written only under the scheme's protection (epoch).
 type MNode struct {
@@ -155,6 +157,7 @@ func (s *HSManual) Remove(tid int, key uint64) bool {
 		}
 		if nd.next[0].CompareAndSwap(uint64(succ), uint64(succ.WithMark())) {
 			s.find(key, &r) // physical unlink
+			//orcvet:ignore retire the mark CAS above is the logical delete; find() completes the physical unlink
 			s.s.Retire(tid, node)
 			return true
 		}

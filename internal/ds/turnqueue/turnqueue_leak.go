@@ -6,6 +6,8 @@ import (
 	"repro/internal/arena"
 )
 
+//orcvet:file-ignore protect no-reclamation baseline: every node leaks, so a raw load can never dangle
+
 // LObj mirrors Obj with plain handle links for the no-reclamation
 // baseline.
 type LObj struct {

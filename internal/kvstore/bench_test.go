@@ -40,7 +40,7 @@ func BenchmarkServerPipeline(b *testing.B) {
 
 	// Warm the store and both ends' buffers.
 	for k := uint64(1); k <= 256; k++ {
-		if _, err := cl.Put(k, k); err != nil {
+		if _, err := cl.Put(ctx, k, k); err != nil {
 			b.Fatal(err)
 		}
 	}

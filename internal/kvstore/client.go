@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -16,7 +17,9 @@ import (
 // goroutine may call Send*/Flush and at most one may call Recv* at a
 // time (they may be different goroutines). The blocking helpers
 // (Get/Put/Del/Scan/Stats/Drain) each do a full round trip and must not
-// be mixed with outstanding pipelined requests.
+// be mixed with outstanding pipelined requests; they take a Context
+// whose cancellation aborts the response wait without closing the
+// connection (see arm).
 type Client struct {
 	c    net.Conn
 	bw   *bufio.Writer
@@ -69,6 +72,49 @@ func (o *Options) bufSize() int {
 	return n
 }
 
+// Option adjusts one connection knob; pass any number to Dial. Each
+// option corresponds to an Options field, so the set an operator tuned
+// by struct literal translates one-for-one.
+type Option func(*Options)
+
+// WithDialTimeout bounds the TCP connect.
+func WithDialTimeout(d time.Duration) Option {
+	return func(o *Options) { o.DialTimeout = d }
+}
+
+// WithReadTimeout bounds each response read.
+func WithReadTimeout(d time.Duration) Option {
+	return func(o *Options) { o.ReadTimeout = d }
+}
+
+// WithWriteTimeout bounds each Flush.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(o *Options) { o.WriteTimeout = d }
+}
+
+// WithPipelineDepth sizes the connection buffers for n in-flight
+// requests.
+func WithPipelineDepth(n int) Option {
+	return func(o *Options) { o.Pipeline = n }
+}
+
+// WithRetries grants n extra connect attempts after a dial failure.
+func WithRetries(n int) Option {
+	return func(o *Options) { o.DialRetries = n }
+}
+
+// WithRetryBackoff sets the wait before the first retry (doubling per
+// attempt, ±25% jitter).
+func WithRetryBackoff(d time.Duration) Option {
+	return func(o *Options) { o.DialBackoff = d }
+}
+
+// WithRetryBudget caps the total wall-clock spent across dial attempts
+// and backoffs; negative disables the cap.
+func WithRetryBudget(d time.Duration) Option {
+	return func(o *Options) { o.DialRetryBudget = d }
+}
+
 // jitterBackoff spreads one backoff wait over [0.75d, 1.25d), picking
 // the point by u ∈ [0, 1). Pooled clients all notice a dead backend at
 // the same instant; without jitter their doubling schedules stay
@@ -78,13 +124,30 @@ func jitterBackoff(d time.Duration, u float64) time.Duration {
 	return time.Duration(float64(d) * (0.75 + 0.5*u))
 }
 
-// DialWith connects to a kvstore server with explicit connection
-// options. Failed attempts back off exponentially with ±25% jitter
+// Dial connects to a kvstore server. With no options it reproduces the
+// historical behavior: no timeouts, no retries, 64 KiB buffers. Failed
+// attempts (under WithRetries) back off exponentially with ±25% jitter
 // (see jitterBackoff), but the loop never sleeps after the attempt it
 // already knows to be the last — exhausted retries (by count or by
-// DialRetryBudget) return promptly with the last dial error wrapped
+// WithRetryBudget) return promptly with the last dial error wrapped
 // (errors.Unwrap recovers the net error).
+func Dial(addr string, opts ...Option) (*Client, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return dial(addr, o)
+}
+
+// DialWith connects with an explicit Options struct.
+//
+// Deprecated: use Dial with functional options; DialWith(addr, o) is
+// exactly Dial with one option per set field.
 func DialWith(addr string, opts Options) (*Client, error) {
+	return dial(addr, opts)
+}
+
+func dial(addr string, opts Options) (*Client, error) {
 	backoff := opts.DialBackoff
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
@@ -128,14 +191,6 @@ func DialWith(addr string, opts Options) (*Client, error) {
 		br:   bufio.NewReaderSize(c, size),
 		opts: opts,
 	}, nil
-}
-
-// Dial connects to a kvstore server.
-//
-// Deprecated: use DialWith, which exposes timeouts, pipeline sizing and
-// dial retries. Dial(addr) is exactly DialWith(addr, Options{}).
-func Dial(addr string) (*Client, error) {
-	return DialWith(addr, Options{})
 }
 
 // Close tears the connection down.
@@ -315,70 +370,119 @@ func (cl *Client) RecvDrain() (DrainReport, error) {
 	return rep, err
 }
 
-// Get is a blocking round trip.
-func (cl *Client) Get(key uint64) (uint64, bool, error) {
+// arm points ctx cancellation at a blocked response read: on ctx.Done
+// the read deadline is forced into the past, which wakes the reader
+// with a timeout error, and the returned finish func maps that error
+// back to ctx's cause. Cancellation abandons the wait, not the
+// connection — the conn stays open and the caller decides whether to
+// Close it. The response stream may be left mid-frame, though, so a
+// cancelled client should only be reused when the caller knows the
+// aborted response never started arriving.
+func (cl *Client) arm(ctx context.Context) func(error) error {
+	if ctx == nil || ctx.Done() == nil {
+		return func(err error) error { return err }
+	}
+	quit := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		select {
+		case <-ctx.Done():
+			cl.c.SetReadDeadline(time.Now())
+		case <-quit:
+		}
+	}()
+	return func(err error) error {
+		close(quit)
+		<-exited
+		// Clear the poison deadline so the connection stays usable; the
+		// watcher has exited, so nothing can re-poison it afterwards.
+		cl.c.SetReadDeadline(time.Time{})
+		if err != nil && ctx.Err() != nil {
+			return fmt.Errorf("kvstore: %w", context.Cause(ctx))
+		}
+		return err
+	}
+}
+
+// Get is a blocking round trip; cancelling ctx aborts the response
+// wait (see arm) without closing the connection.
+func (cl *Client) Get(ctx context.Context, key uint64) (uint64, bool, error) {
 	cl.SendGet(key)
 	if err := cl.Flush(); err != nil {
 		return 0, false, err
 	}
-	return cl.RecvGet()
+	finish := cl.arm(ctx)
+	v, ok, err := cl.RecvGet()
+	return v, ok, finish(err)
 }
 
 // Put is a blocking round trip.
-func (cl *Client) Put(key, val uint64) (bool, error) {
+func (cl *Client) Put(ctx context.Context, key, val uint64) (bool, error) {
 	cl.SendPut(key, val)
 	if err := cl.Flush(); err != nil {
 		return false, err
 	}
-	return cl.RecvPut()
+	finish := cl.arm(ctx)
+	ins, err := cl.RecvPut()
+	return ins, finish(err)
 }
 
 // Del is a blocking round trip.
-func (cl *Client) Del(key uint64) (bool, error) {
+func (cl *Client) Del(ctx context.Context, key uint64) (bool, error) {
 	cl.SendDel(key)
 	if err := cl.Flush(); err != nil {
 		return false, err
 	}
-	return cl.RecvDel()
+	finish := cl.arm(ctx)
+	found, err := cl.RecvDel()
+	return found, finish(err)
 }
 
 // Scan is a blocking round trip returning interleaved k,v pairs.
-func (cl *Client) Scan(from uint64, limit uint32) ([]uint64, error) {
+func (cl *Client) Scan(ctx context.Context, from uint64, limit uint32) ([]uint64, error) {
 	cl.SendScan(from, limit)
 	if err := cl.Flush(); err != nil {
 		return nil, err
 	}
-	return cl.RecvScan(nil)
+	finish := cl.arm(ctx)
+	pairs, err := cl.RecvScan(nil)
+	return pairs, finish(err)
 }
 
 // Stats is a blocking round trip.
-func (cl *Client) Stats() (Stats, error) {
+func (cl *Client) Stats(ctx context.Context) (Stats, error) {
 	cl.SendStats()
 	if err := cl.Flush(); err != nil {
 		return Stats{}, err
 	}
-	return cl.RecvStats()
+	finish := cl.arm(ctx)
+	st, err := cl.RecvStats()
+	return st, finish(err)
 }
 
 // Drain is a blocking round trip (quiescent use only).
-func (cl *Client) Drain() (DrainReport, error) {
+func (cl *Client) Drain(ctx context.Context) (DrainReport, error) {
 	cl.SendDrain()
 	if err := cl.Flush(); err != nil {
 		return DrainReport{}, err
 	}
-	return cl.RecvDrain()
+	finish := cl.arm(ctx)
+	rep, err := cl.RecvDrain()
+	return rep, finish(err)
 }
 
 // clusterRPC does one blocking admin round trip against a kvproxy and
 // unmarshals the JSON response into out (skipped when out is nil).
-func (cl *Client) clusterRPC(op uint8, addr string, out any) error {
+func (cl *Client) clusterRPC(ctx context.Context, op uint8, addr string, out any) error {
 	p := append([]byte{op}, addr...)
 	cl.send(p)
 	if err := cl.Flush(); err != nil {
 		return err
 	}
+	finish := cl.arm(ctx)
 	resp, err := cl.recv()
-	if err != nil {
+	if err = finish(err); err != nil {
 		return err
 	}
 	if out == nil {
@@ -390,30 +494,30 @@ func (cl *Client) clusterRPC(op uint8, addr string, out any) error {
 // ClusterInfo fetches a kvproxy's topology snapshot. The result is the
 // raw JSON (cluster.Info) so kvstore does not import the cluster
 // package.
-func (cl *Client) ClusterInfo() (json.RawMessage, error) {
+func (cl *Client) ClusterInfo(ctx context.Context) (json.RawMessage, error) {
 	var raw json.RawMessage
-	err := cl.clusterRPC(OpClusterInfo, "", &raw)
+	err := cl.clusterRPC(ctx, OpClusterInfo, "", &raw)
 	return raw, err
 }
 
 // ClusterAdd asks a kvproxy to add a backend and hand its share of the
 // keys over; the JSON response is a cluster.RebalanceReport.
-func (cl *Client) ClusterAdd(addr string) (json.RawMessage, error) {
+func (cl *Client) ClusterAdd(ctx context.Context, addr string) (json.RawMessage, error) {
 	var raw json.RawMessage
-	err := cl.clusterRPC(OpClusterAdd, addr, &raw)
+	err := cl.clusterRPC(ctx, OpClusterAdd, addr, &raw)
 	return raw, err
 }
 
 // ClusterDrain asks a kvproxy to hand a backend's keys off to the rest
 // of the ring and then drop it from the topology.
-func (cl *Client) ClusterDrain(addr string) (json.RawMessage, error) {
+func (cl *Client) ClusterDrain(ctx context.Context, addr string) (json.RawMessage, error) {
 	var raw json.RawMessage
-	err := cl.clusterRPC(OpClusterDrain, addr, &raw)
+	err := cl.clusterRPC(ctx, OpClusterDrain, addr, &raw)
 	return raw, err
 }
 
 // ClusterRemove drops a backend from a kvproxy's topology with no
 // handoff — the verb for a node that is already gone.
-func (cl *Client) ClusterRemove(addr string) error {
-	return cl.clusterRPC(OpClusterRemove, addr, nil)
+func (cl *Client) ClusterRemove(ctx context.Context, addr string) error {
+	return cl.clusterRPC(ctx, OpClusterRemove, addr, nil)
 }

@@ -1,0 +1,97 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// muteServer accepts connections and then never responds — the shape of
+// a backend that died with the socket still open (or is wedged behind a
+// partition that swallows replies).
+func muteServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			// Swallow whatever arrives; never write back.
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestGetCancellation: a Get blocked on a dead backend returns when its
+// context is cancelled — promptly, with the cancellation cause in the
+// error chain, and without closing the connection (the abort abandons
+// the wait, not the conn; tearing down is the caller's decision).
+func TestGetCancellation(t *testing.T) {
+	addr := muteServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	cctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, _, err = cl.Get(cctx, 1)
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Fatal("Get against a mute backend returned a response")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Get error does not carry context.Canceled: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled Get took %v to unblock", elapsed)
+	}
+
+	// The connection survives the abort: the socket still accepts
+	// writes, so a caller that knows no response bytes were in flight
+	// may keep using it.
+	cl.SendGet(2)
+	if err := cl.Flush(); err != nil {
+		t.Fatalf("connection unusable after cancellation: %v", err)
+	}
+}
+
+// TestGetDeadlineExceeded: an already-expired context aborts the wait
+// with its own cause rather than hanging even briefly.
+func TestGetDeadlineExceeded(t *testing.T) {
+	addr := muteServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	dctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-dctx.Done()
+	if _, _, err := cl.Get(dctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired-context Get: want DeadlineExceeded in chain, got %v", err)
+	}
+}

@@ -74,12 +74,12 @@ func TestMetricsScrapeUnderLoad(t *testing.T) {
 				wg.Add(1)
 				go func(seed uint64) {
 					defer wg.Done()
-					cl, err := DialWith(addr, Options{
-						DialTimeout: 5 * time.Second,
-						ReadTimeout: 30 * time.Second,
-						Pipeline:    64,
-						DialRetries: 3,
-					})
+					cl, err := Dial(addr,
+						WithDialTimeout(5*time.Second),
+						WithReadTimeout(30*time.Second),
+						WithPipelineDepth(64),
+						WithRetries(3),
+					)
 					if err != nil {
 						t.Error(err)
 						return
@@ -240,11 +240,13 @@ func TestDialWithRetry(t *testing.T) {
 		}
 	})
 
+	// Through the deprecated DialWith shim on purpose: the struct form
+	// must keep working for old callers.
 	cl, err := DialWith(addr, Options{DialRetries: 8, DialBackoff: 40 * time.Millisecond})
 	if err != nil {
 		t.Fatalf("DialWith never reached the late server: %v", err)
 	}
-	if ins, err := cl.Put(7, 7); err != nil || !ins {
+	if ins, err := cl.Put(ctx, 7, 7); err != nil || !ins {
 		t.Fatalf("put through retried dial: %v %v", ins, err)
 	}
 	cl.Close()
@@ -263,11 +265,11 @@ func TestDialRetryBudget(t *testing.T) {
 	ln.Close() // connection refused from here on
 
 	t0 := time.Now()
-	_, err = DialWith(addr, Options{
-		DialRetries:     1000,
-		DialBackoff:     20 * time.Millisecond,
-		DialRetryBudget: 100 * time.Millisecond,
-	})
+	_, err = Dial(addr,
+		WithRetries(1000),
+		WithRetryBackoff(20*time.Millisecond),
+		WithRetryBudget(100*time.Millisecond),
+	)
 	elapsed := time.Since(t0)
 	if err == nil {
 		t.Fatal("DialWith succeeded against a dead address")
@@ -290,7 +292,7 @@ func TestDialRetryBudget(t *testing.T) {
 	// trailing sleep: 2 extra attempts at 10ms/20ms backoff must come
 	// back well before a third (40ms) backoff could have run.
 	t0 = time.Now()
-	_, err = DialWith(addr, Options{DialRetries: 2, DialBackoff: 10 * time.Millisecond})
+	_, err = Dial(addr, WithRetries(2), WithRetryBackoff(10*time.Millisecond))
 	elapsed = time.Since(t0)
 	if err == nil {
 		t.Fatal("DialWith succeeded against a dead address")
@@ -306,9 +308,9 @@ func TestDialRetryBudget(t *testing.T) {
 	}
 
 	// A zero-retry failure stays a plain net error (no wrapping noise).
-	_, err = DialWith(addr, Options{})
+	_, err = Dial(addr)
 	if err == nil {
-		t.Fatal("DialWith succeeded against a dead address")
+		t.Fatal("Dial succeeded against a dead address")
 	}
 	if !errors.As(err, &opErr) {
 		t.Fatalf("first-attempt failure not a net error: %v", err)

@@ -1,10 +1,15 @@
 package kvstore
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
 )
+
+// ctx is the no-deadline context the blocking round trips in these
+// tests run under; cancellation behavior has its own test.
+var ctx = context.Background()
 
 func startServer(t *testing.T, scheme string, maxThreads int) (*Store, *Server, string) {
 	t.Helper()
@@ -37,19 +42,19 @@ func TestServerRoundTrip(t *testing.T) {
 	}
 	defer cl.Close()
 
-	if ins, err := cl.Put(42, 1000); err != nil || !ins {
+	if ins, err := cl.Put(ctx, 42, 1000); err != nil || !ins {
 		t.Fatalf("put = %v,%v", ins, err)
 	}
-	if v, ok, err := cl.Get(42); err != nil || !ok || v != 1000 {
+	if v, ok, err := cl.Get(ctx, 42); err != nil || !ok || v != 1000 {
 		t.Fatalf("get = %d,%v,%v", v, ok, err)
 	}
-	if _, ok, _ := cl.Get(43); ok {
+	if _, ok, _ := cl.Get(ctx, 43); ok {
 		t.Fatal("get on absent key")
 	}
 	for k := uint64(100); k < 110; k++ {
-		cl.Put(k, k*2)
+		cl.Put(ctx, k, k*2)
 	}
-	pairs, err := cl.Scan(100, 5)
+	pairs, err := cl.Scan(ctx, 100, 5)
 	if err != nil || len(pairs) != 10 {
 		t.Fatalf("scan = %v (err %v)", pairs, err)
 	}
@@ -58,17 +63,17 @@ func TestServerRoundTrip(t *testing.T) {
 			t.Fatalf("scan pair %d→%d", pairs[i], pairs[i+1])
 		}
 	}
-	if ok, _ := cl.Del(42); !ok {
+	if ok, _ := cl.Del(ctx, 42); !ok {
 		t.Fatal("del")
 	}
-	if ok, _ := cl.Del(42); ok {
+	if ok, _ := cl.Del(ctx, 42); ok {
 		t.Fatal("double del reported found")
 	}
-	stats, err := cl.Stats()
+	stats, err := cl.Stats(ctx)
 	if err != nil || stats.Scheme != "orcgc" || stats.Live <= stats.Baseline {
 		t.Fatalf("stats = %+v (err %v)", stats, err)
 	}
-	if _, _, err := cl.Get(0); err == nil {
+	if _, _, err := cl.Get(ctx, 0); err == nil {
 		t.Fatal("key 0 must produce a server error")
 	}
 }
@@ -182,7 +187,7 @@ func TestServerTidExhaustion(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl1.Close()
-	if _, err := cl1.Put(1, 1); err != nil {
+	if _, err := cl1.Put(ctx, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	cl2, err := Dial(addr)
@@ -190,7 +195,7 @@ func TestServerTidExhaustion(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl2.Close()
-	if _, err := cl2.Put(2, 2); err == nil {
+	if _, err := cl2.Put(ctx, 2, 2); err == nil {
 		t.Fatal("second connection should have been refused")
 	}
 }

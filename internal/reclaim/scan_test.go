@@ -153,6 +153,7 @@ func TestScanThresholdOption(t *testing.T) {
 func driveThreshold(t *testing.T, a *arena.Arena[tnode], s Scheme, eng *scanEngine, pinned []arena.Handle, unpin func()) {
 	t.Helper()
 	for _, h := range pinned {
+		//orcvet:ignore retire scheme unit test: the nodes were never published, there is nothing to unlink
 		s.Retire(0, h)
 		if th := eng.threshold(0); th < eng.minT || th > eng.maxT {
 			t.Fatalf("threshold %d outside clamps [%d, %d] during grow", th, eng.minT, eng.maxT)
@@ -240,6 +241,7 @@ func TestScanZeroAllocHP(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		h := allocNode(a, s)
 		s.Protect(1, i, h) // keep the retired list non-empty across scans
+		//orcvet:ignore retire scheme unit test: the nodes were never published, there is nothing to unlink
 		s.Retire(0, h)
 	}
 	scanZeroAllocCase(t, a, s)
@@ -254,6 +256,7 @@ func TestScanZeroAllocHE(t *testing.T) {
 	}
 	s.Protect(1, 0, arena.Nil)
 	for _, h := range hs {
+		//orcvet:ignore retire scheme unit test: the nodes were never published, there is nothing to unlink
 		s.Retire(0, h)
 	}
 	scanZeroAllocCase(t, a, s)
@@ -268,6 +271,7 @@ func TestScanZeroAllocIBR(t *testing.T) {
 	}
 	s.BeginOp(1)
 	for _, h := range hs {
+		//orcvet:ignore retire scheme unit test: the nodes were never published, there is nothing to unlink
 		s.Retire(0, h)
 	}
 	scanZeroAllocCase(t, a, s)

@@ -1,6 +1,7 @@
 package torture
 
 import (
+	"context"
 	"encoding/binary"
 	"net"
 	"runtime"
@@ -89,18 +90,20 @@ func RunKV(scheme string, cfg Config) *Verdict {
 
 	// Verify phase: the server must still serve a clean client, and the
 	// drain report must balance.
-	cl, err := kvstore.DialWith(addr, kvstore.Options{
-		DialRetries: 3, DialRetryBudget: 5 * time.Second, ReadTimeout: 30 * time.Second,
-	})
+	cl, err := kvstore.Dial(addr,
+		kvstore.WithRetries(3),
+		kvstore.WithRetryBudget(5*time.Second),
+		kvstore.WithReadTimeout(30*time.Second),
+	)
 	if err != nil {
 		v.failf("clean client dial after chaos: %v", err)
 	} else {
 		for k := uint64(1); k <= 16; k++ {
-			if _, err := cl.Put(k, k*k); err != nil {
+			if _, err := cl.Put(context.Background(), k, k*k); err != nil {
 				v.failf("post-chaos put(%d): %v", k, err)
 				break
 			}
-			if val, found, err := cl.Get(k); err != nil || !found || val != k*k {
+			if val, found, err := cl.Get(context.Background(), k); err != nil || !found || val != k*k {
 				v.failf("post-chaos get(%d) = (%d, %v, %v), want (%d, true, nil)", k, val, found, err, k*k)
 				break
 			}
@@ -147,11 +150,13 @@ func chaosConn(addr string, fate uint64, rng *pcg, h *uint64) bool {
 		c.Close()
 		return true
 	}
-	cl, err := kvstore.DialWith(addr, kvstore.Options{
-		DialRetries: 2, DialBackoff: 10 * time.Millisecond,
-		DialRetryBudget: 2 * time.Second, ReadTimeout: 30 * time.Second,
-		Pipeline: 64,
-	})
+	cl, err := kvstore.Dial(addr,
+		kvstore.WithRetries(2),
+		kvstore.WithRetryBackoff(10*time.Millisecond),
+		kvstore.WithRetryBudget(2*time.Second),
+		kvstore.WithReadTimeout(30*time.Second),
+		kvstore.WithPipelineDepth(64),
+	)
 	if err != nil {
 		return false
 	}

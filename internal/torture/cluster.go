@@ -1,6 +1,7 @@
 package torture
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -164,9 +165,9 @@ func RunCluster(cfg Config) *Verdict {
 			me.maybe = make(map[uint64]bool)
 			base := kvstore.MinKey + uint64(tid)*cfg.Keys
 			rng := pcg{s: mix64(cfg.Seed, uint64(tid)+0xC1A5)}
-			cl, err := kvstore.DialWith(proxyAddr, kvstore.Options{
-				ReadTimeout: 30 * time.Second, DialRetries: 3,
-			})
+			cl, err := kvstore.Dial(proxyAddr,
+				kvstore.WithReadTimeout(30*time.Second), kvstore.WithRetries(3),
+			)
 			if err != nil {
 				me.lost = append(me.lost, fmt.Sprintf("tid %d: dial: %v", tid, err))
 				return
@@ -180,7 +181,7 @@ func RunCluster(cfg Config) *Verdict {
 				case x>>61 < 3: // ~37.5% put
 					val := mix64(x, key)
 					h = fnv1a(h, uint64(kvstore.OpPut), key)
-					if _, err := cl.Put(key, val); err != nil {
+					if _, err := cl.Put(context.Background(), key, val); err != nil {
 						me.errs++
 						me.maybe[key] = true
 					} else {
@@ -189,7 +190,7 @@ func RunCluster(cfg Config) *Verdict {
 					}
 				case x>>61 < 5: // ~25% del
 					h = fnv1a(h, uint64(kvstore.OpDel), key)
-					if _, err := cl.Del(key); err != nil {
+					if _, err := cl.Del(context.Background(), key); err != nil {
 						me.errs++
 						me.maybe[key] = true
 					} else {
@@ -198,12 +199,12 @@ func RunCluster(cfg Config) *Verdict {
 					}
 				case x>>61 == 7 && x&63 == 0: // rare scan, failover exercise only
 					h = fnv1a(h, uint64(kvstore.OpScan), key)
-					if _, err := cl.Scan(key, 16); err != nil {
+					if _, err := cl.Scan(context.Background(), key, 16); err != nil {
 						me.errs++
 					}
 				default: // get, verified against the shadow
 					h = fnv1a(h, uint64(kvstore.OpGet), key)
-					val, found, err := cl.Get(key)
+					val, found, err := cl.Get(context.Background(), key)
 					if err != nil {
 						me.errs++
 						break
@@ -258,7 +259,7 @@ func RunCluster(cfg Config) *Verdict {
 
 	// Final sweep: every key every worker believes acked must read back
 	// through a fresh connection, after the cluster has settled.
-	if cl, err := kvstore.DialWith(proxyAddr, kvstore.Options{ReadTimeout: 30 * time.Second, DialRetries: 3}); err != nil {
+	if cl, err := kvstore.Dial(proxyAddr, kvstore.WithReadTimeout(30*time.Second), kvstore.WithRetries(3)); err != nil {
 		v.failf("verify dial: %v", err)
 	} else {
 		mismatches := 0
@@ -268,7 +269,7 @@ func RunCluster(cfg Config) *Verdict {
 				if w.maybe[key] {
 					continue
 				}
-				val, found, err := cl.Get(key)
+				val, found, err := cl.Get(context.Background(), key)
 				if err != nil || !found || val != want {
 					v.failf("final verify: get(%d) = (%d, %v, %v), want (%d, true)", key, val, found, err, want)
 					if mismatches++; mismatches > 8 {
@@ -281,7 +282,7 @@ func RunCluster(cfg Config) *Verdict {
 	}
 
 	// Proxy-level counters go to the ledger via the Admin surface.
-	ad := bench.Admin{ClusterStats: func() map[string]int64 {
+	var ad bench.Admin = &bench.Hooks{ClusterStats: func() map[string]int64 {
 		info := p.Snapshot()
 		return map[string]int64{
 			"routed":        int64(info.RoutedOps),
@@ -293,7 +294,7 @@ func RunCluster(cfg Config) *Verdict {
 			"breaker_trips": breakerTrips(info),
 		}
 	}}
-	v.Cluster = ad.ClusterStats()
+	v.Cluster = ad.Stats().Cluster()
 	if v.Cluster["breaker_trips"] == 0 && corpse != nil {
 		v.failf("victim was killed but the breaker never tripped")
 	}

@@ -38,12 +38,12 @@ func RunScanScheme(scheme string, cfg Config) *Verdict {
 	a := arena.New[scanNode](arena.WithFaultMode(arena.Count))
 	s := reclaim.MustNew(scheme, reclaim.Env{Free: a.FreeT, Hdr: a.Header},
 		reclaim.Options{MaxThreads: cfg.Threads, MaxHPs: 4})
-	ad := bench.Admin{
-		SetFaultMode: a.SetFaultMode,
-		SetFaultHook: a.SetFaultHook,
-		ArenaStats:   a.Stats,
-		SchemeStats:  s.Stats,
-		Quiesce: func() {
+	hooks := &bench.Hooks{
+		FaultMode:   a.SetFaultMode,
+		FaultHook:   a.SetFaultHook,
+		ArenaStats:  a.Stats,
+		SchemeStats: s.Stats,
+		QuiesceFn: func() {
 			for round := 0; round < 4; round++ {
 				for tid := 0; tid < cfg.Threads; tid++ {
 					s.ClearAll(tid)
@@ -54,13 +54,14 @@ func RunScanScheme(scheme string, cfg Config) *Verdict {
 				}
 			}
 		},
-		Reclaiming:   true,
-		ExactPending: true,
+		Reclaims:    true,
+		ExactCounts: true,
 	}
 	if ss, ok := s.(reclaim.ScanStatser); ok {
-		ad.ScanStats = ss.ScanStats
+		hooks.ScanStats = ss.ScanStats
 	}
-	v.Baseline = ad.ArenaStats().Live // 0: the drain empties every slot
+	var ad bench.Admin = hooks
+	v.Baseline = ad.Stats().Arena().Live // 0: the drain empties every slot
 
 	nslots := cfg.Keys
 	if nslots == 0 {

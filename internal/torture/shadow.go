@@ -29,8 +29,8 @@ func RunSet(name string, cfg Config) *Verdict {
 	v := &Verdict{Subject: name, Kind: "set", Seed: cfg.Seed, Threads: cfg.Threads}
 	inst := bench.NewSet(name, cfg.Threads)
 	ad := inst.Admin
-	ad.SetFaultMode(arena.Count) // survive and ledger faults, don't crash
-	v.Baseline = ad.ArenaStats().Live
+	ad.Faults().SetMode(arena.Count) // survive and ledger faults, don't crash
+	v.Baseline = ad.Stats().Arena().Live
 
 	in := newInjector(cfg)
 	in.install()
@@ -144,8 +144,8 @@ func RunQueue(name string, cfg Config) *Verdict {
 	v := &Verdict{Subject: name, Kind: "queue", Seed: cfg.Seed, Threads: cfg.Threads}
 	inst := bench.NewQueue(name, cfg.Threads)
 	ad := inst.Admin
-	ad.SetFaultMode(arena.Count)
-	v.Baseline = ad.ArenaStats().Live
+	ad.Faults().SetMode(arena.Count)
+	v.Baseline = ad.Stats().Arena().Live
 
 	in := newInjector(cfg)
 	in.install()

@@ -214,11 +214,12 @@ func (in *injector) uninstall() { rt.SetHook(nil); in.stallOff.Store(true) }
 // reclaiming subjects after a full drain — Live back at baseline with an
 // empty pending list.
 func (v *Verdict) auditStats(ad bench.Admin) {
-	v.Arena = ad.ArenaStats()
-	v.Scheme = ad.SchemeStats()
-	v.Reclaiming = ad.Reclaiming
-	if ad.ScanStats != nil {
-		v.Scan = ad.ScanStats()
+	snap := ad.Stats()
+	v.Arena = snap.Arena()
+	v.Scheme = snap.Scheme()
+	v.Reclaiming = ad.Reclaiming()
+	if scan, ok := snap.Scan(); ok {
+		v.Scan = scan
 		// Clamp invariant: wherever the adaptive policy left the retire
 		// threshold, it must sit inside the engine's clamps.
 		if v.Scan.MaxThreshold > 0 &&
@@ -230,7 +231,7 @@ func (v *Verdict) auditStats(ad bench.Admin) {
 	if v.Arena.Faults != 0 {
 		v.failf("arena recorded %d stale-dereference faults (want 0)", v.Arena.Faults)
 	}
-	if ad.ExactPending {
+	if ad.ExactPending() {
 		if got, want := v.Scheme.RetiredNotFreed, int64(v.Scheme.Retired)-int64(v.Scheme.Freed); got != want {
 			v.failf("scheme accounting broken: retired(%d) - freed(%d) = %d, but pending = %d",
 				v.Scheme.Retired, v.Scheme.Freed, want, got)
@@ -240,12 +241,12 @@ func (v *Verdict) auditStats(ad bench.Admin) {
 		v.failf("arena accounting broken: allocs(%d) - frees(%d) != live(%d)",
 			v.Arena.Allocs, v.Arena.Frees, v.Arena.Live)
 	}
-	if ad.Reclaiming {
+	if ad.Reclaiming() {
 		if v.Arena.Live != v.Baseline {
 			v.failf("leak: live=%d after drain, baseline=%d (delta %+d, pending=%d)",
 				v.Arena.Live, v.Baseline, v.Arena.Live-v.Baseline, v.Scheme.RetiredNotFreed)
 		}
-		if ad.ExactPending && v.Scheme.RetiredNotFreed != 0 {
+		if ad.ExactPending() && v.Scheme.RetiredNotFreed != 0 {
 			v.failf("quiesce left %d retired objects pending", v.Scheme.RetiredNotFreed)
 		}
 	} else {
