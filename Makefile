@@ -6,7 +6,7 @@ GO ?= go
 # lock-free metrics registry all of them report into.
 RACE_PKGS = ./internal/arena/ ./internal/core/ ./internal/reclaim/ ./internal/kvstore/ ./internal/cluster/ ./internal/obs/ ./internal/torture/
 
-.PHONY: check vet orcvet build test race bench-alloc bench-scan serve load smoke metrics-smoke torture-smoke cluster-smoke bench-kv bench-cluster clean
+.PHONY: check vet orcvet build test race bench-alloc bench-scan serve load smoke metrics-smoke torture-smoke cluster-smoke overload-smoke bench-kv bench-cluster clean
 
 BIN = bin
 
@@ -91,7 +91,8 @@ metrics-smoke:
 
 # Torture smoke: a short seeded run of every reclamation scheme ×
 # data-structure subject plus the scheme-direct scan/elision subjects
-# (55 pairings) under the race detector, with one stalled reader parked
+# (57 subjects, including cluster failover and server overload) under
+# the race detector, with one stalled reader parked
 # inside the protection loop. Deterministic per seed: on any failure
 # orctorture prints the reproducing command line (seed, threads, ops) to
 # stderr and exits non-zero.
@@ -110,6 +111,17 @@ cluster-smoke:
 	$(GO) build -race -o bin/kvload ./cmd/kvload
 	$(GO) build -race -o bin/kvproxy ./cmd/kvproxy
 	sh scripts/cluster_smoke.sh
+
+# Overload smoke: a race-built kvserver with a small admission bound
+# (2 inflight, 2 queued) under kvload at several times its capacity,
+# every op carrying a -budget wire deadline. Asserts overload degrades
+# to shedding (0 errs, shed > 0), accepted-op p99 stays within 3× the
+# unloaded baseline, and the post-drain leak verdict passes — refused
+# work leaves no retire backlog behind. See scripts/overload_smoke.sh.
+overload-smoke:
+	$(GO) build -race -o bin/kvserver ./cmd/kvserver
+	$(GO) build -race -o bin/kvload ./cmd/kvload
+	sh scripts/overload_smoke.sh
 
 # Measure proxy overhead and scaling vs a direct connection and
 # refresh BENCH_cluster.json (direct-1, proxy-1, proxy-2, proxy-3).

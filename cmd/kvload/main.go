@@ -3,6 +3,15 @@
 //
 //	kvload -addr 127.0.0.1:7070 -conns 8 -rate 20000 -duration 5s \
 //	       -dist zipfian -theta 0.99 -keys 100000 -mix get=50,put=45,del=4,scan=1
+//	kvload -conns 16 -budget 250ms     # per-op wire budget (v1 servers)
+//
+// With -budget > 0 each connection negotiates the wire version and
+// attaches the budget to every op; a server that refuses an op with
+// StatusOverloaded or StatusDeadlineExceeded (admission control / the
+// budget expiring in its queue) is counted in the shed/expired columns
+// instead of as an error, and refusals never pollute the latency
+// distribution. Against a pre-versioning server the flag degrades to
+// plain unbudgeted ops.
 //
 // With -rate > 0 each connection paces sends on its own schedule and
 // latency is measured from the *scheduled* send time, so queueing delay
@@ -19,6 +28,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -74,9 +84,11 @@ type inflight struct {
 }
 
 type connResult struct {
-	hist bench.Hist
-	ops  uint64
-	errs uint64
+	hist    bench.Hist
+	ops     uint64
+	errs    uint64
+	shed    uint64 // ops refused with StatusOverloaded
+	expired uint64 // ops refused with StatusDeadlineExceeded
 }
 
 // runConn drives one connection until deadline. Sends and receives run
@@ -84,13 +96,21 @@ type connResult struct {
 // the inflight queue.
 func runConn(addr string, opts []kvstore.Option, id int, seed int64, deadline time.Time, warmupUntil time.Time,
 	m mix, dist string, theta float64, keys uint64, scanLen uint32,
-	interval time.Duration, pipeline int) (connResult, error) {
+	interval time.Duration, pipeline int, budget time.Duration) (connResult, error) {
 
 	cl, err := kvstore.Dial(addr, opts...)
 	if err != nil {
 		return connResult{}, err
 	}
 	defer cl.Close()
+	if budget > 0 {
+		// Budgets only ride the wire on a negotiated v1 connection; a
+		// pre-versioning server negotiates down and the Send*Budget
+		// helpers silently fall back to plain ops.
+		if _, err := cl.Negotiate(context.Background()); err != nil {
+			return connResult{}, fmt.Errorf("negotiate: %w", err)
+		}
+	}
 
 	r := rand.New(rand.NewSource(seed))
 	var gen keyGen
@@ -121,6 +141,17 @@ func runConn(addr string, opts []kvstore.Option, id int, seed int64, deadline ti
 				_, err = cl.RecvScan(nil)
 			}
 			if err != nil {
+				// The refusal statuses are not failures: the server shed
+				// the op before executing it. Count them apart and keep
+				// them out of the latency distribution.
+				if errors.Is(err, kvstore.ErrOverloaded) {
+					res.shed++
+					continue
+				}
+				if errors.Is(err, kvstore.ErrDeadlineExceeded) {
+					res.expired++
+					continue
+				}
 				res.errs++
 				recvErr = err
 				failed.Store(true)
@@ -140,16 +171,16 @@ func runConn(addr string, opts []kvstore.Option, id int, seed int64, deadline ti
 		switch {
 		case p < m.get:
 			op = kvstore.OpGet
-			cl.SendGet(k)
+			cl.SendGetBudget(k, budget)
 		case p < m.put:
 			op = kvstore.OpPut
-			cl.SendPut(k, k^uint64(sched.UnixNano()))
+			cl.SendPutBudget(k, k^uint64(sched.UnixNano()), budget)
 		case p < m.del:
 			op = kvstore.OpDel
-			cl.SendDel(k)
+			cl.SendDelBudget(k, budget)
 		default:
 			op = kvstore.OpScan
-			cl.SendScan(k, scanLen)
+			cl.SendScanBudget(k, scanLen, budget)
 		}
 		queue <- inflight{op: op, sched: sched}
 	}
@@ -212,8 +243,11 @@ type Report struct {
 	Keys         uint64               `json:"keys"`
 	Mix          string               `json:"mix"`
 	ScanLen      uint32               `json:"scan_len"`
+	Budget       string               `json:"budget,omitempty"`
 	Ops          uint64               `json:"ops"`
 	Errors       uint64               `json:"errors"`
+	Shed         uint64               `json:"shed,omitempty"`
+	Expired      uint64               `json:"deadline_exceeded,omitempty"`
 	ThroughputPS float64              `json:"throughput_ops_per_sec"`
 	Latency      bench.LatSummary     `json:"latency_us"`
 	Stats        *kvstore.Stats       `json:"server_stats,omitempty"`
@@ -240,6 +274,7 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "TCP connect timeout")
 	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "per-read/per-flush timeout (0 = none)")
 	dialRetries := flag.Int("dial-retries", 3, "extra connect attempts (covers a server still starting)")
+	budget := flag.Duration("budget", 0, "per-op wire execution budget (0 = none; needs a v1 server)")
 	flag.Parse()
 
 	m, err := parseMix(*mixFlag)
@@ -313,7 +348,7 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			results[i], errs[i] = runConn(addrs[i%len(addrs)], opts, i, *seed+int64(i)*7919, deadline, warmupUntil,
-				m, *dist, *theta, *keys, uint32(*scanLen), interval, *pipeline)
+				m, *dist, *theta, *keys, uint32(*scanLen), interval, *pipeline, *budget)
 		}(i)
 	}
 	wg.Wait()
@@ -330,6 +365,9 @@ func main() {
 	if *rate == 0 {
 		rep.Pipeline = *pipeline
 	}
+	if *budget > 0 {
+		rep.Budget = budget.String()
+	}
 	var hist bench.Hist
 	for i := range results {
 		if errs[i] != nil {
@@ -339,6 +377,8 @@ func main() {
 		hist.Merge(&results[i].hist)
 		rep.Ops += results[i].ops
 		rep.Errors += results[i].errs
+		rep.Shed += results[i].shed
+		rep.Expired += results[i].expired
 	}
 	rep.ThroughputPS = float64(hist.Count()) / duration.Seconds()
 	rep.Latency = hist.Summary()
@@ -356,9 +396,10 @@ func main() {
 	}
 	ctl.Close()
 
-	fmt.Printf("%-8s %8.0f ops/s  p50 %.1fus  p99 %.1fus  p999 %.1fus  (%d ops, %d errs)\n",
+	fmt.Printf("%-8s %8.0f ops/s  p50 %.1fus  p99 %.1fus  p999 %.1fus  (%d ops, %d errs, %d shed, %d expired)\n",
 		rep.Label, rep.ThroughputPS,
-		rep.Latency.P50Us, rep.Latency.P99Us, rep.Latency.P999Us, rep.Ops, rep.Errors)
+		rep.Latency.P50Us, rep.Latency.P99Us, rep.Latency.P999Us,
+		rep.Ops, rep.Errors, rep.Shed, rep.Expired)
 
 	if *out != "" {
 		if err := mergeReport(*out, rep); err != nil {

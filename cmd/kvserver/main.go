@@ -5,6 +5,14 @@
 //	kvserver -addr :7070 -reclaim orcgc
 //	kvserver -reclaim hp -shards 16 -max-conns 32
 //	kvserver -metrics :7071            # text/JSON scrape on /metrics
+//	kvserver -max-inflight 8 -max-queue 16   # admission control
+//
+// With -max-inflight set, at most that many data ops execute
+// concurrently; up to -max-queue more wait for a slot (re-checking any
+// wire budget after the wait) and arrivals past both bounds are shed
+// with StatusOverloaded — overload degrades to fast-fail instead of
+// latency collapse, and the shed/deadline counters surface on /metrics
+// ("kv/server/shed_total", "kv/server/deadline_exceeded_total").
 //
 // With -metrics set, a second HTTP listener exposes the observability
 // registry: /metrics (text, ?format=json for JSON), /debug/reclaim (the
@@ -41,6 +49,8 @@ func main() {
 	shards := flag.Int("shards", 8, "shard count (power of two)")
 	buckets := flag.Int("buckets", 1024, "hash buckets per shard")
 	maxConns := flag.Int("max-conns", 63, "max concurrent connections (each holds a reclamation tid)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing data ops (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "max data ops queued for an inflight slot (0 = 2x max-inflight)")
 	metricsAddr := flag.String("metrics", "", "metrics listen address, e.g. :7071 ('' = disabled)")
 	sample := flag.Duration("sample", 100*time.Millisecond, "backlog sampler period (with -metrics)")
 	trace := flag.Bool("trace", false, "record retire-path events into the /debug/reclaim ring")
@@ -62,7 +72,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kvserver: %v\n", err)
 		os.Exit(2)
 	}
-	srv := kvstore.NewServer(st)
+	srv := kvstore.NewServer(st,
+		kvstore.WithMaxInflight(*maxInflight),
+		kvstore.WithMaxQueue(*maxQueue),
+	)
 
 	var sampler *obs.Sampler
 	if reg != nil {
@@ -102,6 +115,11 @@ func main() {
 
 	if sampler != nil {
 		sampler.Stop() // quiesce before drain so gauges settle
+	}
+	if *maxInflight > 0 {
+		as := srv.AdmissionStats()
+		fmt.Fprintf(os.Stderr, "kvserver: admission: shed=%d deadline_exceeded=%d (inflight<=%d, queue<=%d)\n",
+			as.Shed, as.DeadlineExceeded, as.InflightLimit, as.QueueLimit)
 	}
 	rep := st.DrainAndCheck(0)
 	js, _ := json.MarshalIndent(rep, "", "  ")

@@ -47,13 +47,28 @@ var (
 // side, one client-facing response slot). done carries exactly one
 // token per cycle: the completer sends, the collector receives, and
 // only then may the call return to the pool.
+//
+// A hedged read that loses the race *abandons* its other call instead
+// of parking a goroutine to collect it: abandon and complete/fail race
+// through the state word, and whichever transitions it away from
+// callLive second inherits the cleanup — either the completer recycles
+// on arrival (nobody will ever receive done), or the abandoner consumes
+// the already-sent token and recycles immediately. Either way the
+// loser's claim on its lane slot is released with no goroutine waiting.
 type call struct {
 	done    chan struct{}
 	resp    []byte  // response payload, status byte first; aliases respBuf
 	respBuf *[]byte // pooled backing storage, recycled by putCall
 	err     error
 	start   time.Time
+	state   atomic.Int32
 }
+
+const (
+	callLive      int32 = iota // collector still interested
+	callAbandoned              // collector gone; completer recycles
+	callSettled                // completer delivered; collector consumes done
+)
 
 var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
 
@@ -61,6 +76,7 @@ func getCall() *call {
 	ca := callPool.Get().(*call)
 	ca.resp, ca.err = nil, nil
 	ca.start = time.Now()
+	ca.state.Store(callLive)
 	return ca
 }
 
@@ -74,18 +90,42 @@ func putCall(ca *call) {
 }
 
 // complete fulfils a call with a pooled response buffer (ownership
-// transfers to the call) and wakes the collector.
+// transfers to the call) and wakes the collector — unless the call was
+// abandoned, in which case everything is recycled here.
 func (ca *call) complete(respBuf *[]byte) {
-	ca.respBuf = respBuf
-	if respBuf != nil {
-		ca.resp = *respBuf
+	if ca.state.CompareAndSwap(callLive, callSettled) {
+		ca.respBuf = respBuf
+		if respBuf != nil {
+			ca.resp = *respBuf
+		}
+		ca.done <- struct{}{}
+		return
 	}
-	ca.done <- struct{}{}
+	if respBuf != nil {
+		putBuf(respBuf)
+	}
+	putCall(ca)
 }
 
 func (ca *call) fail(err error) {
-	ca.err = err
-	ca.done <- struct{}{}
+	if ca.state.CompareAndSwap(callLive, callSettled) {
+		ca.err = err
+		ca.done <- struct{}{}
+		return
+	}
+	putCall(ca)
+}
+
+// abandon releases interest in a pending call without waiting for it.
+// If the completer already settled it, the done token is consumed and
+// the call recycled now; otherwise the completer will recycle it on
+// arrival. The caller must not touch ca afterwards.
+func (ca *call) abandon() {
+	if ca.state.CompareAndSwap(callLive, callAbandoned) {
+		return
+	}
+	<-ca.done
+	putCall(ca)
 }
 
 // bufPool recycles request copies and response payloads — the frame
@@ -241,9 +281,11 @@ type backend struct {
 	inflight atomic.Int64
 
 	scheme atomic.Pointer[string] // reclamation scheme reported by the backend's STATS
+	proto  atomic.Int32           // wire version negotiated at connect (0 = pre-budget server)
 
 	rtt       *obs.Hist
 	rttN      atomic.Uint64
+	rttP50Ns  atomic.Int64 // cached p50, deducted from forwarded budgets
 	hedgeNs   atomic.Int64
 	trips     atomic.Uint64 // breaker openings
 	dialErrs  atomic.Int64  // consecutive dial failures while reconnecting
@@ -379,6 +421,16 @@ func (b *backend) connect(gen uint64) ([]*conn, error) {
 			return nil, err
 		}
 		if i == 0 {
+			// Lane 0 pays two round trips before the pool goes live:
+			// HELLO (records whether this backend understands budget
+			// prefixes — a pre-versioning server negotiates down to 0)
+			// and STATS (records the reclamation scheme).
+			ver, err := cl.Negotiate(context.Background())
+			if err != nil {
+				cl.Close()
+				return nil, fmt.Errorf("cluster: %s HELLO: %w", b.addr, err)
+			}
+			b.proto.Store(int32(ver))
 			st, err := cl.Stats(context.Background())
 			if err != nil {
 				cl.Close()
@@ -470,17 +522,24 @@ func (b *backend) roundTrip(req []byte, keyed bool, key uint64) (*call, error) {
 	return ca, nil
 }
 
-// Hedge-delay bookkeeping: every 512 sampled RTTs, re-derive the hedged
-// read trigger as 2×p99, clamped to [250µs, 25ms].
+// Hedge-delay bookkeeping: re-derive the hedged read trigger as 2×p99,
+// clamped to [250µs, 25ms]. Steady state re-derives every 512 sampled
+// RTTs, but each of the first rttWarmup samples re-derives immediately —
+// a freshly added or rejoined backend used to hedge on the 1ms default
+// for its whole first 512-sample window, firing wild hedges on slow
+// links and never firing on fast ones.
 const (
-	hedgeMin = 250 * time.Microsecond
-	hedgeMax = 25 * time.Millisecond
+	hedgeMin  = 250 * time.Microsecond
+	hedgeMax  = 25 * time.Millisecond
+	rttWarmup = 16
 )
 
 func (b *backend) observeRTT(d time.Duration) {
 	b.rtt.Observe(uint64(d))
-	if b.rttN.Add(1)&511 == 0 {
-		p99 := time.Duration(b.rtt.Summary().P99Us * 1e3)
+	if n := b.rttN.Add(1); n <= rttWarmup || n&511 == 0 {
+		sum := b.rtt.Summary()
+		b.rttP50Ns.Store(int64(sum.P50Us * 1e3))
+		p99 := time.Duration(sum.P99Us * 1e3)
 		h := 2 * p99
 		if h < hedgeMin {
 			h = hedgeMin
@@ -491,6 +550,11 @@ func (b *backend) observeRTT(d time.Duration) {
 		b.hedgeNs.Store(int64(h))
 	}
 }
+
+// netRTT is the running p50 round-trip estimate; the proxy deducts it
+// from budgets forwarded to this backend so the server-side deadline
+// accounts for the return hop.
+func (b *backend) netRTT() time.Duration { return time.Duration(b.rttP50Ns.Load()) }
 
 // hedgeDelay is how long a Get waits on the first replica before firing
 // the hedge at the second.

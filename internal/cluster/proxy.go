@@ -76,12 +76,15 @@ type Proxy struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	routed      atomic.Uint64 // client requests dispatched
-	hedges      atomic.Uint64 // hedged reads fired
-	hedgeWins   atomic.Uint64 // hedges that answered first (or rescued a failed primary)
-	readRetries atomic.Uint64 // reads that failed over past the first replica
-	degraded    atomic.Uint64 // writes acked with fewer than the full replica set
-	keysMoved   atomic.Uint64 // keys copied by resync/handoff
+	routed          atomic.Uint64 // client requests dispatched
+	hedges          atomic.Uint64 // hedged reads fired
+	hedgeWins       atomic.Uint64 // hedges that answered first (or rescued a failed primary)
+	hedgesCancelled atomic.Uint64 // losing hedge calls abandoned (lane claim released early)
+	readRetries     atomic.Uint64 // reads that failed over past the first replica
+	degraded        atomic.Uint64 // writes acked with fewer than the full replica set
+	keysMoved       atomic.Uint64 // keys copied by resync/handoff
+	shedObserved    atomic.Uint64 // backend shed/deadline statuses seen on forwarded ops
+	deadlineRejects atomic.Uint64 // ops the proxy itself refused on an expired budget
 }
 
 // New builds a proxy over the configured backends and starts their
@@ -141,6 +144,9 @@ func (p *Proxy) instrument() {
 	reg.GaugeFunc("cluster/ops/routed", func() int64 { return int64(p.routed.Load()) })
 	reg.GaugeFunc("cluster/hedge/fired", func() int64 { return int64(p.hedges.Load()) })
 	reg.GaugeFunc("cluster/hedge/wins", func() int64 { return int64(p.hedgeWins.Load()) })
+	reg.GaugeFunc("cluster/hedge/cancelled", func() int64 { return int64(p.hedgesCancelled.Load()) })
+	reg.GaugeFunc("cluster/sheds_observed", func() int64 { return int64(p.shedObserved.Load()) })
+	reg.GaugeFunc("cluster/deadline_rejects", func() int64 { return int64(p.deadlineRejects.Load()) })
 	reg.GaugeFunc("cluster/read/retries", func() int64 { return int64(p.readRetries.Load()) })
 	reg.GaugeFunc("cluster/writes/degraded", func() int64 { return int64(p.degraded.Load()) })
 	reg.GaugeFunc("cluster/rebalance/keys_moved", func() int64 { return int64(p.keysMoved.Load()) })
@@ -305,34 +311,54 @@ var (
 // call the writer will wait on. Handlers run in their own goroutine so
 // a slow replica never stalls requests queued behind it on the same
 // client connection; the writer re-serializes completions in order.
+// A budget prefix is stripped here and becomes a proxy-local deadline;
+// handlers forward the remaining budget (minus each backend's observed
+// RTT) and refuse ops whose budget is already spent before submitting
+// anything — the not-executed contract holds through the proxy.
 func (p *Proxy) dispatch(payload []byte) *call {
 	ca := getCall()
 	p.routed.Add(1)
-	switch op := payload[0]; op {
+	req, budget, okb := kvstore.SplitBudget(payload)
+	if !okb {
+		ca.fail(errShortReq)
+		return ca
+	}
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	switch op := req[0]; op {
 	case kvstore.OpGet:
-		key, ok := kvstore.PayloadU64(payload, 1)
+		key, ok := kvstore.PayloadU64(req, 1)
 		if !ok {
 			ca.fail(errShortReq)
 			return ca
 		}
-		req := copyBuf(payload)
-		go p.doGet(req, key, ca)
+		creq := copyBuf(req)
+		go p.doGet(creq, key, deadline, ca)
 	case kvstore.OpPut, kvstore.OpDel:
-		key, ok := kvstore.PayloadU64(payload, 1)
+		key, ok := kvstore.PayloadU64(req, 1)
 		if !ok {
 			ca.fail(errShortReq)
 			return ca
 		}
-		req := copyBuf(payload)
-		go p.doWrite(req, key, ca)
+		creq := copyBuf(req)
+		go p.doWrite(creq, key, deadline, ca)
 	case kvstore.OpScan:
-		from, ok1 := kvstore.PayloadU64(payload, 1)
-		limit, ok2 := kvstore.PayloadU32(payload, 9)
+		from, ok1 := kvstore.PayloadU64(req, 1)
+		limit, ok2 := kvstore.PayloadU32(req, 9)
 		if !ok1 || !ok2 {
 			ca.fail(errShortReq)
 			return ca
 		}
-		go p.doScan(from, limit, ca)
+		go p.doScan(from, limit, deadline, ca)
+	case kvstore.OpHello:
+		// The proxy terminates negotiation itself: it can always strip
+		// budgets, downgrading per backend as needed, so it answers v1
+		// regardless of what the backends speak.
+		buf := getBuf()
+		*buf = kvstore.AppendU32(append((*buf)[:0], kvstore.StatusOK), kvstore.ProtoVersion)
+		ca.complete(buf)
 	case kvstore.OpStats:
 		go p.doStats(ca)
 	case kvstore.OpDrain:
@@ -340,12 +366,52 @@ func (p *Proxy) dispatch(payload []byte) *call {
 	case kvstore.OpClusterInfo:
 		go p.doInfo(ca)
 	case kvstore.OpClusterAdd, kvstore.OpClusterDrain, kvstore.OpClusterRemove:
-		addr := string(payload[1:])
-		go p.doTopo(op, addr, ca)
+		addr := string(req[1:])
+		go p.doTopo(op, addr, deadline, ca)
 	default:
-		ca.fail(fmt.Errorf("cluster: unknown op %d", payload[0]))
+		ca.fail(fmt.Errorf("cluster: unknown op %d", req[0]))
 	}
 	return ca
+}
+
+// completeStatus finishes a client call with a bare status frame — the
+// not-executed statuses (StatusDeadlineExceeded / StatusOverloaded).
+func completeStatus(ca *call, status uint8) {
+	buf := getBuf()
+	*buf = append((*buf)[:0], status)
+	ca.complete(buf)
+}
+
+// isShedStatus reports whether a backend response is one of the two
+// refused-without-executing statuses.
+func isShedStatus(resp []byte) bool {
+	return len(resp) > 0 && (resp[0] == kvstore.StatusOverloaded || resp[0] == kvstore.StatusDeadlineExceeded)
+}
+
+// fwd encodes the remaining budget for b into scratch and returns the
+// frame to submit: req itself when no deadline applies (or b predates
+// budgets), nil when the budget — minus b's observed RTT — is already
+// spent, meaning the caller should fast-fail instead of doing dead
+// work. The returned slice is only valid until scratch's next reuse;
+// submit copies it to the wire before returning, so a stack scratch
+// reused across sequential submissions is fine.
+func fwd(b *backend, req []byte, deadline time.Time, scratch []byte) []byte {
+	if deadline.IsZero() {
+		return req
+	}
+	rem := time.Until(deadline)
+	if b.proto.Load() < 1 {
+		if rem <= 0 {
+			return nil
+		}
+		return req // pre-budget backend: forward plain, proxy deadline still applied
+	}
+	rem -= b.netRTT()
+	if rem <= 0 {
+		return nil
+	}
+	scratch = kvstore.AppendBudget(scratch[:0], req[0], rem)
+	return append(scratch, req[1:]...)
 }
 
 func (p *Proxy) replicas() int { return p.cfg.Replicas }
@@ -359,9 +425,6 @@ func transfer(src, dst *call) {
 	dst.done <- struct{}{}
 }
 
-// collect reaps an abandoned backend call once it completes.
-func collect(c *call) { <-c.done; putCall(c) }
-
 // readSet appends the read-eligible replicas of key, preference order.
 func (p *Proxy) readSet(key uint64, dst []*backend) []*backend {
 	t := p.topo.Load()
@@ -374,12 +437,15 @@ func (p *Proxy) readSet(key uint64, dst []*backend) []*backend {
 	return dst
 }
 
-// doGet serves a GET with hedging and failover. The primary replica
-// gets the request first; if it has not answered within the
-// p99-derived hedge delay, the second replica gets a copy and the
-// first response wins. Failed replicas are demoted and the remaining
-// candidates tried in order.
-func (p *Proxy) doGet(req *[]byte, key uint64, ca *call) {
+// doGet serves a GET with hedging, failover, and budget forwarding.
+// The primary replica gets the request first; if it has not answered
+// within the p99-derived hedge delay, the second replica gets a copy
+// and the first *success* wins — the loser's call is abandoned, which
+// releases its claim on its lane without parking a goroutine. A replica
+// that answers with a shed status is healthy-but-loaded: it is not
+// demoted, but the read fails over to the remaining candidates, and if
+// every candidate refuses, the refusal passes through to the client.
+func (p *Proxy) doGet(req *[]byte, key uint64, deadline time.Time, ca *call) {
 	defer putBuf(req)
 	var cbuf [maxReplicas]*backend
 	cands := p.readSet(key, cbuf[:0])
@@ -387,103 +453,141 @@ func (p *Proxy) doGet(req *[]byte, key uint64, ca *call) {
 		ca.fail(errNoReplica)
 		return
 	}
+	var lastShed uint8
+	var sbuf [32]byte
+	// settle inspects a completed backend call: 0 = answered the client,
+	// 1 = transport failure (replica demoted), 2 = shed status (replica
+	// healthy, try elsewhere).
+	settle := func(bc *call, b *backend) int {
+		if bc.err != nil {
+			b.suspect()
+			putCall(bc)
+			return 1
+		}
+		if isShedStatus(bc.resp) {
+			p.shedObserved.Add(1)
+			lastShed = bc.resp[0]
+			putCall(bc)
+			return 2
+		}
+		transfer(bc, ca)
+		return 0
+	}
+	giveUp := func() {
+		if lastShed != 0 {
+			completeStatus(ca, lastShed)
+			return
+		}
+		ca.fail(errNoReplica)
+	}
+	finish := func(rest []*backend) {
+		p.readRetries.Add(1)
+		p.getSequential(rest, *req, deadline, lastShed, ca)
+	}
+
+	breq := fwd(cands[0], *req, deadline, sbuf[:0])
+	if breq == nil {
+		p.deadlineRejects.Add(1)
+		completeStatus(ca, kvstore.StatusDeadlineExceeded)
+		return
+	}
 	bc := getCall()
-	if !cands[0].submitAny(*req, bc) {
+	if !cands[0].submitAny(breq, bc) {
 		putCall(bc)
 		cands[0].suspect()
-		p.readRetries.Add(1)
-		p.getSequential(cands[1:], *req, ca)
+		finish(cands[1:])
 		return
 	}
 	if len(cands) == 1 {
 		<-bc.done
-		if bc.err == nil {
-			transfer(bc, ca)
-			return
+		if settle(bc, cands[0]) != 0 {
+			giveUp()
 		}
-		cands[0].suspect()
-		putCall(bc)
-		ca.fail(errNoReplica)
 		return
 	}
 	timer := time.NewTimer(cands[0].hedgeDelay())
 	select {
 	case <-bc.done:
 		timer.Stop()
-		if bc.err == nil {
-			transfer(bc, ca)
-			return
+		if settle(bc, cands[0]) != 0 {
+			finish(cands[1:])
 		}
-		cands[0].suspect()
-		putCall(bc)
-		p.readRetries.Add(1)
-		p.getSequential(cands[1:], *req, ca)
 		return
 	case <-timer.C:
 	}
 	p.hedges.Add(1)
-	hc := getCall()
-	if !cands[1].submitAny(*req, hc) {
-		putCall(hc)
-		<-bc.done
-		if bc.err == nil {
-			transfer(bc, ca)
-			return
+	var hc *call
+	if hreq := fwd(cands[1], *req, deadline, sbuf[:0]); hreq != nil {
+		hc = getCall()
+		if !cands[1].submitAny(hreq, hc) {
+			putCall(hc)
+			hc = nil
 		}
-		cands[0].suspect()
-		putCall(bc)
-		p.readRetries.Add(1)
-		p.getSequential(cands[2:], *req, ca)
+	}
+	if hc == nil {
+		// No budget left for a hedge, or no live lane: wait the primary out.
+		<-bc.done
+		if settle(bc, cands[0]) != 0 {
+			finish(cands[2:])
+		}
 		return
 	}
 	select {
 	case <-bc.done:
-		if bc.err == nil {
-			transfer(bc, ca)
-			go collect(hc)
+		switch settle(bc, cands[0]) {
+		case 0:
+			hc.abandon() // loser's lane claim released; completer recycles
+			p.hedgesCancelled.Add(1)
 			return
 		}
-		cands[0].suspect()
-		putCall(bc)
 		<-hc.done
-		if hc.err == nil {
+		if settle(hc, cands[1]) == 0 {
 			p.hedgeWins.Add(1)
-			transfer(hc, ca)
 			return
 		}
-		cands[1].suspect()
-		putCall(hc)
-		p.readRetries.Add(1)
-		p.getSequential(cands[2:], *req, ca)
+		finish(cands[2:])
 	case <-hc.done:
-		if hc.err == nil {
+		if settle(hc, cands[1]) == 0 {
 			p.hedgeWins.Add(1)
-			transfer(hc, ca)
-			go collect(bc)
+			bc.abandon()
+			p.hedgesCancelled.Add(1)
 			return
 		}
-		cands[1].suspect()
-		putCall(hc)
 		<-bc.done
-		if bc.err == nil {
-			transfer(bc, ca)
+		if settle(bc, cands[0]) == 0 {
 			return
 		}
-		cands[0].suspect()
-		putCall(bc)
-		p.readRetries.Add(1)
-		p.getSequential(cands[2:], *req, ca)
+		finish(cands[2:])
 	}
 }
 
-func (p *Proxy) getSequential(cands []*backend, req []byte, ca *call) {
+func (p *Proxy) getSequential(cands []*backend, req []byte, deadline time.Time, lastShed uint8, ca *call) {
+	var sbuf [32]byte
 	for _, b := range cands {
-		rc, err := b.roundTrip(req, false, 0)
+		breq := fwd(b, req, deadline, sbuf[:0])
+		if breq == nil {
+			// Budget ran out mid-failover: the op was never submitted
+			// anywhere that executed it.
+			lastShed = kvstore.StatusDeadlineExceeded
+			p.deadlineRejects.Add(1)
+			break
+		}
+		rc, err := b.roundTrip(breq, false, 0)
 		if err != nil {
 			b.suspect()
 			continue
 		}
+		if isShedStatus(rc.resp) {
+			p.shedObserved.Add(1)
+			lastShed = rc.resp[0]
+			putCall(rc)
+			continue
+		}
 		transfer(rc, ca)
+		return
+	}
+	if lastShed != 0 {
+		completeStatus(ca, lastShed)
 		return
 	}
 	ca.fail(errNoReplica)
@@ -524,13 +628,31 @@ func (p *Proxy) writeSet(key uint64, dst []*backend, healthy []bool) ([]*backend
 // stripe lock onto key-pinned lanes, giving every replica the same
 // same-key execution order; acks wait for every replica, demote the
 // failures, and succeed if at least one replica holds the write.
-func (p *Proxy) doWrite(req *[]byte, key uint64, ca *call) {
+//
+// Budgets gate writes only *before* submission: an expired budget is
+// refused here, with nothing on any wire, so StatusDeadlineExceeded
+// keeps meaning "no replica executed this". The forwarded frames are
+// unbudgeted — once a write is in flight to a replica set, a per-replica
+// deadline expiry would mean divergence, exactly what the ack invariant
+// forbids. A replica may still shed an unbudgeted write under admission
+// pressure (StatusOverloaded); that replica missed the write while
+// others may have applied it, so it is demoted before the ack like any
+// failed replica. Only when *no* replica applied it does the refusal
+// pass through to the client with no demotions — the cluster-wide
+// not-executed case.
+func (p *Proxy) doWrite(req *[]byte, key uint64, deadline time.Time, ca *call) {
 	defer putBuf(req)
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		p.deadlineRejects.Add(1)
+		completeStatus(ca, kvstore.StatusDeadlineExceeded)
+		return
+	}
 	var bbuf [2 * maxReplicas]*backend
 	var hbuf [2 * maxReplicas]bool
 	var bcs [2 * maxReplicas]*call
 	var bks [2 * maxReplicas]*backend
 	var healthy [2 * maxReplicas]bool
+	var sheds [2 * maxReplicas]bool
 	n := 0
 
 	stripe := &p.locks[key&(stripeCount-1)]
@@ -553,7 +675,7 @@ func (p *Proxy) doWrite(req *[]byte, key uint64, ca *call) {
 		ca.fail(errNoReplica)
 		return
 	}
-	okCount := 0
+	okCount, shedCount := 0, 0
 	for i := 0; i < n; i++ {
 		<-bcs[i].done
 		if bcs[i].err != nil {
@@ -564,13 +686,42 @@ func (p *Proxy) doWrite(req *[]byte, key uint64, ca *call) {
 			}
 			putCall(bcs[i])
 			bcs[i] = nil
-		} else {
-			okCount++
+			continue
 		}
+		if isShedStatus(bcs[i].resp) {
+			p.shedObserved.Add(1)
+			sheds[i] = true
+			shedCount++
+			continue
+		}
+		okCount++
 	}
 	if okCount == 0 {
+		for i := 0; i < n; i++ {
+			if bcs[i] != nil {
+				putCall(bcs[i])
+			}
+		}
+		if shedCount > 0 {
+			// Every live replica refused before executing: the write
+			// happened nowhere, so nobody diverged and nobody is demoted.
+			completeStatus(ca, kvstore.StatusOverloaded)
+			return
+		}
 		ca.fail(errNoReplica)
 		return
+	}
+	// At least one replica holds the write; a replica that shed it
+	// missed it and must leave the read set before the ack, exactly
+	// like a transport failure.
+	for i := 0; i < n; i++ {
+		if sheds[i] {
+			if healthy[i] {
+				bks[i].suspect()
+			}
+			putCall(bcs[i])
+			bcs[i] = nil
+		}
 	}
 	if okCount < n {
 		p.degraded.Add(1)
@@ -610,7 +761,15 @@ func scanReq(dst []byte, from uint64, limit uint32) []byte {
 // the union (the horizon): keys past the smallest full-window last key
 // might be missing from that backend's reply, so the merged response is
 // cut there and the client's next page re-covers the rest.
-func (p *Proxy) doScan(from uint64, limit uint32, ca *call) {
+func (p *Proxy) doScan(from uint64, limit uint32, deadline time.Time, ca *call) {
+	// A scan's budget is checked proxy-side only; the backend fan-out
+	// stays unbudgeted because a shed scan source would silently truncate
+	// the merged window.
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		p.deadlineRejects.Add(1)
+		completeStatus(ca, kvstore.StatusDeadlineExceeded)
+		return
+	}
 	if limit == 0 {
 		buf := getBuf()
 		*buf = kvstore.AppendU32(append((*buf)[:0], kvstore.StatusOK), 0)
@@ -875,12 +1034,15 @@ type Info struct {
 	VNodes         int        `json:"vnodes"`
 	Migrating      bool       `json:"migrating"`
 	Nodes          []NodeInfo `json:"nodes"`
-	RoutedOps      uint64     `json:"routed_ops"`
-	HedgesFired    uint64     `json:"hedges_fired"`
-	HedgeWins      uint64     `json:"hedge_wins"`
-	ReadRetries    uint64     `json:"read_retries"`
-	DegradedWrites uint64     `json:"degraded_writes"`
-	KeysMoved      uint64     `json:"keys_moved"`
+	RoutedOps       uint64     `json:"routed_ops"`
+	HedgesFired     uint64     `json:"hedges_fired"`
+	HedgeWins       uint64     `json:"hedge_wins"`
+	HedgesCancelled uint64     `json:"hedges_cancelled"`
+	ReadRetries     uint64     `json:"read_retries"`
+	DegradedWrites  uint64     `json:"degraded_writes"`
+	KeysMoved       uint64     `json:"keys_moved"`
+	ShedsObserved   uint64     `json:"sheds_observed"`
+	DeadlineRejects uint64     `json:"deadline_rejects"`
 }
 
 // Snapshot assembles the Info the CLUSTER_INFO verb serves; in-process
@@ -897,12 +1059,15 @@ func (p *Proxy) Snapshot() Info {
 		Replicas:       p.replicas(),
 		VNodes:         p.cfg.VNodes,
 		Migrating:      p.next.Load() != nil,
-		RoutedOps:      p.routed.Load(),
-		HedgesFired:    p.hedges.Load(),
-		HedgeWins:      p.hedgeWins.Load(),
-		ReadRetries:    p.readRetries.Load(),
-		DegradedWrites: p.degraded.Load(),
-		KeysMoved:      p.keysMoved.Load(),
+		RoutedOps:       p.routed.Load(),
+		HedgesFired:     p.hedges.Load(),
+		HedgeWins:       p.hedgeWins.Load(),
+		HedgesCancelled: p.hedgesCancelled.Load(),
+		ReadRetries:     p.readRetries.Load(),
+		DegradedWrites:  p.degraded.Load(),
+		KeysMoved:       p.keysMoved.Load(),
+		ShedsObserved:   p.shedObserved.Load(),
+		DeadlineRejects: p.deadlineRejects.Load(),
 	}
 	for _, b := range backs {
 		info.Nodes = append(info.Nodes, NodeInfo{
@@ -922,16 +1087,25 @@ func (p *Proxy) doInfo(ca *call) {
 	p.respondJSON(ca, p.Snapshot())
 }
 
-func (p *Proxy) doTopo(op uint8, addr string, ca *call) {
+func (p *Proxy) doTopo(op uint8, addr string, deadline time.Time, ca *call) {
+	// A budget on an admin op becomes the rebalance context's deadline:
+	// AddBackend/DrainBackend/RemoveBackend check it between keys, so a
+	// caller-bounded drain stops copying when the caller gives up.
+	ctx := context.Background()
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
 	var rep RebalanceReport
 	var err error
 	switch op {
 	case kvstore.OpClusterAdd:
-		rep, err = p.AddBackend(context.Background(), addr)
+		rep, err = p.AddBackend(ctx, addr)
 	case kvstore.OpClusterDrain:
-		rep, err = p.DrainBackend(context.Background(), addr)
+		rep, err = p.DrainBackend(ctx, addr)
 	case kvstore.OpClusterRemove:
-		rep, err = p.RemoveBackend(context.Background(), addr)
+		rep, err = p.RemoveBackend(ctx, addr)
 	}
 	if err != nil {
 		ca.fail(err)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net"
 	"testing"
 	"time"
@@ -372,5 +373,75 @@ func TestHedgeDelayClamp(t *testing.T) {
 	}
 	if d := b.hedgeDelay(); d != hedgeMax {
 		t.Fatalf("hedge delay after huge RTTs = %v, want %v", d, hedgeMax)
+	}
+}
+
+// A fresh backend used to keep the 1ms default hedge delay for its
+// whole first 512-sample window; now each of the first rttWarmup
+// samples re-derives it, so a handful of observations is enough to
+// move both the hedge trigger and the p50 budget deduction.
+func TestHedgeWarmup(t *testing.T) {
+	b := newBackend(nil, "x", nil)
+	if d := b.hedgeDelay(); d != time.Millisecond {
+		t.Fatalf("default hedge delay = %v", d)
+	}
+	if rtt := b.netRTT(); rtt != 0 {
+		t.Fatalf("p50 estimate before any sample = %v", rtt)
+	}
+	for i := 0; i < 4; i++ {
+		b.observeRTT(4 * time.Millisecond)
+	}
+	// 2×p99 of a 4ms population is 8ms — far from both clamps and from
+	// the 1ms default, proving warm-up re-derivation fired well before
+	// sample 512.
+	if d := b.hedgeDelay(); d == time.Millisecond || d < 4*time.Millisecond {
+		t.Fatalf("hedge delay after 4 warm-up samples = %v, want ≈2×p99 of 4ms", d)
+	}
+	if rtt := b.netRTT(); rtt <= 0 {
+		t.Fatalf("p50 estimate after warm-up samples = %v", rtt)
+	}
+}
+
+// A budget that cannot survive the proxy hop is refused with
+// StatusDeadlineExceeded — by the proxy itself or by the backend the
+// remainder was forwarded to — and the op provably does not execute.
+func TestProxyBudgetExpiry(t *testing.T) {
+	p, _, addr := startCluster(t, []string{"orcgc", "hp"}, 2)
+	cl := proxyClient(t, addr)
+	if ver, err := cl.Negotiate(ctx); err != nil || ver != kvstore.ProtoVersion {
+		t.Fatalf("Negotiate through proxy = %d, %v", ver, err)
+	}
+
+	// A healthy budget flows through end to end.
+	if ins, err := cl.Put(ctx, 77, 770); err != nil || !ins {
+		t.Fatalf("Put = %v, %v", ins, err)
+	}
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	if v, ok, err := cl.Get(dctx, 77); err != nil || !ok || v != 770 {
+		t.Fatalf("budgeted Get through proxy = %d, %v, %v", v, ok, err)
+	}
+	cancel()
+
+	// A 1µs budget is dead on arrival: the PUT must be refused without
+	// effect, wherever along the pipeline the expiry is noticed.
+	cl.SendPutBudget(78, 780, time.Microsecond)
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.RecvPut(); !errors.Is(err, kvstore.ErrDeadlineExceeded) {
+		t.Fatalf("1µs-budget Put err = %v, want ErrDeadlineExceeded", err)
+	}
+	if _, ok, err := cl.Get(ctx, 78); err != nil || ok {
+		t.Fatalf("expired Put executed through proxy: found=%v err=%v", ok, err)
+	}
+	cl.SendGetBudget(77, time.Microsecond)
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.RecvGet(); !errors.Is(err, kvstore.ErrDeadlineExceeded) {
+		t.Fatalf("1µs-budget Get err = %v, want ErrDeadlineExceeded", err)
+	}
+	if n := p.Snapshot().DeadlineRejects; n == 0 {
+		t.Log("expiries were noticed downstream of the proxy (backend-side)")
 	}
 }

@@ -4,10 +4,22 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
+)
+
+// ErrDeadlineExceeded and ErrOverloaded are the client-side faces of
+// the two v1 shed statuses. Both carry the server's contract that the
+// op was refused *before* execution — a Put answered with either
+// provably had no effect.
+var (
+	ErrDeadlineExceeded = errors.New("kvstore: deadline exceeded before execution")
+	ErrOverloaded       = errors.New("kvstore: server overloaded, op shed")
 )
 
 // Client speaks the wire protocol over one connection. It supports
@@ -15,11 +27,14 @@ import (
 // Send* calls, Flush, then Recv* once per outstanding request, in
 // order. The single-sender/single-receiver contract: at most one
 // goroutine may call Send*/Flush and at most one may call Recv* at a
-// time (they may be different goroutines). The blocking helpers
-// (Get/Put/Del/Scan/Stats/Drain) each do a full round trip and must not
-// be mixed with outstanding pipelined requests; they take a Context
-// whose cancellation aborts the response wait without closing the
-// connection (see arm).
+// time (they may be different goroutines).
+//
+// The blocking helpers (Get/Put/Del/Scan/Stats/Drain/Negotiate/
+// Cluster*) each do a full round trip and must not be mixed with
+// outstanding pipelined requests — but they MAY be called from any
+// number of goroutines concurrently with each other: a ticket queue
+// (see startOp) serializes them in send order, and a cancelled ctx
+// aborts only its own op's wait, never a neighbour's.
 type Client struct {
 	c    net.Conn
 	bw   *bufio.Writer
@@ -28,6 +43,31 @@ type Client struct {
 
 	wbuf []byte
 	rbuf []byte
+
+	// proto is the negotiated wire version + 1 (0 = never negotiated;
+	// an un-negotiated connection conservatively speaks v0).
+	proto atomic.Int32
+
+	// Blocking-helper response FIFO. hmu guards send order, the ticket
+	// list, and skips; consumed is touched only by the current head
+	// reader, which is single-threaded by construction.
+	hmu      sync.Mutex
+	headT    *ticket
+	tailT    *ticket
+	skips    int // stale response frames owed before the next ticket enqueued
+	consumed bool
+}
+
+// ticket is one blocking helper's place in the response FIFO. A ticket
+// becomes the read-side owner when its ready channel closes; skip is
+// how many stale frames (debt left by cancelled predecessors) it must
+// discard before its own response. A ticket abandoned before reaching
+// the head leaves its own frame as debt for the next live owner.
+type ticket struct {
+	skip      int
+	ready     chan struct{}
+	abandoned bool // guarded by Client.hmu
+	next      *ticket
 }
 
 // Options configures a Client connection. The zero value reproduces the
@@ -115,6 +155,21 @@ func WithRetryBudget(d time.Duration) Option {
 	return func(o *Options) { o.DialRetryBudget = d }
 }
 
+// maxDialBackoff caps the dial retry backoff doubling: a generous retry
+// budget must stretch into more attempts, not exponentially longer (and
+// eventually overflowing) sleeps.
+const maxDialBackoff = 2 * time.Second
+
+// nextBackoff doubles a backoff wait up to maxDialBackoff; the cap also
+// catches sign overflow from pathological doubling counts.
+func nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d <= 0 || d > maxDialBackoff {
+		d = maxDialBackoff
+	}
+	return d
+}
+
 // jitterBackoff spreads one backoff wait over [0.75d, 1.25d), picking
 // the point by u ∈ [0, 1). Pooled clients all notice a dead backend at
 // the same instant; without jitter their doubling schedules stay
@@ -182,13 +237,19 @@ func dial(addr string, opts Options) (*Client, error) {
 				addr, budget, attempt+1, err)
 		}
 		time.Sleep(wait)
-		backoff *= 2
+		backoff = nextBackoff(backoff)
 	}
 	size := opts.bufSize()
+	// The read buffer must hold a full frame so aborted reads can use
+	// Peek/Discard without ever consuming a partial frame.
+	rsize := size
+	if rsize < MaxFrame+4 {
+		rsize = MaxFrame + 4
+	}
 	return &Client{
 		c:    c,
 		bw:   bufio.NewWriterSize(c, size),
-		br:   bufio.NewReaderSize(c, size),
+		br:   bufio.NewReaderSize(c, rsize),
 		opts: opts,
 	}, nil
 }
@@ -237,6 +298,50 @@ func (cl *Client) SendScan(from uint64, limit uint32) {
 	cl.send(appendU32(p, limit))
 }
 
+// SendGetBudget queues a GET carrying an execution budget. A budget ≤ 0
+// or an un-negotiated/v0 connection falls back to a plain GET — old
+// servers would reject the flagged op byte.
+func (cl *Client) SendGetBudget(key uint64, budget time.Duration) {
+	if budget <= 0 || cl.proto.Load() < ProtoVersion+1 {
+		cl.SendGet(key)
+		return
+	}
+	p := AppendBudget(make([]byte, 0, 13), OpGet, budget)
+	cl.send(appendU64(p, key))
+}
+
+// SendPutBudget queues a PUT carrying an execution budget.
+func (cl *Client) SendPutBudget(key, val uint64, budget time.Duration) {
+	if budget <= 0 || cl.proto.Load() < ProtoVersion+1 {
+		cl.SendPut(key, val)
+		return
+	}
+	p := AppendBudget(make([]byte, 0, 21), OpPut, budget)
+	p = appendU64(p, key)
+	cl.send(appendU64(p, val))
+}
+
+// SendDelBudget queues a DEL carrying an execution budget.
+func (cl *Client) SendDelBudget(key uint64, budget time.Duration) {
+	if budget <= 0 || cl.proto.Load() < ProtoVersion+1 {
+		cl.SendDel(key)
+		return
+	}
+	p := AppendBudget(make([]byte, 0, 13), OpDel, budget)
+	cl.send(appendU64(p, key))
+}
+
+// SendScanBudget queues a SCAN carrying an execution budget.
+func (cl *Client) SendScanBudget(from uint64, limit uint32, budget time.Duration) {
+	if budget <= 0 || cl.proto.Load() < ProtoVersion+1 {
+		cl.SendScan(from, limit)
+		return
+	}
+	p := AppendBudget(make([]byte, 0, 17), OpScan, budget)
+	p = appendU64(p, from)
+	cl.send(appendU32(p, limit))
+}
+
 // SendStats queues a STATS.
 func (cl *Client) SendStats() { cl.send([]byte{OpStats}) }
 
@@ -247,18 +352,13 @@ func (cl *Client) SendRaw(payload []byte) { cl.send(payload) }
 
 // RecvRaw reads one response payload, appending it (status byte
 // included) to dst and returning the extended slice. Unlike the typed
-// Recv* helpers it does not convert StatusErr into a Go error — a proxy
-// forwards error frames to its own client verbatim.
+// Recv* helpers it does not convert non-OK statuses into Go errors — a
+// proxy forwards error frames to its own client verbatim.
 func (cl *Client) RecvRaw(dst []byte) ([]byte, error) {
-	if cl.opts.ReadTimeout > 0 {
-		cl.c.SetReadDeadline(time.Now().Add(cl.opts.ReadTimeout))
-		defer cl.c.SetReadDeadline(time.Time{})
-	}
-	p, err := readFrame(cl.br, cl.rbuf)
+	p, err := cl.recvRaw()
 	if err != nil {
 		return dst, err
 	}
-	cl.rbuf = p
 	return append(dst, p...), nil
 }
 
@@ -274,19 +374,40 @@ func (cl *Client) Flush() error {
 	return cl.bw.Flush()
 }
 
-// recv reads one response payload (status byte first).
-func (cl *Client) recv() ([]byte, error) {
+// recvRaw reads one response frame with no status mapping. It records
+// whether a frame was actually consumed (cl.consumed) so a cancelled
+// blocking op knows exactly how many stale frames it leaves behind, and
+// reads through Peek/Discard so an aborted wait never strands the
+// stream mid-frame.
+func (cl *Client) recvRaw() ([]byte, error) {
+	cl.consumed = false
 	if cl.opts.ReadTimeout > 0 {
 		cl.c.SetReadDeadline(time.Now().Add(cl.opts.ReadTimeout))
 		defer cl.c.SetReadDeadline(time.Time{})
 	}
-	p, err := readFrame(cl.br, cl.rbuf)
+	p, err := readFrameBuffered(cl.br, cl.rbuf)
 	if err != nil {
 		return nil, err
 	}
 	cl.rbuf = p
-	if p[0] == StatusErr {
+	cl.consumed = true
+	return p, nil
+}
+
+// recv reads one response payload (status byte first), mapping the
+// terminal statuses to errors.
+func (cl *Client) recv() ([]byte, error) {
+	p, err := cl.recvRaw()
+	if err != nil {
+		return nil, err
+	}
+	switch p[0] {
+	case StatusErr:
 		return nil, fmt.Errorf("kvstore: server error: %s", p[1:])
+	case StatusDeadlineExceeded:
+		return nil, ErrDeadlineExceeded
+	case StatusOverloaded:
+		return nil, ErrOverloaded
 	}
 	return p, nil
 }
@@ -375,9 +496,12 @@ func (cl *Client) RecvDrain() (DrainReport, error) {
 // with a timeout error, and the returned finish func maps that error
 // back to ctx's cause. Cancellation abandons the wait, not the
 // connection — the conn stays open and the caller decides whether to
-// Close it. The response stream may be left mid-frame, though, so a
-// cancelled client should only be reused when the caller knows the
-// aborted response never started arriving.
+// Close it. The deadline poison is connection-wide, which is why only
+// the head of the ticket queue (the sole goroutine reading responses)
+// ever arms a context: armed anywhere else, one op's cancellation
+// would fail a concurrent, never-cancelled op mid-read. Peek/Discard
+// framing (readFrameBuffered) guarantees the aborted read consumed
+// nothing, so the stream stays aligned for the next owner.
 func (cl *Client) arm(ctx context.Context) func(error) error {
 	if ctx == nil || ctx.Done() == nil {
 		return func(err error) error { return err }
@@ -405,90 +529,318 @@ func (cl *Client) arm(ctx context.Context) func(error) error {
 	}
 }
 
-// Get is a blocking round trip; cancelling ctx aborts the response
-// wait (see arm) without closing the connection.
-func (cl *Client) Get(ctx context.Context, key uint64) (uint64, bool, error) {
-	cl.SendGet(key)
+// startOp queues one blocking round trip: the request is sent and
+// flushed under hmu — so wire order matches ticket order — and a
+// ticket is appended to the response FIFO. A ticket enqueued into an
+// empty queue becomes the owner immediately, inheriting any stale-frame
+// debt cancelled predecessors left behind.
+func (cl *Client) startOp(send func()) (*ticket, error) {
+	cl.hmu.Lock()
+	defer cl.hmu.Unlock()
+	send()
 	if err := cl.Flush(); err != nil {
-		return 0, false, err
+		return nil, err
+	}
+	t := &ticket{ready: make(chan struct{})}
+	if cl.tailT == nil {
+		t.skip, cl.skips = cl.skips, 0
+		cl.headT, cl.tailT = t, t
+		close(t.ready)
+	} else {
+		cl.tailT.next = t
+		cl.tailT = t
+	}
+	return t, nil
+}
+
+// awaitHead blocks until t owns the read side or ctx is cancelled. On
+// cancellation it re-checks ownership under hmu: a ticket that became
+// head in the race must proceed (its armed read settles the books);
+// one still queued is marked abandoned and its frame becomes debt.
+func (cl *Client) awaitHead(ctx context.Context, t *ticket) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	if done == nil {
+		<-t.ready
+		return nil
+	}
+	select {
+	case <-t.ready:
+		return nil
+	case <-done:
+	}
+	cl.hmu.Lock()
+	defer cl.hmu.Unlock()
+	select {
+	case <-t.ready:
+		return nil
+	default:
+		t.abandoned = true
+		return fmt.Errorf("kvstore: %w", context.Cause(ctx))
+	}
+}
+
+// finishOp runs t's turn at the head of the response FIFO: discard the
+// stale frames cancelled predecessors owe, read this op's response with
+// ctx armed (only the head ever arms — see arm), then hand ownership to
+// the next live ticket along with whatever debt this turn left unpaid.
+// recvFn must fully parse the response before returning: the underlying
+// buffer is reused by the next owner.
+func (cl *Client) finishOp(ctx context.Context, t *ticket, recvFn func() error) error {
+	if err := cl.awaitHead(ctx, t); err != nil {
+		return err
+	}
+	if ctx != nil && ctx.Err() != nil {
+		// Became head while already cancelled: don't bother arming a
+		// read that must abort; leave the debt and hand off.
+		cl.finishTurn(t.skip + 1)
+		return fmt.Errorf("kvstore: %w", context.Cause(ctx))
 	}
 	finish := cl.arm(ctx)
-	v, ok, err := cl.RecvGet()
-	return v, ok, finish(err)
+	var err error
+	for t.skip > 0 && err == nil {
+		if _, err = cl.recvRaw(); err == nil {
+			t.skip--
+		}
+	}
+	reached := false
+	if err == nil {
+		reached = true
+		err = recvFn()
+	}
+	err = finish(err)
+	owed := t.skip
+	if !reached || !cl.consumed {
+		owed++ // this op's own response is still on the wire
+	}
+	cl.finishTurn(owed)
+	return err
+}
+
+// finishTurn pops the head ticket and promotes the next live one,
+// folding in owed stale frames plus the debt of any tickets that were
+// abandoned while queued.
+func (cl *Client) finishTurn(owed int) {
+	cl.hmu.Lock()
+	defer cl.hmu.Unlock()
+	t := cl.headT.next
+	for t != nil && t.abandoned {
+		owed += t.skip + 1
+		t = t.next
+	}
+	cl.headT = t
+	if t == nil {
+		cl.tailT = nil
+		cl.skips += owed
+		return
+	}
+	t.skip += owed
+	close(t.ready)
+}
+
+// budgetFor derives the wire budget from ctx: the remaining time to its
+// deadline when the connection has negotiated v1, 0 (no budget field)
+// otherwise. An already-expired ctx fails the op before any bytes go
+// out.
+func (cl *Client) budgetFor(ctx context.Context) (time.Duration, error) {
+	if ctx == nil {
+		return 0, nil
+	}
+	if ctx.Err() != nil {
+		return 0, fmt.Errorf("kvstore: %w", context.Cause(ctx))
+	}
+	dl, ok := ctx.Deadline()
+	if !ok || cl.proto.Load() < ProtoVersion+1 {
+		return 0, nil
+	}
+	d := time.Until(dl)
+	if d <= 0 {
+		return 0, fmt.Errorf("kvstore: %w", context.DeadlineExceeded)
+	}
+	return d, nil
+}
+
+// Negotiate performs the HELLO round trip and caches the wire version
+// shared with the server. A pre-versioning server answers HELLO like
+// any unknown op — with an Err frame — which negotiates down to v0, so
+// Negotiate never errors on version grounds. Until Negotiate succeeds
+// the connection conservatively speaks v0 (no budget prefixes).
+func (cl *Client) Negotiate(ctx context.Context) (int, error) {
+	if v := cl.proto.Load(); v > 0 {
+		return int(v) - 1, nil
+	}
+	t, err := cl.startOp(func() {
+		p := []byte{OpHello}
+		cl.send(appendU32(p, ProtoVersion))
+	})
+	if err != nil {
+		return 0, err
+	}
+	ver := 0
+	err = cl.finishOp(ctx, t, func() error {
+		p, e := cl.recvRaw()
+		if e != nil {
+			return e
+		}
+		if p[0] == StatusOK {
+			if v, ok := getU32(p, 1); ok {
+				ver = int(v)
+				if ver > ProtoVersion {
+					ver = ProtoVersion
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	cl.proto.Store(int32(ver) + 1)
+	return ver, nil
+}
+
+// Proto reports the negotiated wire version (0 before Negotiate).
+func (cl *Client) Proto() int {
+	if v := cl.proto.Load(); v > 0 {
+		return int(v) - 1
+	}
+	return 0
+}
+
+// Get is a blocking round trip; cancelling ctx aborts this op's wait
+// (never a concurrent op's) without closing the connection. On a v1
+// connection a ctx deadline also rides the wire as an execution budget.
+func (cl *Client) Get(ctx context.Context, key uint64) (uint64, bool, error) {
+	budget, err := cl.budgetFor(ctx)
+	if err != nil {
+		return 0, false, err
+	}
+	t, err := cl.startOp(func() { cl.SendGetBudget(key, budget) })
+	if err != nil {
+		return 0, false, err
+	}
+	var v uint64
+	var found bool
+	err = cl.finishOp(ctx, t, func() (e error) {
+		v, found, e = cl.RecvGet()
+		return e
+	})
+	return v, found, err
 }
 
 // Put is a blocking round trip.
 func (cl *Client) Put(ctx context.Context, key, val uint64) (bool, error) {
-	cl.SendPut(key, val)
-	if err := cl.Flush(); err != nil {
+	budget, err := cl.budgetFor(ctx)
+	if err != nil {
 		return false, err
 	}
-	finish := cl.arm(ctx)
-	ins, err := cl.RecvPut()
-	return ins, finish(err)
+	t, err := cl.startOp(func() { cl.SendPutBudget(key, val, budget) })
+	if err != nil {
+		return false, err
+	}
+	var ins bool
+	err = cl.finishOp(ctx, t, func() (e error) {
+		ins, e = cl.RecvPut()
+		return e
+	})
+	return ins, err
 }
 
 // Del is a blocking round trip.
 func (cl *Client) Del(ctx context.Context, key uint64) (bool, error) {
-	cl.SendDel(key)
-	if err := cl.Flush(); err != nil {
+	budget, err := cl.budgetFor(ctx)
+	if err != nil {
 		return false, err
 	}
-	finish := cl.arm(ctx)
-	found, err := cl.RecvDel()
-	return found, finish(err)
+	t, err := cl.startOp(func() { cl.SendDelBudget(key, budget) })
+	if err != nil {
+		return false, err
+	}
+	var found bool
+	err = cl.finishOp(ctx, t, func() (e error) {
+		found, e = cl.RecvDel()
+		return e
+	})
+	return found, err
 }
 
 // Scan is a blocking round trip returning interleaved k,v pairs.
 func (cl *Client) Scan(ctx context.Context, from uint64, limit uint32) ([]uint64, error) {
-	cl.SendScan(from, limit)
-	if err := cl.Flush(); err != nil {
+	budget, err := cl.budgetFor(ctx)
+	if err != nil {
 		return nil, err
 	}
-	finish := cl.arm(ctx)
-	pairs, err := cl.RecvScan(nil)
-	return pairs, finish(err)
+	t, err := cl.startOp(func() { cl.SendScanBudget(from, limit, budget) })
+	if err != nil {
+		return nil, err
+	}
+	var pairs []uint64
+	err = cl.finishOp(ctx, t, func() (e error) {
+		pairs, e = cl.RecvScan(nil)
+		return e
+	})
+	return pairs, err
 }
 
 // Stats is a blocking round trip.
 func (cl *Client) Stats(ctx context.Context) (Stats, error) {
-	cl.SendStats()
-	if err := cl.Flush(); err != nil {
+	t, err := cl.startOp(cl.SendStats)
+	if err != nil {
 		return Stats{}, err
 	}
-	finish := cl.arm(ctx)
-	st, err := cl.RecvStats()
-	return st, finish(err)
+	var st Stats
+	err = cl.finishOp(ctx, t, func() (e error) {
+		st, e = cl.RecvStats()
+		return e
+	})
+	return st, err
 }
 
 // Drain is a blocking round trip (quiescent use only).
 func (cl *Client) Drain(ctx context.Context) (DrainReport, error) {
-	cl.SendDrain()
-	if err := cl.Flush(); err != nil {
+	t, err := cl.startOp(cl.SendDrain)
+	if err != nil {
 		return DrainReport{}, err
 	}
-	finish := cl.arm(ctx)
-	rep, err := cl.RecvDrain()
-	return rep, finish(err)
+	var rep DrainReport
+	err = cl.finishOp(ctx, t, func() (e error) {
+		rep, e = cl.RecvDrain()
+		return e
+	})
+	return rep, err
 }
 
 // clusterRPC does one blocking admin round trip against a kvproxy and
 // unmarshals the JSON response into out (skipped when out is nil).
 func (cl *Client) clusterRPC(ctx context.Context, op uint8, addr string, out any) error {
-	p := append([]byte{op}, addr...)
-	cl.send(p)
-	if err := cl.Flush(); err != nil {
+	budget, err := cl.budgetFor(ctx)
+	if err != nil {
 		return err
 	}
-	finish := cl.arm(ctx)
-	resp, err := cl.recv()
-	if err = finish(err); err != nil {
+	t, err := cl.startOp(func() {
+		var p []byte
+		if budget > 0 {
+			p = AppendBudget(p, op, budget)
+		} else {
+			p = []byte{op}
+		}
+		cl.send(append(p, addr...))
+	})
+	if err != nil {
 		return err
 	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(resp[1:], out)
+	return cl.finishOp(ctx, t, func() error {
+		resp, e := cl.recv()
+		if e != nil {
+			return e
+		}
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(resp[1:], out)
+	})
 }
 
 // ClusterInfo fetches a kvproxy's topology snapshot. The result is the

@@ -1,9 +1,11 @@
 package kvstore
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Wire protocol: length-prefixed little-endian binary frames, designed
@@ -22,8 +24,27 @@ import (
 //	STATS                        → OK: JSON bytes (kvstore.Stats)
 //	DRAIN                        → OK: JSON bytes (kvstore.DrainReport);
 //	                               quiescent use only (no other traffic)
+//	HELLO client-version u32     → OK: server-version u32; the pair
+//	                               speaks min(client, server)
 //
 // Err responses carry a UTF-8 message.
+//
+// Version negotiation (wire v1): a pre-versioning server answers HELLO
+// like any unknown op — with a well-formed Err frame — so a v1 client
+// negotiates down to v0 without a connection reset. Servers never
+// initiate; an un-negotiated connection is treated as v0 by both sides.
+//
+// Execution budgets (wire v1): any data-op request may carry a budget by
+// OR-ing OpFlagBudget into the op byte and inserting the remaining
+// budget, in microseconds, directly after it:
+//
+//	budgeted frame: u32 payloadLen | u8 op|OpFlagBudget | u32 budgetUs | fields
+//
+// The server converts the budget to a local deadline at parse time and
+// re-checks it at dequeue (after any admission-queue wait): an expired
+// op is answered StatusDeadlineExceeded *instead of being executed*, and
+// an op refused by admission control is answered StatusOverloaded.
+// Either status is a contract that the op had no effect.
 const (
 	OpGet   = uint8(1)
 	OpPut   = uint8(2)
@@ -31,11 +52,26 @@ const (
 	OpScan  = uint8(4)
 	OpStats = uint8(5)
 	OpDrain = uint8(6)
+	OpHello = uint8(7)
 
-	StatusOK       = uint8(0)
-	StatusNotFound = uint8(1)
-	StatusErr      = uint8(2)
+	// OpFlagBudget marks a request op byte as budget-prefixed. High bit
+	// so the flagged range can never collide with a real op.
+	OpFlagBudget = uint8(0x80)
+
+	StatusOK               = uint8(0)
+	StatusNotFound         = uint8(1)
+	StatusErr              = uint8(2)
+	StatusDeadlineExceeded = uint8(3)
+	StatusOverloaded       = uint8(4)
 )
+
+// ProtoVersion is the highest wire version this build speaks: v1 adds
+// HELLO negotiation, budget prefixes, and the two shed statuses.
+const ProtoVersion = 1
+
+// maxBudget caps the on-wire budget; anything longer is indistinguishable
+// from "no deadline" in practice and must still fit the u32 µs field.
+const maxBudget = time.Hour
 
 // Cluster admin ops, served only by the kvproxy (internal/cluster). A
 // plain kvserver answers them with an Err frame, so pointing an admin
@@ -87,6 +123,68 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// readFrameBuffered reads one frame through br's buffer using
+// Peek/Discard so that an *aborted* read — a poisoned deadline firing
+// mid-wait — consumes nothing: the frame stays buffered (or unread) and
+// the response stream keeps its alignment, leaving the connection
+// reusable after a cancellation. br's buffer must hold a full frame
+// (4+MaxFrame bytes).
+func readFrameBuffered(br *bufio.Reader, buf []byte) ([]byte, error) {
+	hdr, err := br.Peek(4)
+	if err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("kvstore: bad frame length %d", n)
+	}
+	full, err := br.Peek(4 + int(n))
+	if err != nil {
+		return nil, err
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	copy(buf, full[4:])
+	if _, err := br.Discard(4 + int(n)); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// AppendBudget appends a budget-prefixed op header (op|OpFlagBudget and
+// the budget in microseconds, clamped to [1µs, maxBudget]) to dst. The
+// caller appends the op's usual fields after it.
+func AppendBudget(dst []byte, op uint8, budget time.Duration) []byte {
+	if budget > maxBudget {
+		budget = maxBudget
+	}
+	us := budget.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	dst = append(dst, op|OpFlagBudget)
+	return appendU32(dst, uint32(us))
+}
+
+// SplitBudget strips the optional budget prefix from a request payload.
+// The plain payload is reconstructed in place — payload[4] is rewritten
+// to the bare op byte and the returned slice starts there — so the
+// caller must own the buffer. Returns the plain payload, the budget
+// (0 when absent), and false for a malformed budgeted frame.
+func SplitBudget(payload []byte) ([]byte, time.Duration, bool) {
+	if len(payload) == 0 || payload[0]&OpFlagBudget == 0 {
+		return payload, 0, true
+	}
+	us, ok := getU32(payload, 1)
+	if !ok || us == 0 {
+		return payload, 0, false
+	}
+	payload[4] = payload[0] &^ OpFlagBudget
+	return payload[4:], time.Duration(us) * time.Microsecond, true
 }
 
 // appendFrame appends a length-prefixed frame holding payload to dst.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -25,6 +26,8 @@ type Server struct {
 
 	tids chan int // pool of tids 1..MaxThreads-1; tid 0 belongs to New/drain
 
+	adm admission
+
 	mu     sync.Mutex
 	conns  map[net.Conn]*connState
 	closed bool
@@ -32,6 +35,98 @@ type Server struct {
 	m *srvMetrics // nil unless Instrument was called
 
 	wg sync.WaitGroup
+}
+
+// admission bounds concurrent data-op execution. slots holds one token
+// per free inflight slot (nil = unlimited); an op that cannot get a
+// token immediately either queues (bounded by queueCap waiters) or is
+// shed with StatusOverloaded on the spot — saturation degrades to
+// fast-fail, not latency collapse. Budgeted ops re-check their deadline
+// after the queue wait, so a slot is never spent executing work whose
+// caller has already given up (the OrcGC robustness argument over the
+// wire: bounding dead work bounds the retire backlog).
+type admission struct {
+	slots    chan struct{}
+	limit    int
+	queueCap int64
+	waiters  atomic.Int64
+	shed     atomic.Uint64
+	expired  atomic.Uint64
+}
+
+func (a *admission) init(limit, queue int) {
+	if limit <= 0 {
+		return
+	}
+	if queue <= 0 {
+		queue = 2 * limit
+	}
+	a.limit = limit
+	a.queueCap = int64(queue)
+	a.slots = make(chan struct{}, limit)
+	for i := 0; i < limit; i++ {
+		a.slots <- struct{}{}
+	}
+}
+
+// acquire takes an inflight slot, waiting until deadline (zero = wait
+// forever) while the waiter bound allows. Returns StatusOK holding a
+// slot, or the shed status to answer with — in which case no slot is
+// held and the op must not execute.
+func (a *admission) acquire(deadline time.Time) uint8 {
+	select {
+	case <-a.slots:
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			a.release()
+			a.expired.Add(1)
+			return StatusDeadlineExceeded
+		}
+		return StatusOK
+	default:
+	}
+	if a.waiters.Add(1) > a.queueCap {
+		a.waiters.Add(-1)
+		a.shed.Add(1)
+		return StatusOverloaded
+	}
+	defer a.waiters.Add(-1)
+	if deadline.IsZero() {
+		<-a.slots
+		return StatusOK
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case <-a.slots:
+		return StatusOK
+	case <-timer.C:
+		a.expired.Add(1)
+		return StatusDeadlineExceeded
+	}
+}
+
+func (a *admission) release() { a.slots <- struct{}{} }
+
+// AdmissionStats is the admission-control ledger: configured bounds and
+// the running shed counters. Shed counts ops refused with
+// StatusOverloaded; DeadlineExceeded counts ops refused with
+// StatusDeadlineExceeded. Both count refusals that provably did not
+// execute.
+type AdmissionStats struct {
+	InflightLimit    int    `json:"inflight_limit"`
+	QueueLimit       int    `json:"queue_limit"`
+	Shed             uint64 `json:"shed_total"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded_total"`
+}
+
+// AdmissionStats snapshots the admission ledger.
+func (s *Server) AdmissionStats() AdmissionStats {
+	return AdmissionStats{
+		InflightLimit:    s.adm.limit,
+		QueueLimit:       int(s.adm.queueCap),
+		Shed:             s.adm.shed.Load(),
+		DeadlineExceeded: s.adm.expired.Load(),
+	}
 }
 
 // connState is what the server tracks per live connection; the response
@@ -56,10 +151,12 @@ type srvMetrics struct {
 	lat [opMax]*obs.Hist
 }
 
-const opMax = OpDrain + 1
+const opMax = OpHello + 1
 
 func opName(op byte) string {
 	switch op {
+	case OpHello:
+		return "hello"
 	case OpGet:
 		return "get"
 	case OpPut:
@@ -81,14 +178,42 @@ func opName(op byte) string {
 // to leave on in production scrapes.
 const latSampleMask = 63
 
+// ServerOption tunes a Server at construction.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	maxInflight int
+	maxQueue    int
+}
+
+// WithMaxInflight bounds how many data ops (GET/PUT/DEL/SCAN) may
+// execute concurrently; excess arrivals queue up to the WithMaxQueue
+// bound and are shed with StatusOverloaded past it. 0 (the default)
+// leaves admission unlimited. Control ops (STATS/DRAIN/HELLO) bypass
+// admission — an operator must be able to inspect a saturated server.
+func WithMaxInflight(n int) ServerOption {
+	return func(c *serverConfig) { c.maxInflight = n }
+}
+
+// WithMaxQueue bounds how many data ops may wait for an inflight slot
+// before new arrivals are shed (default 2× the inflight bound).
+func WithMaxQueue(n int) ServerOption {
+	return func(c *serverConfig) { c.maxQueue = n }
+}
+
 // NewServer wraps st; the caller keeps ownership of st (for
 // DrainAndCheck after Shutdown).
-func NewServer(st *Store) *Server {
+func NewServer(st *Store, opts ...ServerOption) *Server {
+	var sc serverConfig
+	for _, o := range opts {
+		o(&sc)
+	}
 	s := &Server{
 		st:    st,
 		tids:  make(chan int, st.MaxThreads()-1),
 		conns: make(map[net.Conn]*connState),
 	}
+	s.adm.init(sc.maxInflight, sc.maxQueue)
 	for t := 1; t < st.MaxThreads(); t++ {
 		s.tids <- t
 	}
@@ -122,6 +247,24 @@ func (s *Server) Instrument(reg *obs.Registry) {
 			d += int64(len(cs.resp))
 		}
 		return d
+	})
+	reg.GaugeFunc("kv/server/shed_total", func() int64 {
+		return int64(s.adm.shed.Load())
+	})
+	reg.GaugeFunc("kv/server/deadline_exceeded_total", func() int64 {
+		return int64(s.adm.expired.Load())
+	})
+	reg.GaugeFunc("kv/server/inflight_limit", func() int64 {
+		return int64(s.adm.limit)
+	})
+	reg.GaugeFunc("kv/server/inflight", func() int64 {
+		if s.adm.slots == nil {
+			return 0
+		}
+		return int64(s.adm.limit - len(s.adm.slots))
+	})
+	reg.GaugeFunc("kv/server/queue_waiters", func() int64 {
+		return s.adm.waiters.Load()
 	})
 }
 
@@ -244,21 +387,34 @@ func (s *Server) handle(c net.Conn, cs *connState, tid int) {
 		}
 		buf = payload
 		bp := framePool.Get().(*[]byte)
-		if m == nil {
-			*bp = s.execute(tid, (*bp)[:0], payload)
+		// The budget becomes a local deadline at parse time; transit and
+		// admission-queue time burn it, execution is gated on it.
+		req, budget, ok := SplitBudget(payload)
+		if !ok {
+			out, fs := beginFrame((*bp)[:0])
+			*bp = errFrame(out, fs, "malformed budget prefix")
 			resp <- bp
 			continue
 		}
-		op := payload[0]
+		var deadline time.Time
+		if budget > 0 {
+			deadline = time.Now().Add(budget)
+		}
+		if m == nil {
+			*bp = s.serveOne(tid, (*bp)[:0], req, deadline)
+			resp <- bp
+			continue
+		}
+		op := req[0]
 		if op < opMax {
 			m.ops[op].Inc(tid)
 		}
 		if nops&latSampleMask == 0 && op < opMax {
 			t0 := time.Now()
-			*bp = s.execute(tid, (*bp)[:0], payload)
+			*bp = s.serveOne(tid, (*bp)[:0], req, deadline)
 			m.lat[op].Observe(uint64(time.Since(t0)))
 		} else {
-			*bp = s.execute(tid, (*bp)[:0], payload)
+			*bp = s.serveOne(tid, (*bp)[:0], req, deadline)
 		}
 		resp <- bp
 		nops++
@@ -267,12 +423,47 @@ func (s *Server) handle(c net.Conn, cs *connState, tid int) {
 	wwg.Wait()
 }
 
+// serveOne applies the deadline check and admission control, then
+// executes. Only data ops (GET/PUT/DEL/SCAN) are gated; control ops
+// pass straight through. Every rejection happens *before* the store is
+// touched, so a StatusDeadlineExceeded or StatusOverloaded response is
+// a proof the op had no effect.
+func (s *Server) serveOne(tid int, dst, req []byte, deadline time.Time) []byte {
+	if op := req[0]; op >= OpGet && op <= OpScan {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			s.adm.expired.Add(1)
+			return statusFrame(dst, StatusDeadlineExceeded)
+		}
+		if s.adm.slots != nil {
+			if st := s.adm.acquire(deadline); st != StatusOK {
+				return statusFrame(dst, st)
+			}
+			defer s.adm.release()
+		}
+	}
+	return s.execute(tid, dst, req)
+}
+
+// statusFrame encodes a bare single-status response into dst.
+func statusFrame(dst []byte, status uint8) []byte {
+	out, fs := beginFrame(dst)
+	return endFrame(append(out, status), fs)
+}
+
 // execute runs one request, encoding the response frame directly into
 // dst (a recycled buffer from framePool), and returns the grown slice.
 func (s *Server) execute(tid int, dst, req []byte) []byte {
 	out, fs := beginFrame(dst)
 	op := req[0]
 	switch op {
+	case OpHello:
+		// Version negotiation: answer with this build's wire version;
+		// the pair speaks the min. A pre-versioning server would have
+		// fallen through to the unknown-op Err frame below, which a v1
+		// client reads as "v0".
+		out = append(out, StatusOK)
+		out = appendU32(out, ProtoVersion)
+		return endFrame(out, fs)
 	case OpGet:
 		key, ok := getU64(req, 1)
 		if !ok {

@@ -12,7 +12,7 @@ import (
 // Subject is one scheme × data-structure pairing the harness can run.
 type Subject struct {
 	Name string
-	Kind string // "set", "queue", "kv", "scan", or "cluster"
+	Kind string // "set", "queue", "kv", "scan", "cluster", or "overload"
 }
 
 // Subjects enumerates every pairing: all queue and set subjects from the
@@ -43,6 +43,7 @@ func Subjects() []Subject {
 		out = append(out, Subject{Name: "scan-" + scheme, Kind: "scan"})
 	}
 	out = append(out, Subject{Name: "cluster-failover", Kind: "cluster"})
+	out = append(out, Subject{Name: "kv-overload", Kind: "overload"})
 	return out
 }
 
@@ -96,6 +97,8 @@ func Run(s Subject, cfg Config) *Verdict {
 		return RunScanScheme(strings.TrimPrefix(s.Name, "scan-"), cfg)
 	case "cluster":
 		return RunCluster(cfg)
+	case "overload":
+		return RunOverload(cfg)
 	default:
 		panic(fmt.Sprintf("torture: unknown subject kind %q", s.Kind))
 	}

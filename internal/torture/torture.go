@@ -78,7 +78,7 @@ func (c *Config) defaults() {
 // empty; every acceptance condition that does not hold appends one line.
 type Verdict struct {
 	Subject      string
-	Kind         string // "set", "queue", "kv", "scan", or "cluster"
+	Kind         string // "set", "queue", "kv", "scan", "cluster", or "overload"
 	Seed         uint64
 	Threads      int
 	Ops          uint64 // ops actually performed by workers
@@ -91,8 +91,9 @@ type Verdict struct {
 	StallsTaken  uint64 // protect-loop parks actually executed
 	Perturbs     uint64 // forced Gosched calls at injection points
 	// Cluster holds proxy-level counters (routed ops, hedges, breaker
-	// trips, rebalance keys moved) for the cluster-failover subject; nil
-	// for single-store subjects.
+	// trips, rebalance keys moved) for the cluster-failover subject and
+	// the admission ledger (sheds, expiries, max retire backlog) for the
+	// overload subject; nil for other subjects.
 	Cluster  map[string]int64
 	Failures []string
 }
@@ -115,8 +116,14 @@ func (v *Verdict) String() string {
 		v.Arena.Faults, v.Scheme.Retired, v.Scheme.Freed, v.Scheme.RetiredNotFreed,
 		v.StallsTaken, v.Perturbs, v.Scan.Elisions)
 	if v.Cluster != nil {
-		line += fmt.Sprintf(" routed=%d hedges=%d trips=%d moved=%d",
-			v.Cluster["routed"], v.Cluster["hedges_fired"], v.Cluster["breaker_trips"], v.Cluster["keys_moved"])
+		if _, ok := v.Cluster["shed_total"]; ok {
+			line += fmt.Sprintf(" shed=%d expired=%d completed=%d maxbacklog=%d",
+				v.Cluster["shed_total"], v.Cluster["deadline_exceeded_total"],
+				v.Cluster["completed"], v.Cluster["max_backlog"])
+		} else {
+			line += fmt.Sprintf(" routed=%d hedges=%d trips=%d moved=%d",
+				v.Cluster["routed"], v.Cluster["hedges_fired"], v.Cluster["breaker_trips"], v.Cluster["keys_moved"])
+		}
 	}
 	return line
 }

@@ -168,3 +168,31 @@ func TestResolve(t *testing.T) {
 		t.Fatal("Resolve accepted an unknown subject")
 	}
 }
+
+// TestOverloadSmoke runs the admission-control overload subject: 3×
+// capacity in budget-carrying connections against a 3-slot/4-waiter
+// server, with strict shadows proving refused writes never execute and
+// the wire-level refusal ledgers agreeing exactly.
+func TestOverloadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload subject skipped in -short")
+	}
+	cfg := smokeCfg(47)
+	cfg.OpsPerThread = 600
+	v := RunOverload(cfg)
+	if !v.Passed() {
+		t.Fatalf("kv-overload seed=%d: %v", v.Seed, v.Failures)
+	}
+	if v.Cluster["shed_total"] == 0 {
+		t.Error("overload run shed nothing")
+	}
+	if v.Cluster["completed"] == 0 {
+		t.Error("overload run completed nothing")
+	}
+	// Determinism: same seed, same schedule hash.
+	b := RunOverload(cfg)
+	if v.ScheduleHash != b.ScheduleHash {
+		t.Errorf("overload schedule hash not deterministic: %016x vs %016x",
+			v.ScheduleHash, b.ScheduleHash)
+	}
+}
