@@ -6,11 +6,11 @@ GO ?= go
 # lock-free metrics registry all of them report into.
 RACE_PKGS = ./internal/arena/ ./internal/core/ ./internal/reclaim/ ./internal/kvstore/ ./internal/cluster/ ./internal/obs/ ./internal/torture/
 
-.PHONY: check vet orcvet build test race bench-alloc bench-scan serve load smoke metrics-smoke torture-smoke cluster-smoke overload-smoke bench-kv bench-cluster clean
+.PHONY: check vet orcvet build test race cluster-guards bench-alloc bench-scan serve load smoke metrics-smoke torture-smoke cluster-smoke overload-smoke bench-kv bench-cluster bench-cluster-short profile-cluster clean
 
 BIN = bin
 
-check: vet orcvet build test race
+check: vet orcvet build test race cluster-guards
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,14 @@ test:
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# The proxy fast-path regression guards, run without the race detector
+# so the AllocsPerRun assertion measures the real path (race
+# instrumentation allocates): a steady-state proxied GET/PUT must not
+# allocate, and a churned topology must return to its goroutine
+# baseline.
+cluster-guards:
+	$(GO) test ./internal/cluster/ -run 'TestProxySteadyState|TestProxyGoroutineBaseline' -count=1 -v
 
 # Re-measure the allocator against the single-free-list baseline and
 # refresh BENCH_alloc.json.
@@ -130,6 +138,24 @@ bench-cluster:
 	$(GO) build -o bin/kvload ./cmd/kvload
 	$(GO) build -o bin/kvproxy ./cmd/kvproxy
 	sh scripts/bench_cluster.sh
+
+# CI-sized bench-cluster: same sweep, 3s per point, results to /tmp so
+# the checked-in BENCH_cluster.json only changes when refreshed
+# deliberately. Acts as an end-to-end smoke for the proxy fast path
+# (any stall, leak, or ordering bug surfaces as errs > 0 here).
+bench-cluster-short:
+	$(GO) build -o bin/kvserver ./cmd/kvserver
+	$(GO) build -o bin/kvload ./cmd/kvload
+	$(GO) build -o bin/kvproxy ./cmd/kvproxy
+	OUT=/tmp/BENCH_cluster_short.json DUR=3s WARMUP=500ms sh scripts/bench_cluster.sh
+
+# Capture a 10s CPU profile of kvproxy under load (bin/kvproxy +
+# /debug/pprof via -pprof); see scripts/profile_cluster.sh.
+profile-cluster:
+	$(GO) build -o bin/kvserver ./cmd/kvserver
+	$(GO) build -o bin/kvload ./cmd/kvload
+	$(GO) build -o bin/kvproxy ./cmd/kvproxy
+	sh scripts/profile_cluster.sh
 
 # Sweep every reclamation scheme through the loopback service and
 # refresh BENCH_kv.json (throughput + latency percentiles + drain leak

@@ -248,6 +248,8 @@ type Report struct {
 	Errors       uint64               `json:"errors"`
 	Shed         uint64               `json:"shed,omitempty"`
 	Expired      uint64               `json:"deadline_exceeded,omitempty"`
+	HedgesFired  uint64               `json:"hedges_fired,omitempty"`
+	HedgedWins   uint64               `json:"hedged_wins,omitempty"`
 	ThroughputPS float64              `json:"throughput_ops_per_sec"`
 	Latency      bench.LatSummary     `json:"latency_us"`
 	Stats        *kvstore.Stats       `json:"server_stats,omitempty"`
@@ -333,6 +335,10 @@ func main() {
 		}
 	}
 
+	// Against a kvproxy, hedge counters bracket the run so the report can
+	// show how many reads the hedge actually rescued.
+	hedge0, wins0, isProxy := hedgeCounters(ctl)
+
 	var interval time.Duration
 	if *rate > 0 {
 		interval = time.Duration(float64(*conns) / *rate * float64(time.Second))
@@ -382,6 +388,12 @@ func main() {
 	}
 	rep.ThroughputPS = float64(hist.Count()) / duration.Seconds()
 	rep.Latency = hist.Summary()
+	if isProxy {
+		if hedge1, wins1, ok := hedgeCounters(ctl); ok {
+			rep.HedgesFired = hedge1 - hedge0
+			rep.HedgedWins = wins1 - wins0
+		}
+	}
 
 	if st, err := ctl.Stats(context.Background()); err == nil {
 		st.Sides = nil // per-index detail is noise in the report
@@ -396,10 +408,14 @@ func main() {
 	}
 	ctl.Close()
 
-	fmt.Printf("%-8s %8.0f ops/s  p50 %.1fus  p99 %.1fus  p999 %.1fus  (%d ops, %d errs, %d shed, %d expired)\n",
+	hedged := ""
+	if isProxy {
+		hedged = fmt.Sprintf(", %d/%d hedge wins", rep.HedgedWins, rep.HedgesFired)
+	}
+	fmt.Printf("%-8s %8.0f ops/s  p50 %.1fus  p99 %.1fus  p999 %.1fus  (%d ops, %d errs, %d shed, %d expired%s)\n",
 		rep.Label, rep.ThroughputPS,
 		rep.Latency.P50Us, rep.Latency.P99Us, rep.Latency.P999Us,
-		rep.Ops, rep.Errors, rep.Shed, rep.Expired)
+		rep.Ops, rep.Errors, rep.Shed, rep.Expired, hedged)
 
 	if *out != "" {
 		if err := mergeReport(*out, rep); err != nil {
@@ -407,6 +423,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// hedgeCounters reads the target's hedge counters via CLUSTER_INFO. A
+// plain kvserver answers the admin verb with an Err frame; callers
+// treat that as "not a proxy" and skip the columns silently.
+func hedgeCounters(cl *kvstore.Client) (fired, wins uint64, ok bool) {
+	raw, err := cl.ClusterInfo(context.Background())
+	if err != nil {
+		return 0, 0, false
+	}
+	var info struct {
+		HedgesFired uint64 `json:"hedges_fired"`
+		HedgeWins   uint64 `json:"hedge_wins"`
+	}
+	if json.Unmarshal(raw, &info) != nil {
+		return 0, 0, false
+	}
+	return info.HedgesFired, info.HedgeWins, true
 }
 
 // mergeReport updates path in place, keeping one entry per label so a

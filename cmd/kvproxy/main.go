@@ -42,6 +42,7 @@ func main() {
 	waitReady := flag.Duration("wait-ready", 15*time.Second, "wait for all backends to connect before serving (0 = serve immediately)")
 	metricsAddr := flag.String("metrics", "", "metrics listen address, e.g. :7001 ('' = disabled)")
 	sample := flag.Duration("sample", 100*time.Millisecond, "sampler period (with -metrics)")
+	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof on the metrics address (requires -metrics)")
 	flag.Parse()
 
 	if *backends == "" {
@@ -77,9 +78,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "kvproxy: metrics listener: %v\n", err)
 			os.Exit(2)
 		}
-		go http.Serve(mln, obs.Mux(reg))
+		mux := obs.Mux(reg)
+		if *pprofOn {
+			obs.AttachPprof(mux)
+		}
+		go http.Serve(mln, mux)
 		defer mln.Close()
 		fmt.Fprintf(os.Stderr, "kvproxy: metrics on http://%s/metrics\n", mln.Addr())
+	} else if *pprofOn {
+		fmt.Fprintln(os.Stderr, "kvproxy: -pprof needs -metrics for a listen address")
+		os.Exit(2)
 	}
 
 	if *waitReady > 0 {

@@ -54,6 +54,7 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "metrics listen address, e.g. :7071 ('' = disabled)")
 	sample := flag.Duration("sample", 100*time.Millisecond, "backlog sampler period (with -metrics)")
 	trace := flag.Bool("trace", false, "record retire-path events into the /debug/reclaim ring")
+	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof on the metrics address (requires -metrics)")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -90,9 +91,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "kvserver: metrics listener: %v\n", err)
 			os.Exit(2)
 		}
-		go http.Serve(mln, obs.Mux(reg))
+		mux := obs.Mux(reg)
+		if *pprofOn {
+			obs.AttachPprof(mux)
+		}
+		go http.Serve(mln, mux)
 		defer mln.Close()
 		fmt.Fprintf(os.Stderr, "kvserver: metrics on http://%s/metrics\n", mln.Addr())
+	} else if *pprofOn {
+		fmt.Fprintln(os.Stderr, "kvserver: -pprof needs -metrics for a listen address")
+		os.Exit(2)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,30 +45,39 @@ var (
 )
 
 // call is one request in flight to a backend (and, reused on the other
-// side, one client-facing response slot). done carries exactly one
-// token per cycle: the completer sends, the collector receives, and
-// only then may the call return to the pool.
+// side, one client-facing response slot).
 //
-// A hedged read that loses the race *abandons* its other call instead
-// of parking a goroutine to collect it: abandon and complete/fail race
-// through the state word, and whichever transitions it away from
-// callLive second inherits the cleanup — either the completer recycles
-// on arrival (nobody will ever receive done), or the abandoner consumes
-// the already-sent token and recycles immediately. Either way the
-// loser's claim on its lane slot is released with no goroutine waiting.
+// A call settles in one of two ways. A *blocking* call (gop and wop
+// nil) carries exactly one done token per cycle: the completer sends,
+// the collector receives, and only then may the call return to the
+// pool. A *continuation* call belongs to a pooled per-op state machine
+// (getOp or writeOp): the completer — usually a lane receiver — invokes
+// the op's backendDone directly instead of waking a parked goroutine,
+// which is what makes a steady-state proxied op goroutine-free.
+//
+// respBuf always holds a complete response *frame* (4-byte length
+// prefix included) so the client-facing writer can forward it verbatim;
+// resp is the payload view into it, status byte first.
 type call struct {
 	done    chan struct{}
-	resp    []byte  // response payload, status byte first; aliases respBuf
-	respBuf *[]byte // pooled backing storage, recycled by putCall
+	resp    []byte  // response payload, status byte first; aliases respBuf[4:]
+	respBuf *[]byte // pooled framed backing storage, recycled by putCall
 	err     error
 	start   time.Time
 	state   atomic.Int32
+
+	// Continuation routing: at most one of gop/wop is set. srcB is the
+	// backend the call was submitted to (for demotion on failure) and
+	// isHedge tags the speculative copy of a hedged read.
+	gop     *getOp
+	wop     *writeOp
+	srcB    *backend
+	isHedge bool
 }
 
 const (
-	callLive      int32 = iota // collector still interested
-	callAbandoned              // collector gone; completer recycles
-	callSettled                // completer delivered; collector consumes done
+	callLive    int32 = iota // completer has not delivered yet
+	callSettled              // completer delivered
 )
 
 var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
@@ -86,17 +96,28 @@ func putCall(ca *call) {
 		ca.respBuf = nil
 	}
 	ca.resp = nil
+	ca.gop, ca.wop, ca.srcB = nil, nil, nil
+	ca.isHedge = false
 	callPool.Put(ca)
 }
 
-// complete fulfils a call with a pooled response buffer (ownership
-// transfers to the call) and wakes the collector — unless the call was
-// abandoned, in which case everything is recycled here.
+// complete fulfils a call with a pooled framed response buffer
+// (ownership transfers to the call), then either runs the owning op's
+// continuation inline or wakes the blocked collector. The continuation
+// is the last thing that happens here: it may recycle ca.
 func (ca *call) complete(respBuf *[]byte) {
 	if ca.state.CompareAndSwap(callLive, callSettled) {
 		ca.respBuf = respBuf
 		if respBuf != nil {
-			ca.resp = *respBuf
+			ca.resp = (*respBuf)[4:]
+		}
+		if op := ca.gop; op != nil {
+			op.backendDone(ca)
+			return
+		}
+		if op := ca.wop; op != nil {
+			op.backendDone(ca)
+			return
 		}
 		ca.done <- struct{}{}
 		return
@@ -110,41 +131,65 @@ func (ca *call) complete(respBuf *[]byte) {
 func (ca *call) fail(err error) {
 	if ca.state.CompareAndSwap(callLive, callSettled) {
 		ca.err = err
+		if op := ca.gop; op != nil {
+			op.backendDone(ca)
+			return
+		}
+		if op := ca.wop; op != nil {
+			op.backendDone(ca)
+			return
+		}
 		ca.done <- struct{}{}
 		return
 	}
 	putCall(ca)
 }
 
-// abandon releases interest in a pending call without waiting for it.
-// If the completer already settled it, the done token is consumed and
-// the call recycled now; otherwise the completer will recycle it on
-// arrival. The caller must not touch ca afterwards.
-func (ca *call) abandon() {
-	if ca.state.CompareAndSwap(callLive, callAbandoned) {
-		return
-	}
-	<-ca.done
-	putCall(ca)
-}
-
-// bufPool recycles request copies and response payloads — the frame
-// pool idiom from kvstore's server applied to the proxy's two hops.
+// bufPool recycles response frames — the frame pool idiom from
+// kvstore's server applied to the proxy's two hops.
 var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
 
 func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
-
-func copyBuf(p []byte) *[]byte {
-	bp := bufPool.Get().(*[]byte)
-	*bp = append((*bp)[:0], p...)
-	return bp
-}
 
 func putBuf(bp *[]byte) {
 	if cap(*bp) <= 64<<10 {
 		*bp = (*bp)[:0]
 		bufPool.Put(bp)
 	}
+}
+
+// wireBuf is a pooled, refcounted request frame (length prefix
+// included). The builder holds one reference; every lane submission
+// takes another, released once the frame has been written to the wire
+// (or the lane died). A frame's bytes may be rewritten in place — the
+// per-backend budget field — only while the owner holds the *sole*
+// reference; a frame some lane still has queued is cloned instead.
+type wireBuf struct {
+	b    []byte
+	refs atomic.Int32
+}
+
+var wirePool = sync.Pool{New: func() any { return &wireBuf{b: make([]byte, 0, 64)} }}
+
+func getWire() *wireBuf {
+	w := wirePool.Get().(*wireBuf)
+	w.b = w.b[:0]
+	w.refs.Store(1)
+	return w
+}
+
+func (w *wireBuf) ref() { w.refs.Add(1) }
+
+func (w *wireBuf) unref() {
+	if w.refs.Add(-1) == 0 && cap(w.b) <= 64<<10 {
+		wirePool.Put(w)
+	}
+}
+
+// sealWire back-fills the 4-byte length prefix a frame was seeded with.
+func sealWire(w *wireBuf) {
+	n := uint32(len(w.b) - 4)
+	w.b[0], w.b[1], w.b[2], w.b[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
 }
 
 // conn is one pipelined lane to a backend. Submissions append to the
@@ -161,24 +206,33 @@ type conn struct {
 	dead    bool
 	pending chan *call
 	flushCh chan struct{} // wakes the flusher; cap 1, closed by killLocked
+
+	// Outbound frame queue, drained by one writev. outW holds the
+	// refcounts, outB the parallel byte views handed to net.Buffers;
+	// scratch is the reusable copy WriteTo is allowed to consume.
+	outW    []*wireBuf
+	outB    [][]byte
+	scratch [][]byte
 }
 
-// submit queues req on this lane. The caller's payload is copied to the
-// wire before return. Returns false if the lane is dead.
+// submit queues the frame fr on this lane (taking its own reference on
+// it). Returns false if the lane is dead.
 //
-// Flushing is coalesced: the common path only buffers the frame and
-// wakes the lane's flusher, so concurrent submissions share one write
+// Flushing is coalesced: the common path only queues the frame and
+// wakes the lane's flusher, so concurrent submissions share one writev
 // syscall instead of paying one each. The exception is a lane at full
-// depth — there we must flush *before* blocking on the pending queue,
+// depth — there we must write *before* blocking on the pending queue,
 // because the flusher needs mu (held across the block) and the queue
-// only drains once the buffered requests reach the server.
-func (c *conn) submit(req []byte, ca *call) bool {
+// only drains once the queued requests reach the server.
+func (c *conn) submit(fr *wireBuf, ca *call) bool {
 	c.mu.Lock()
 	if c.dead {
 		c.mu.Unlock()
 		return false
 	}
-	c.cl.SendRaw(req)
+	fr.ref()
+	c.outW = append(c.outW, fr)
+	c.outB = append(c.outB, fr.b)
 	select {
 	case c.pending <- ca:
 		select {
@@ -186,7 +240,7 @@ func (c *conn) submit(req []byte, ca *call) bool {
 		default: // a wakeup is already queued; it will cover this frame
 		}
 	default:
-		if err := c.cl.Flush(); err != nil {
+		if err := c.writeLocked(); err != nil {
 			// The lane is broken; the receiver will fail the calls
 			// already pending once its read errors. This call was never
 			// reliably on the wire, so fail it here and kill the lane.
@@ -201,8 +255,66 @@ func (c *conn) submit(req []byte, ca *call) bool {
 	return true
 }
 
-// flushLoop pushes buffered frames to the wire whenever submit signals.
-// One wakeup covers every frame buffered before the flush runs, so a
+// trySubmit is submit for callers that must never block — op
+// continuations running on a lane receiver or a hedge timer. A lane at
+// full depth reports full=true (alive, just no room) instead of
+// queuing behind the depth limit.
+func (c *conn) trySubmit(fr *wireBuf, ca *call) (ok, full bool) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return false, false
+	}
+	select {
+	case c.pending <- ca:
+	default:
+		c.mu.Unlock()
+		return false, true
+	}
+	fr.ref()
+	c.outW = append(c.outW, fr)
+	c.outB = append(c.outB, fr.b)
+	select {
+	case c.flushCh <- struct{}{}:
+	default:
+	}
+	c.mu.Unlock()
+	c.b.inflight.Add(1)
+	return true, false
+}
+
+// writeLocked writevs every queued frame in one syscall; mu held. The
+// queue is copied into scratch first — net.Buffers.WriteTo consumes
+// the slice it is given — and the frame references are released only
+// after the write, which is what gates in-place budget rewrites: a
+// frame with any outstanding lane reference is still (about to be) on
+// some wire and must be cloned, not rewritten.
+func (c *conn) writeLocked() error {
+	if len(c.outB) == 0 {
+		return nil
+	}
+	c.scratch = append(c.scratch[:0], c.outB...)
+	bufs := net.Buffers(c.scratch)
+	err := c.cl.WriteFrames(&bufs)
+	for i := range c.scratch {
+		c.scratch[i] = nil
+	}
+	c.releaseOutLocked()
+	return err
+}
+
+func (c *conn) releaseOutLocked() {
+	for i, w := range c.outW {
+		w.unref()
+		c.outW[i] = nil
+		c.outB[i] = nil
+	}
+	c.outW = c.outW[:0]
+	c.outB = c.outB[:0]
+}
+
+// flushLoop pushes queued frames to the wire whenever submit signals.
+// One wakeup covers every frame queued before the flush runs, so a
 // burst of submissions costs one syscall.
 func (c *conn) flushLoop() {
 	for range c.flushCh {
@@ -211,7 +323,7 @@ func (c *conn) flushLoop() {
 			c.mu.Unlock()
 			return
 		}
-		if err := c.cl.Flush(); err != nil {
+		if err := c.writeLocked(); err != nil {
 			c.killLocked()
 			c.mu.Unlock()
 			return
@@ -229,6 +341,7 @@ func (c *conn) killLocked() {
 	}
 	c.dead = true
 	c.cl.Close()
+	c.releaseOutLocked()
 	close(c.pending)
 	close(c.flushCh) // sends are gated on !dead under mu, like pending
 	c.b.noteDeath(c.gen)
@@ -240,14 +353,19 @@ func (c *conn) kill() {
 	c.mu.Unlock()
 }
 
-// recvLoop pairs responses with pending calls. On a read error it fails
-// the current call, keeps draining (subsequent reads fail instantly on
-// the closed socket), and exits when kill closes the channel.
+// recvLoop pairs responses with pending calls, capturing each response
+// as a whole frame (prefix included) so the client-facing writer can
+// forward it without re-encoding. Completing a call runs its op
+// continuation inline on this goroutine — the hot path's only
+// goroutines are the lane receivers that already exist. On a read
+// error it fails the current call, keeps draining (subsequent reads
+// fail instantly on the closed socket), and exits when kill closes the
+// channel.
 func (c *conn) recvLoop() {
 	var sampled uint64
 	for ca := range c.pending {
 		buf := getBuf()
-		p, err := c.cl.RecvRaw((*buf)[:0])
+		p, err := c.cl.RecvFrame((*buf)[:0])
 		if err != nil {
 			putBuf(buf)
 			c.b.inflight.Add(-1)
@@ -294,6 +412,12 @@ type backend struct {
 	deaths chan struct{}
 	stop   chan struct{}
 	wg     sync.WaitGroup
+
+	// testSubmit, when set, intercepts every lane submission — the seam
+	// the allocation guard uses to complete calls synchronously without
+	// sockets or servers (testing.AllocsPerRun measures process-global
+	// allocations, so the real transport would drown the signal).
+	testSubmit func(fr *wireBuf, ca *call) bool
 }
 
 func newBackend(p *Proxy, addr string, hist *obs.Hist) *backend {
@@ -476,14 +600,21 @@ func (b *backend) laneFor(key uint64) *conn {
 
 // submitKeyed queues an op on the key's lane. No cross-lane fallback:
 // order matters, and a dead lane means the pool is going down anyway.
-func (b *backend) submitKeyed(key uint64, req []byte, ca *call) bool {
+func (b *backend) submitKeyed(key uint64, fr *wireBuf, ca *call) bool {
+	if b.testSubmit != nil {
+		return b.testSubmit(fr, ca)
+	}
 	c := b.laneFor(key)
-	return c != nil && c.submit(req, ca)
+	return c != nil && c.submit(fr, ca)
 }
 
 // submitAny queues an order-insensitive op (reads, scans, stats) on any
-// live lane.
-func (b *backend) submitAny(req []byte, ca *call) bool {
+// live lane. Blocks at full depth — only for callers that may park
+// (the client reader, the blocking round-trip helpers).
+func (b *backend) submitAny(fr *wireBuf, ca *call) bool {
+	if b.testSubmit != nil {
+		return b.testSubmit(fr, ca)
+	}
 	lp := b.lanes.Load()
 	if lp == nil {
 		return false
@@ -491,24 +622,50 @@ func (b *backend) submitAny(req []byte, ca *call) bool {
 	lanes := *lp
 	start := int(b.rr.Add(1))
 	for k := 0; k < len(lanes); k++ {
-		if lanes[(start+k)%len(lanes)].submit(req, ca) {
+		if lanes[(start+k)%len(lanes)].submit(fr, ca) {
 			return true
 		}
 	}
 	return false
 }
 
+// trySubmitAny is submitAny for continuation contexts: it never blocks,
+// and reports whether the refusal was depth (full — every live lane at
+// capacity) rather than death.
+func (b *backend) trySubmitAny(fr *wireBuf, ca *call) (ok, full bool) {
+	if b.testSubmit != nil {
+		return b.testSubmit(fr, ca), false
+	}
+	lp := b.lanes.Load()
+	if lp == nil {
+		return false, false
+	}
+	lanes := *lp
+	start := int(b.rr.Add(1))
+	for k := 0; k < len(lanes); k++ {
+		ok, f := lanes[(start+k)%len(lanes)].trySubmit(fr, ca)
+		if ok {
+			return true, false
+		}
+		full = full || f
+	}
+	return false, full
+}
+
 // roundTrip is the blocking helper the scatter paths (scan, stats,
 // drain, resync) use. The returned call owns the response; the caller
 // must putCall it after consuming resp.
 func (b *backend) roundTrip(req []byte, keyed bool, key uint64) (*call, error) {
+	fr := getWire()
+	fr.b = kvstore.AppendFrame(fr.b, req)
 	ca := getCall()
 	ok := false
 	if keyed {
-		ok = b.submitKeyed(key, req, ca)
+		ok = b.submitKeyed(key, fr, ca)
 	} else {
-		ok = b.submitAny(req, ca)
+		ok = b.submitAny(fr, ca)
 	}
+	fr.unref()
 	if !ok {
 		putCall(ca)
 		return nil, errBackendDown

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+)
+
+// stubProxy assembles a Proxy whose backends never dial: every lane
+// submission is intercepted by the testSubmit seam and answered inline
+// with a canned StatusOK frame. This isolates the dispatch state
+// machines (getOp/writeOp, call and frame pooling) from the network so
+// AllocsPerRun measures only the proxy's own fast path.
+func stubProxy(nback int) *Proxy {
+	p := &Proxy{
+		cfg:    Config{Replicas: 2, Lanes: 2, Depth: 64},
+		byAddr: map[string]*backend{},
+	}
+	addrs := make([]string, nback)
+	backs := make([]*backend, nback)
+	for i := range backs {
+		addrs[i] = fmt.Sprintf("stub-%d", i)
+		b := newBackend(p, addrs[i], nil)
+		b.state.Store(stateHealthy)
+		b.proto.Store(1)
+		b.testSubmit = func(fr *wireBuf, ca *call) bool {
+			rb := getBuf()
+			*rb = append((*rb)[:0], 9, 0, 0, 0, kvstore.StatusOK)
+			*rb = kvstore.AppendU64(*rb, 424242)
+			ca.complete(rb)
+			return true
+		}
+		p.byAddr[addrs[i]] = b
+		backs[i] = b
+	}
+	p.topo.Store(&topology{ring: BuildRing(addrs, DefaultVNodes), backs: backs})
+	return p
+}
+
+func runOp(p *Proxy, req []byte) *call {
+	ca := p.dispatch(req)
+	<-ca.done
+	return ca
+}
+
+// TestProxySteadyStateAllocs is the tentpole's zero-allocation guard:
+// once the pools are warm, a proxied GET and a proxied PUT must not
+// allocate at all — no goroutines, no call structs, no frames, no
+// response buffers.
+func TestProxySteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the guard runs in the non-race pass")
+	}
+	p := stubProxy(3)
+	getReq := kvstore.AppendU64([]byte{kvstore.OpGet}, 7)
+	putReq := kvstore.AppendU64(kvstore.AppendU64([]byte{kvstore.OpPut}, 7), 70)
+
+	// Warm every pool (calls, ops, wire frames, response buffers) before
+	// measuring; pool misses on the first iterations are expected.
+	for i := 0; i < 64; i++ {
+		putCall(runOp(p, getReq))
+		putCall(runOp(p, putReq))
+	}
+
+	if n := testing.AllocsPerRun(2000, func() {
+		putCall(runOp(p, getReq))
+	}); n != 0 {
+		t.Errorf("steady-state proxied GET allocates %.3f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(2000, func() {
+		putCall(runOp(p, putReq))
+	}); n != 0 {
+		t.Errorf("steady-state proxied PUT allocates %.3f objects/op, want 0", n)
+	}
+}
+
+// TestProxySteadyStateResults sanity-checks the stubbed fast path the
+// alloc guard rides on: responses really are the canned backend frames,
+// routed and pooled correctly.
+func TestProxySteadyStateResults(t *testing.T) {
+	p := stubProxy(3)
+	getReq := kvstore.AppendU64([]byte{kvstore.OpGet}, 7)
+	for i := 0; i < 100; i++ {
+		ca := runOp(p, getReq)
+		if ca.err != nil {
+			t.Fatalf("stubbed GET err: %v", ca.err)
+		}
+		if ca.resp[0] != kvstore.StatusOK {
+			t.Fatalf("stubbed GET status = %d", ca.resp[0])
+		}
+		if v, ok := kvstore.PayloadU64(ca.resp, 1); !ok || v != 424242 {
+			t.Fatalf("stubbed GET value = %d, %v", v, ok)
+		}
+		putCall(ca)
+	}
+}
+
+// TestProxyGoroutineBaseline is the goroutine-leak regression test: a
+// mixed workload pushed through topology churn (ADD, DRAIN, REMOVE)
+// must leave the process at its per-lane/per-conn goroutine baseline —
+// steady-state ops and retired topologies may not park goroutines.
+func TestProxyGoroutineBaseline(t *testing.T) {
+	p, _, addr := startCluster(t, []string{"orcgc", "hp", "ebr"}, 2)
+	cl := proxyClient(t, addr)
+	if _, err := cl.Put(ctx, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: cluster up, one idle client connected, pools warm.
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	// Mixed workload across several client connections...
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wcl, err := kvstore.Dial(addr, kvstore.WithReadTimeout(30*time.Second), kvstore.WithRetries(3))
+			if err != nil {
+				t.Errorf("churn dial: %v", err)
+				return
+			}
+			defer wcl.Close() // before the baseline re-check, unlike t.Cleanup
+			for i := 0; i < 400; i++ {
+				k := uint64((w+1)*1000 + i) // disjoint from the sentinel key 1
+				if _, err := wcl.Put(ctx, k, k*3); err != nil {
+					t.Errorf("churn Put: %v", err)
+					return
+				}
+				if _, _, err := wcl.Get(ctx, k); err != nil {
+					t.Errorf("churn Get: %v", err)
+					return
+				}
+				if i%10 == 0 {
+					if _, err := wcl.Del(ctx, k); err != nil {
+						t.Errorf("churn Del: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// ...while the topology churns underneath it: a node joins, drains
+	// back out, and a second join is torn down via the removal path.
+	extra := startKV(t, "orcgc", "")
+	if _, err := p.AddBackend(ctx, extra.addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DrainBackend(ctx, extra.addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddBackend(ctx, extra.addr); err != nil {
+		t.Fatal(err)
+	}
+	extra.kill(t)
+	// The removal path skips the dead node as a copy source only once
+	// the proxy has demoted it. Idle lanes notice a peer death on their
+	// next submission, so keep a trickle of writes flowing until the
+	// dead node's failures get it suspected out of the read set.
+	p.tmu.Lock()
+	eb := p.byAddr[extra.addr]
+	p.tmu.Unlock()
+	for i, deadline := uint64(0), time.Now().Add(10*time.Second); eb.readEligible(); i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("killed backend never left the read set")
+		}
+		cl.Put(ctx, 5000+i%64, i) // best-effort probe; failures are the point
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := p.RemoveBackend(ctx, extra.addr); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// The workload clients' own goroutines and the retired backend's
+	// lanes need a moment to unwind; poll until we are back at (or
+	// below) baseline plus a small tolerance for the test server's
+	// still-closing accept loops.
+	const tolerance = 3
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= base+tolerance {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines after churn = %d, baseline %d (+%d allowed)\n%s",
+				now, base, tolerance, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The data must have survived the churn.
+	if v, ok, err := cl.Get(ctx, 1); err != nil || !ok || v != 10 {
+		t.Fatalf("Get after churn = %d, %v, %v", v, ok, err)
+	}
+}

@@ -249,9 +249,10 @@ func (p *Proxy) Shutdown() {
 }
 
 // handle is the per-client-connection loop: the reader parses frames
-// and dispatches each to a worker goroutine; the writer streams the
-// responses back strictly in request order (the protocol's pipelining
-// contract), flushing whenever the pipeline goes idle.
+// and starts each op inline (data ops run as pooled state machines —
+// no goroutine per op); the writer streams the responses back strictly
+// in request order (the protocol's pipelining contract), gathering a
+// burst of completed responses into one writev.
 func (p *Proxy) handle(c net.Conn) {
 	defer p.wg.Done()
 	defer func() {
@@ -263,31 +264,7 @@ func (p *Proxy) handle(c net.Conn) {
 	order := make(chan *call, 4*p.cfg.Depth)
 	var wwg sync.WaitGroup
 	wwg.Add(1)
-	go func() {
-		defer wwg.Done()
-		bw := bufio.NewWriterSize(c, 64<<10)
-		var scratch []byte
-		broken := false
-		for ca := range order {
-			<-ca.done
-			if !broken {
-				if ca.err != nil {
-					payload := append([]byte{kvstore.StatusErr}, ca.err.Error()...)
-					scratch = kvstore.AppendFrame(scratch[:0], payload)
-				} else {
-					scratch = kvstore.AppendFrame(scratch[:0], ca.resp)
-				}
-				if _, err := bw.Write(scratch); err != nil {
-					broken = true // keep collecting so dispatchers never leak
-				}
-			}
-			putCall(ca)
-			if !broken && len(order) == 0 {
-				bw.Flush()
-			}
-		}
-		bw.Flush()
-	}()
+	go p.writeLoop(c, order, &wwg)
 	br := bufio.NewReaderSize(c, 64<<10)
 	var req []byte
 	for {
@@ -302,19 +279,95 @@ func (p *Proxy) handle(c net.Conn) {
 	wwg.Wait()
 }
 
+// writeLoop is the client-facing response writer. Responses arrive as
+// complete pooled frames (the backend receive path captures the length
+// prefix too), so the writer never re-encodes: it collects the head
+// call's frame plus every already-completed successor — bounded by
+// maxWriteBatch — into one net.Buffers writev. A successor pulled from
+// order but not yet done flushes the ready batch first, then becomes
+// the next head; the syscall count tracks bursts, not ops.
+func (p *Proxy) writeLoop(c net.Conn, order <-chan *call, wwg *sync.WaitGroup) {
+	defer wwg.Done()
+	const maxWriteBatch = 64
+	var (
+		bufs   net.Buffers
+		owners []*call
+		broken bool
+	)
+	appendCa := func(ca *call) { // ca.done already consumed
+		if ca.err != nil {
+			eb := getBuf()
+			*eb = append((*eb)[:0], 0, 0, 0, 0, kvstore.StatusErr)
+			*eb = append(*eb, ca.err.Error()...)
+			n := uint32(len(*eb) - 4)
+			(*eb)[0], (*eb)[1], (*eb)[2], (*eb)[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+			ca.respBuf = eb
+		}
+		bufs = append(bufs, *ca.respBuf)
+		owners = append(owners, ca)
+	}
+	flush := func() {
+		if len(owners) == 0 {
+			return
+		}
+		if !broken {
+			b := bufs // WriteTo consumes its slice; keep ours for recycling
+			if _, err := b.WriteTo(c); err != nil {
+				broken = true // keep collecting so ops never leak
+			}
+		}
+		for i, ca := range owners {
+			putCall(ca)
+			owners[i] = nil
+			bufs[i] = nil
+		}
+		owners, bufs = owners[:0], bufs[:0]
+	}
+	for ca := range order {
+		<-ca.done
+		appendCa(ca)
+	gather:
+		for len(owners) < maxWriteBatch {
+			var nca *call
+			select {
+			case nc, ok := <-order:
+				if !ok {
+					flush()
+					return
+				}
+				nca = nc
+			default:
+				break gather
+			}
+			select {
+			case <-nca.done:
+			default:
+				flush() // write what is ready before parking on the next head
+				<-nca.done
+			}
+			appendCa(nca)
+		}
+		flush()
+	}
+	flush()
+}
+
 var (
 	errShortReq = errors.New("cluster: short request")
 	errBusy     = errors.New("cluster: topology change already in progress")
 )
 
 // dispatch hands one request payload to its handler and returns the
-// call the writer will wait on. Handlers run in their own goroutine so
-// a slow replica never stalls requests queued behind it on the same
-// client connection; the writer re-serializes completions in order.
-// A budget prefix is stripped here and becomes a proxy-local deadline;
-// handlers forward the remaining budget (minus each backend's observed
-// RTT) and refuse ops whose budget is already spent before submitting
-// anything — the not-executed contract holds through the proxy.
+// call the writer will wait on. Data ops (GET/PUT/DEL) start a pooled
+// state machine inline — zero goroutines, zero allocations on the
+// steady-state path; completions are driven by the backend lane
+// receivers and re-serialized in order by the writer. The remaining
+// verbs (scan/stats/drain/admin) are scatter-gather control ops and
+// keep their per-op goroutine. A budget prefix is stripped here and
+// becomes a proxy-local deadline; handlers forward the remaining
+// budget (minus each backend's observed RTT) and refuse ops whose
+// budget is already spent before submitting anything — the
+// not-executed contract holds through the proxy.
 func (p *Proxy) dispatch(payload []byte) *call {
 	ca := getCall()
 	p.routed.Add(1)
@@ -334,16 +387,14 @@ func (p *Proxy) dispatch(payload []byte) *call {
 			ca.fail(errShortReq)
 			return ca
 		}
-		creq := copyBuf(req)
-		go p.doGet(creq, key, deadline, ca)
+		p.startGet(req, key, deadline, ca)
 	case kvstore.OpPut, kvstore.OpDel:
 		key, ok := kvstore.PayloadU64(req, 1)
 		if !ok {
 			ca.fail(errShortReq)
 			return ca
 		}
-		creq := copyBuf(req)
-		go p.doWrite(creq, key, deadline, ca)
+		p.startWrite(req, key, deadline, ca)
 	case kvstore.OpScan:
 		from, ok1 := kvstore.PayloadU64(req, 1)
 		limit, ok2 := kvstore.PayloadU32(req, 9)
@@ -357,7 +408,8 @@ func (p *Proxy) dispatch(payload []byte) *call {
 		// budgets, downgrading per backend as needed, so it answers v1
 		// regardless of what the backends speak.
 		buf := getBuf()
-		*buf = kvstore.AppendU32(append((*buf)[:0], kvstore.StatusOK), kvstore.ProtoVersion)
+		*buf = append((*buf)[:0], 5, 0, 0, 0, kvstore.StatusOK)
+		*buf = kvstore.AppendU32(*buf, kvstore.ProtoVersion)
 		ca.complete(buf)
 	case kvstore.OpStats:
 		go p.doStats(ca)
@@ -378,7 +430,7 @@ func (p *Proxy) dispatch(payload []byte) *call {
 // not-executed statuses (StatusDeadlineExceeded / StatusOverloaded).
 func completeStatus(ca *call, status uint8) {
 	buf := getBuf()
-	*buf = append((*buf)[:0], status)
+	*buf = append((*buf)[:0], 1, 0, 0, 0, status)
 	ca.complete(buf)
 }
 
@@ -386,32 +438,6 @@ func completeStatus(ca *call, status uint8) {
 // refused-without-executing statuses.
 func isShedStatus(resp []byte) bool {
 	return len(resp) > 0 && (resp[0] == kvstore.StatusOverloaded || resp[0] == kvstore.StatusDeadlineExceeded)
-}
-
-// fwd encodes the remaining budget for b into scratch and returns the
-// frame to submit: req itself when no deadline applies (or b predates
-// budgets), nil when the budget — minus b's observed RTT — is already
-// spent, meaning the caller should fast-fail instead of doing dead
-// work. The returned slice is only valid until scratch's next reuse;
-// submit copies it to the wire before returning, so a stack scratch
-// reused across sequential submissions is fine.
-func fwd(b *backend, req []byte, deadline time.Time, scratch []byte) []byte {
-	if deadline.IsZero() {
-		return req
-	}
-	rem := time.Until(deadline)
-	if b.proto.Load() < 1 {
-		if rem <= 0 {
-			return nil
-		}
-		return req // pre-budget backend: forward plain, proxy deadline still applied
-	}
-	rem -= b.netRTT()
-	if rem <= 0 {
-		return nil
-	}
-	scratch = kvstore.AppendBudget(scratch[:0], req[0], rem)
-	return append(scratch, req[1:]...)
 }
 
 func (p *Proxy) replicas() int { return p.cfg.Replicas }
@@ -435,162 +461,6 @@ func (p *Proxy) readSet(key uint64, dst []*backend) []*backend {
 		}
 	}
 	return dst
-}
-
-// doGet serves a GET with hedging, failover, and budget forwarding.
-// The primary replica gets the request first; if it has not answered
-// within the p99-derived hedge delay, the second replica gets a copy
-// and the first *success* wins — the loser's call is abandoned, which
-// releases its claim on its lane without parking a goroutine. A replica
-// that answers with a shed status is healthy-but-loaded: it is not
-// demoted, but the read fails over to the remaining candidates, and if
-// every candidate refuses, the refusal passes through to the client.
-func (p *Proxy) doGet(req *[]byte, key uint64, deadline time.Time, ca *call) {
-	defer putBuf(req)
-	var cbuf [maxReplicas]*backend
-	cands := p.readSet(key, cbuf[:0])
-	if len(cands) == 0 {
-		ca.fail(errNoReplica)
-		return
-	}
-	var lastShed uint8
-	var sbuf [32]byte
-	// settle inspects a completed backend call: 0 = answered the client,
-	// 1 = transport failure (replica demoted), 2 = shed status (replica
-	// healthy, try elsewhere).
-	settle := func(bc *call, b *backend) int {
-		if bc.err != nil {
-			b.suspect()
-			putCall(bc)
-			return 1
-		}
-		if isShedStatus(bc.resp) {
-			p.shedObserved.Add(1)
-			lastShed = bc.resp[0]
-			putCall(bc)
-			return 2
-		}
-		transfer(bc, ca)
-		return 0
-	}
-	giveUp := func() {
-		if lastShed != 0 {
-			completeStatus(ca, lastShed)
-			return
-		}
-		ca.fail(errNoReplica)
-	}
-	finish := func(rest []*backend) {
-		p.readRetries.Add(1)
-		p.getSequential(rest, *req, deadline, lastShed, ca)
-	}
-
-	breq := fwd(cands[0], *req, deadline, sbuf[:0])
-	if breq == nil {
-		p.deadlineRejects.Add(1)
-		completeStatus(ca, kvstore.StatusDeadlineExceeded)
-		return
-	}
-	bc := getCall()
-	if !cands[0].submitAny(breq, bc) {
-		putCall(bc)
-		cands[0].suspect()
-		finish(cands[1:])
-		return
-	}
-	if len(cands) == 1 {
-		<-bc.done
-		if settle(bc, cands[0]) != 0 {
-			giveUp()
-		}
-		return
-	}
-	timer := time.NewTimer(cands[0].hedgeDelay())
-	select {
-	case <-bc.done:
-		timer.Stop()
-		if settle(bc, cands[0]) != 0 {
-			finish(cands[1:])
-		}
-		return
-	case <-timer.C:
-	}
-	p.hedges.Add(1)
-	var hc *call
-	if hreq := fwd(cands[1], *req, deadline, sbuf[:0]); hreq != nil {
-		hc = getCall()
-		if !cands[1].submitAny(hreq, hc) {
-			putCall(hc)
-			hc = nil
-		}
-	}
-	if hc == nil {
-		// No budget left for a hedge, or no live lane: wait the primary out.
-		<-bc.done
-		if settle(bc, cands[0]) != 0 {
-			finish(cands[2:])
-		}
-		return
-	}
-	select {
-	case <-bc.done:
-		switch settle(bc, cands[0]) {
-		case 0:
-			hc.abandon() // loser's lane claim released; completer recycles
-			p.hedgesCancelled.Add(1)
-			return
-		}
-		<-hc.done
-		if settle(hc, cands[1]) == 0 {
-			p.hedgeWins.Add(1)
-			return
-		}
-		finish(cands[2:])
-	case <-hc.done:
-		if settle(hc, cands[1]) == 0 {
-			p.hedgeWins.Add(1)
-			bc.abandon()
-			p.hedgesCancelled.Add(1)
-			return
-		}
-		<-bc.done
-		if settle(bc, cands[0]) == 0 {
-			return
-		}
-		finish(cands[2:])
-	}
-}
-
-func (p *Proxy) getSequential(cands []*backend, req []byte, deadline time.Time, lastShed uint8, ca *call) {
-	var sbuf [32]byte
-	for _, b := range cands {
-		breq := fwd(b, req, deadline, sbuf[:0])
-		if breq == nil {
-			// Budget ran out mid-failover: the op was never submitted
-			// anywhere that executed it.
-			lastShed = kvstore.StatusDeadlineExceeded
-			p.deadlineRejects.Add(1)
-			break
-		}
-		rc, err := b.roundTrip(breq, false, 0)
-		if err != nil {
-			b.suspect()
-			continue
-		}
-		if isShedStatus(rc.resp) {
-			p.shedObserved.Add(1)
-			lastShed = rc.resp[0]
-			putCall(rc)
-			continue
-		}
-		transfer(rc, ca)
-		return
-	}
-	if lastShed != 0 {
-		completeStatus(ca, lastShed)
-		return
-	}
-	ca.fail(errNoReplica)
 }
 
 // writeSet appends the write-eligible replicas of key — the union of
@@ -624,132 +494,6 @@ func (p *Proxy) writeSet(key uint64, dst []*backend, healthy []bool) ([]*backend
 	return dst, healthy
 }
 
-// doWrite serves PUT and DEL. All submissions happen under the key's
-// stripe lock onto key-pinned lanes, giving every replica the same
-// same-key execution order; acks wait for every replica, demote the
-// failures, and succeed if at least one replica holds the write.
-//
-// Budgets gate writes only *before* submission: an expired budget is
-// refused here, with nothing on any wire, so StatusDeadlineExceeded
-// keeps meaning "no replica executed this". The forwarded frames are
-// unbudgeted — once a write is in flight to a replica set, a per-replica
-// deadline expiry would mean divergence, exactly what the ack invariant
-// forbids. A replica may still shed an unbudgeted write under admission
-// pressure (StatusOverloaded); that replica missed the write while
-// others may have applied it, so it is demoted before the ack like any
-// failed replica. Only when *no* replica applied it does the refusal
-// pass through to the client with no demotions — the cluster-wide
-// not-executed case.
-func (p *Proxy) doWrite(req *[]byte, key uint64, deadline time.Time, ca *call) {
-	defer putBuf(req)
-	if !deadline.IsZero() && !time.Now().Before(deadline) {
-		p.deadlineRejects.Add(1)
-		completeStatus(ca, kvstore.StatusDeadlineExceeded)
-		return
-	}
-	var bbuf [2 * maxReplicas]*backend
-	var hbuf [2 * maxReplicas]bool
-	var bcs [2 * maxReplicas]*call
-	var bks [2 * maxReplicas]*backend
-	var healthy [2 * maxReplicas]bool
-	var sheds [2 * maxReplicas]bool
-	n := 0
-
-	stripe := &p.locks[key&(stripeCount-1)]
-	stripe.Lock()
-	set, elig := p.writeSet(key, bbuf[:0], hbuf[:0])
-	for i, b := range set {
-		bc := getCall()
-		if b.submitKeyed(key, *req, bc) {
-			bcs[n], bks[n], healthy[n] = bc, b, elig[i]
-			n++
-		} else {
-			putCall(bc)
-			if elig[i] {
-				b.suspect()
-			}
-		}
-	}
-	stripe.Unlock()
-	if n == 0 {
-		ca.fail(errNoReplica)
-		return
-	}
-	okCount, shedCount := 0, 0
-	for i := 0; i < n; i++ {
-		<-bcs[i].done
-		if bcs[i].err != nil {
-			// Demote before the client can see the ack: a replica that
-			// missed this write must not serve the next read.
-			if healthy[i] {
-				bks[i].suspect()
-			}
-			putCall(bcs[i])
-			bcs[i] = nil
-			continue
-		}
-		if isShedStatus(bcs[i].resp) {
-			p.shedObserved.Add(1)
-			sheds[i] = true
-			shedCount++
-			continue
-		}
-		okCount++
-	}
-	if okCount == 0 {
-		for i := 0; i < n; i++ {
-			if bcs[i] != nil {
-				putCall(bcs[i])
-			}
-		}
-		if shedCount > 0 {
-			// Every live replica refused before executing: the write
-			// happened nowhere, so nobody diverged and nobody is demoted.
-			completeStatus(ca, kvstore.StatusOverloaded)
-			return
-		}
-		ca.fail(errNoReplica)
-		return
-	}
-	// At least one replica holds the write; a replica that shed it
-	// missed it and must leave the read set before the ack, exactly
-	// like a transport failure.
-	for i := 0; i < n; i++ {
-		if sheds[i] {
-			if healthy[i] {
-				bks[i].suspect()
-			}
-			putCall(bcs[i])
-			bcs[i] = nil
-		}
-	}
-	if okCount < n {
-		p.degraded.Add(1)
-	}
-	// Response: the first surviving replica in ring order answers; for
-	// DEL prefer any replica that found the key (a replica added to the
-	// set mid-recovery may legitimately miss it).
-	op := (*req)[0]
-	var winner *call
-	for i := 0; i < n; i++ {
-		c := bcs[i]
-		if c == nil {
-			continue
-		}
-		if winner == nil {
-			winner = c
-			continue
-		}
-		if op == kvstore.OpDel && winner.resp[0] != kvstore.StatusOK && c.resp[0] == kvstore.StatusOK {
-			putCall(winner)
-			winner = c
-			continue
-		}
-		putCall(c)
-	}
-	transfer(winner, ca)
-}
-
 func scanReq(dst []byte, from uint64, limit uint32) []byte {
 	dst = append(dst[:0], kvstore.OpScan)
 	dst = kvstore.AppendU64(dst, from)
@@ -772,7 +516,8 @@ func (p *Proxy) doScan(from uint64, limit uint32, deadline time.Time, ca *call) 
 	}
 	if limit == 0 {
 		buf := getBuf()
-		*buf = kvstore.AppendU32(append((*buf)[:0], kvstore.StatusOK), 0)
+		*buf = append((*buf)[:0], 5, 0, 0, 0, kvstore.StatusOK)
+		*buf = kvstore.AppendU32(*buf, 0)
 		ca.complete(buf)
 		return
 	}
@@ -852,7 +597,9 @@ func (p *Proxy) doScan(from uint64, limit uint32, deadline time.Time, ca *call) 
 	}
 	sort.Slice(merged, func(a, b int) bool { return merged[a].k < merged[b].k })
 	buf := getBuf()
-	out := append((*buf)[:0], kvstore.StatusOK, 0, 0, 0, 0)
+	// Frame layout: [len u32][status][count u32][pairs...]; the length
+	// and count are back-filled once the merge settles.
+	out := append((*buf)[:0], 0, 0, 0, 0, kvstore.StatusOK, 0, 0, 0, 0)
 	count := uint32(0)
 	var prev uint64
 	for _, e := range merged {
@@ -867,10 +614,12 @@ func (p *Proxy) doScan(from uint64, limit uint32, deadline time.Time, ca *call) 
 		prev = e.k
 		count++
 	}
-	out[1] = byte(count)
-	out[2] = byte(count >> 8)
-	out[3] = byte(count >> 16)
-	out[4] = byte(count >> 24)
+	n := uint32(len(out) - 4)
+	out[0], out[1], out[2], out[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	out[5] = byte(count)
+	out[6] = byte(count >> 8)
+	out[7] = byte(count >> 16)
+	out[8] = byte(count >> 24)
 	*buf = out
 	ca.complete(buf)
 }
@@ -1121,6 +870,9 @@ func (p *Proxy) respondJSON(ca *call, v any) {
 		return
 	}
 	buf := getBuf()
-	*buf = append(append((*buf)[:0], kvstore.StatusOK), js...)
+	*buf = append((*buf)[:0], 0, 0, 0, 0, kvstore.StatusOK)
+	*buf = append(*buf, js...)
+	n := uint32(len(*buf) - 4)
+	(*buf)[0], (*buf)[1], (*buf)[2], (*buf)[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
 	ca.complete(buf)
 }

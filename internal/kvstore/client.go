@@ -3,6 +3,7 @@ package kvstore
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -360,6 +361,57 @@ func (cl *Client) RecvRaw(dst []byte) ([]byte, error) {
 		return dst, err
 	}
 	return append(dst, p...), nil
+}
+
+// RecvFrame reads one response frame and appends it *whole* — 4-byte
+// length prefix included — to dst, returning the extended slice. This
+// is the forwarding-proxy receive path: the captured frame can be
+// written verbatim to another connection with no re-framing and no
+// second copy (RecvRaw round-trips the payload through the client's
+// internal buffer; RecvFrame copies straight out of the read buffer).
+func (cl *Client) RecvFrame(dst []byte) ([]byte, error) {
+	cl.consumed = false
+	if cl.opts.ReadTimeout > 0 {
+		cl.c.SetReadDeadline(time.Now().Add(cl.opts.ReadTimeout))
+		defer cl.c.SetReadDeadline(time.Time{})
+	}
+	hdr, err := cl.br.Peek(4)
+	if err != nil {
+		return dst, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n == 0 || n > MaxFrame {
+		return dst, fmt.Errorf("kvstore: bad frame length %d", n)
+	}
+	full, err := cl.br.Peek(4 + int(n))
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, full...)
+	if _, err := cl.br.Discard(4 + int(n)); err != nil {
+		return dst, err
+	}
+	cl.consumed = true
+	return dst, nil
+}
+
+// WriteFrames writes a batch of already-encoded frames with one writev
+// syscall, flushing any frames buffered via Send* first so wire order
+// is preserved. The Buffers slice is consumed (advanced) by the write,
+// per net.Buffers semantics; callers keep their own references to the
+// underlying frames.
+func (cl *Client) WriteFrames(bufs *net.Buffers) error {
+	if cl.opts.WriteTimeout > 0 {
+		cl.c.SetWriteDeadline(time.Now().Add(cl.opts.WriteTimeout))
+		defer cl.c.SetWriteDeadline(time.Time{})
+	}
+	if cl.bw.Buffered() > 0 {
+		if err := cl.bw.Flush(); err != nil {
+			return err
+		}
+	}
+	_, err := bufs.WriteTo(cl.c)
+	return err
 }
 
 // SendDrain queues a DRAIN (quiescent use only).

@@ -187,6 +187,26 @@ func SplitBudget(payload []byte) ([]byte, time.Duration, bool) {
 	return payload[4:], time.Duration(us) * time.Microsecond, true
 }
 
+// RewriteFrameBudget overwrites the budget field of a budget-flagged
+// frame (length prefix included) in place — the zero-copy counterpart
+// of AppendBudget for a proxy that forwards one pooled frame to several
+// backends, each with a different remaining budget. Returns false if
+// the frame is not budget-flagged or too short to carry the field.
+func RewriteFrameBudget(frame []byte, budget time.Duration) bool {
+	if len(frame) < 9 || frame[4]&OpFlagBudget == 0 {
+		return false
+	}
+	if budget > maxBudget {
+		budget = maxBudget
+	}
+	us := budget.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	binary.LittleEndian.PutUint32(frame[5:9], uint32(us))
+	return true
+}
+
 // appendFrame appends a length-prefixed frame holding payload to dst.
 func appendFrame(dst, payload []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 )
@@ -134,4 +135,16 @@ func Mux(reg *Registry) *http.ServeMux {
 	mux.Handle("/debug/reclaim", TraceHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
+}
+
+// AttachPprof mounts the standard net/http/pprof surface on mux under
+// /debug/pprof/. It is opt-in (the kvserver/kvproxy -pprof flag) rather
+// than part of Mux: the profile endpoints can pause the world, which is
+// not something a metrics port should offer by default.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

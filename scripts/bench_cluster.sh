@@ -12,6 +12,7 @@ set -eu
 BIN=${BIN:-bin}
 OUT=${OUT:-BENCH_cluster.json}
 DUR=${DUR:-3s}
+WARMUP=${WARMUP:-1s}
 CONNS=${CONNS:-8}
 MIX='get=90,put=9,del=1'
 KEYS=50000
@@ -51,7 +52,7 @@ stop_all() {
 }
 
 run_load() { # $1 = target addr, $2 = label
-	"$BIN"/kvload -addr "$1" -conns "$CONNS" -duration "$DUR" -warmup 1s \
+	"$BIN"/kvload -addr "$1" -conns "$CONNS" -duration "$DUR" -warmup "$WARMUP" \
 		-dist zipfian -theta 0.99 -keys $KEYS -mix "$MIX" \
 		-label "$2" -out "$OUT"
 }
